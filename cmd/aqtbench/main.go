@@ -1,0 +1,85 @@
+// Command aqtbench regenerates the paper's evaluation: every theorem and
+// figure as a measured table (see DESIGN.md §4 for the experiment index).
+//
+// Examples:
+//
+//	aqtbench                # run the full suite (F1, E1–E9)
+//	aqtbench -run E4        # one experiment
+//	aqtbench -o report.txt  # write to a file
+//	aqtbench -list          # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	sb "smallbuffers"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aqtbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aqtbench", flag.ContinueOnError)
+	id := fs.String("run", "", "experiment to run (E1…E9, F1); empty = all")
+	out := fs.String("o", "", "output file (default stdout)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "aqtbench: close:", cerr)
+			}
+		}()
+		w = f
+	}
+
+	if *list {
+		for _, e := range sb.Experiments() {
+			if _, err := fmt.Fprintf(w, "%-4s %-60s %s\n", e.ID, e.Title, e.Paper); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if *id != "" {
+		e, err := sb.ExperimentByID(*id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s — %s (%s)\n\n", e.ID, e.Title, e.Paper)
+		outcome, err := e.Run(w)
+		if err != nil {
+			return err
+		}
+		if !outcome.OK {
+			return fmt.Errorf("%s reports violated bounds", e.ID)
+		}
+		return nil
+	}
+
+	ok, err := sb.RunAllExperiments(w)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("some experiments report violated bounds")
+	}
+	_, err = fmt.Fprintln(w, "\nall experiments passed")
+	return err
+}

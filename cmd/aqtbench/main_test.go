@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "list.txt")
+	if err := run([]string{"-list", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, id := range []string{"F1", "E1", "E5", "E10"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f1.txt")
+	if err := run([]string{"-run", "F1", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "virtual trajectory") {
+		t.Errorf("F1 output missing trajectory:\n%s", data)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestBadOutputPath(t *testing.T) {
+	if err := run([]string{"-list", "-o", "/nonexistent-dir/x.txt"}); err == nil {
+		t.Error("bad output path accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,290 @@
+// Command aqtsim runs one adversarial-queuing simulation: a topology, a
+// forwarding protocol, and a (ρ,σ)-bounded adversary, reporting the maximum
+// buffer occupancy against the paper's bound.
+//
+// Examples:
+//
+//	aqtsim -n 64 -protocol ppts -adversary random -rho 1 -sigma 2 -d 8 -rounds 2000
+//	aqtsim -n 256 -protocol hpts -ell 2 -adversary random -rho 1/2 -rounds 4000 -heatmap
+//	aqtsim -protocol ppts -adversary lowerbound -m 8 -ell 2 -rho 3/4
+//	aqtsim -topology spider -arms 4 -len 4 -protocol tree-ppts -adversary random -rho 1 -sigma 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	sb "smallbuffers"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aqtsim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	topology string
+	n        int
+	spine    int
+	legs     int
+	arms     int
+	armLen   int
+	height   int
+
+	protocol string
+	ell      int
+	drain    bool
+
+	adversary string
+	rho       string
+	sigma     int
+	d         int
+	seed      int64
+	m         int
+
+	rounds  int
+	verify  bool
+	heatmap bool
+	json    bool
+}
+
+func run(args []string, w io.Writer) error {
+	var o options
+	fs := flag.NewFlagSet("aqtsim", flag.ContinueOnError)
+	fs.StringVar(&o.topology, "topology", "path", "path | caterpillar | binary | spider")
+	fs.IntVar(&o.n, "n", 64, "path length (path topology)")
+	fs.IntVar(&o.spine, "spine", 8, "caterpillar spine length")
+	fs.IntVar(&o.legs, "legs", 2, "caterpillar legs per spine node")
+	fs.IntVar(&o.arms, "arms", 4, "spider arm count")
+	fs.IntVar(&o.armLen, "len", 4, "spider arm length")
+	fs.IntVar(&o.height, "height", 4, "binary tree height")
+	fs.StringVar(&o.protocol, "protocol", "ppts", "pts | ppts | tree-pts | tree-ppts | hpts | downhill | oddeven | greedy-fifo|lifo|lis|sis|ntg|ftg")
+	fs.IntVar(&o.ell, "ell", 2, "HPTS levels ℓ (and lowerbound ℓ)")
+	fs.BoolVar(&o.drain, "drain", false, "enable drain-when-idle (pts/ppts/tree-pts)")
+	fs.StringVar(&o.adversary, "adversary", "random", "random | hotspot | stream | roundrobin | burst | greedykiller | lowerbound")
+	fs.StringVar(&o.rho, "rho", "1", "injection rate ρ (rational, e.g. 1/2)")
+	fs.IntVar(&o.sigma, "sigma", 2, "burst σ")
+	fs.IntVar(&o.d, "d", 4, "destination count (random/burst/greedykiller)")
+	fs.Int64Var(&o.seed, "seed", 1, "random adversary seed")
+	fs.IntVar(&o.m, "m", 4, "lowerbound base m")
+	fs.IntVar(&o.rounds, "rounds", 2000, "rounds to simulate (lowerbound: pattern length)")
+	fs.BoolVar(&o.verify, "verify", true, "re-check the adversary against its declared (ρ,σ) bound")
+	fs.BoolVar(&o.heatmap, "heatmap", false, "render an occupancy heatmap")
+	fs.BoolVar(&o.json, "json", false, "dump the trace as JSON instead of text output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rho, err := sb.ParseRat(o.rho)
+	if err != nil {
+		return fmt.Errorf("bad -rho: %w", err)
+	}
+	bound := sb.Bound{Rho: rho, Sigma: o.sigma}
+
+	// The lower-bound adversary dictates its own topology.
+	var nw *sb.Network
+	var adv sb.Adversary
+	var predicted string
+	if o.adversary == "lowerbound" {
+		lb, err := sb.NewLowerBoundAdversary(o.m, o.ell, rho)
+		if err != nil {
+			return err
+		}
+		nw, err = lb.Network()
+		if err != nil {
+			return err
+		}
+		o.rounds = lb.Rounds()
+		adv = lb
+		bound = lb.Bound() // the construction is (ρ,1)-bounded regardless of -sigma
+		predicted = fmt.Sprintf("Theorem 5.1 floor: max load ≥ ~%v", lb.PredictedBound())
+	} else {
+		nw, err = buildTopology(o)
+		if err != nil {
+			return err
+		}
+		adv, err = buildAdversary(o, nw, bound)
+		if err != nil {
+			return err
+		}
+	}
+
+	proto, boundNote, err := buildProtocol(o, nw, bound)
+	if err != nil {
+		return err
+	}
+	if predicted == "" {
+		predicted = boundNote
+	}
+
+	rec := sb.NewTraceRecorder()
+	rec.CaptureEvents = o.json
+	cfg := sb.Config{
+		Net: nw, Protocol: proto, Adversary: adv, Rounds: o.rounds,
+		VerifyAdversary: o.verify,
+		Observers:       []sb.Observer{rec},
+	}
+	res, err := sb.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	if o.json {
+		return rec.WriteJSON(w)
+	}
+	fmt.Fprintf(w, "protocol:   %s\n", res.Protocol)
+	fmt.Fprintf(w, "topology:   %s (%d nodes)\n", o.topology, nw.Len())
+	fmt.Fprintf(w, "demand:     %v over %d rounds (%d injected, %d delivered, %d residual)\n",
+		bound, res.Rounds, res.Injected, res.Delivered, res.Residual)
+	fmt.Fprintf(w, "max load:   %d (buffer %d, round %d); physical %d\n",
+		res.MaxLoad, res.MaxLoadNode, res.MaxLoadRound, res.MaxPhysicalLoad)
+	if avg, okAvg := res.AvgLatency(); okAvg {
+		fmt.Fprintf(w, "latency:    avg %.1f, max %d\n", avg, res.MaxLatency)
+	}
+	if predicted != "" {
+		fmt.Fprintf(w, "paper:      %s\n", predicted)
+	}
+	if o.heatmap {
+		fmt.Fprintln(w)
+		if err := rec.RenderHeatmap(w, 40); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func buildTopology(o options) (*sb.Network, error) {
+	switch o.topology {
+	case "path":
+		return sb.NewPath(o.n)
+	case "caterpillar":
+		return sb.CaterpillarTree(o.spine, o.legs)
+	case "binary":
+		return sb.BinaryTree(o.height)
+	case "spider":
+		return sb.SpiderTree(o.arms, o.armLen)
+	default:
+		return nil, fmt.Errorf("unknown -topology %q", o.topology)
+	}
+}
+
+func buildAdversary(o options, nw *sb.Network, bound sb.Bound) (sb.Adversary, error) {
+	sink := nw.Sinks()[0]
+	switch o.adversary {
+	case "random":
+		dests := destinations(o, nw)
+		return sb.NewRandomAdversary(nw, bound, dests, o.seed)
+	case "hotspot":
+		dests := destinations(o, nw)
+		return sb.NewHotSpotAdversary(nw, bound, dests, o.seed)
+	case "stream":
+		return sb.NewStream(bound, 0, sink), nil
+	case "roundrobin":
+		return sb.NewRoundRobin(bound, 0, destinations(o, nw)), nil
+	case "burst":
+		if nw.IsPath() {
+			if o.d <= 1 {
+				return sb.PTSBurstAdversary(nw, bound, o.rounds)
+			}
+			return sb.PPTSBurstAdversary(nw, bound, o.d, o.rounds)
+		}
+		return sb.TreeBurstAdversary(nw, bound, nil, o.rounds)
+	case "greedykiller":
+		return sb.GreedyKillerAdversary(nw, bound, o.d, o.rounds)
+	default:
+		return nil, fmt.Errorf("unknown -adversary %q", o.adversary)
+	}
+}
+
+// destinations picks d spread-out destinations (for trees: ancestors of the
+// deepest leaf plus the root).
+func destinations(o options, nw *sb.Network) []sb.NodeID {
+	if nw.IsPath() {
+		n := nw.Len()
+		d := o.d
+		if d < 1 {
+			d = 1
+		}
+		if d >= n {
+			d = n - 1
+		}
+		out := make([]sb.NodeID, d)
+		for k := 0; k < d; k++ {
+			out[k] = sb.NodeID(n - d + k)
+		}
+		return out
+	}
+	// Tree: a chain of destinations up the deepest path.
+	deepest := nw.Leaves()[0]
+	for _, l := range nw.Leaves() {
+		if nw.Depth(l) > nw.Depth(deepest) {
+			deepest = l
+		}
+	}
+	var out []sb.NodeID
+	for v := nw.Next(deepest); v != sb.None; v = nw.Next(v) {
+		out = append(out, v)
+	}
+	if len(out) > o.d && o.d > 0 {
+		out = out[len(out)-o.d:]
+	}
+	return out
+}
+
+func buildProtocol(o options, nw *sb.Network, bound sb.Bound) (sb.Protocol, string, error) {
+	switch {
+	case o.protocol == "pts":
+		note := fmt.Sprintf("Proposition 3.1: max load ≤ 2+σ = %d", 2+o.sigma)
+		if o.drain {
+			return sb.NewPTS(sb.PTSWithDrain()), note, nil
+		}
+		return sb.NewPTS(), note, nil
+	case o.protocol == "ppts":
+		note := "Proposition 3.2: max load ≤ 1+d+σ (d = distinct destinations observed)"
+		if o.drain {
+			return sb.NewPPTS(sb.PPTSWithDrain()), note, nil
+		}
+		return sb.NewPPTS(), note, nil
+	case o.protocol == "tree-pts":
+		note := fmt.Sprintf("Proposition B.3: max load ≤ 2+σ = %d", 2+o.sigma)
+		if o.drain {
+			return sb.NewTreePTS(sb.TreePTSWithDrain()), note, nil
+		}
+		return sb.NewTreePTS(), note, nil
+	case o.protocol == "tree-ppts":
+		return sb.NewTreePPTS(), "Proposition 3.5: max load ≤ 1+d′+σ", nil
+	case o.protocol == "hpts":
+		note := fmt.Sprintf("Theorem 4.1: max load ≤ ℓ·n^(1/ℓ)+σ+1 (requires ρ ≤ 1/%d and n = m^%d)", o.ell, o.ell)
+		return sb.NewHPTS(o.ell), note, nil
+	case o.protocol == "downhill":
+		return sb.NewDownhill(), "naive local rule: Θ(n) staircase under full pressure (E10)", nil
+	case o.protocol == "oddeven":
+		return sb.NewOddEvenDownhill(), "parity-staggered local rule: sustains ρ ≤ 1/2 (E10)", nil
+	case strings.HasPrefix(o.protocol, "greedy-"):
+		var p sb.GreedyPolicy
+		switch strings.TrimPrefix(o.protocol, "greedy-") {
+		case "fifo":
+			p = sb.FIFO
+		case "lifo":
+			p = sb.LIFO
+		case "lis":
+			p = sb.LIS
+		case "sis":
+			p = sb.SIS
+		case "ntg":
+			p = sb.NTG
+		case "ftg":
+			p = sb.FTG
+		default:
+			return nil, "", fmt.Errorf("unknown greedy policy in %q", o.protocol)
+		}
+		return sb.NewGreedy(p), "greedy baseline (no space guarantee; see E7)", nil
+	default:
+		return nil, "", fmt.Errorf("unknown -protocol %q", o.protocol)
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestDefaultRun(t *testing.T) {
+	out, err := runCLI(t, "-rounds", "200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"protocol:   PPTS", "max load:", "Proposition 3.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProtocols(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "pts", "-adversary", "stream", "-d", "1", "-rounds", "100"},
+		{"-protocol", "pts", "-drain", "-adversary", "stream", "-d", "1", "-rounds", "100"},
+		{"-protocol", "hpts", "-ell", "2", "-rho", "1/2", "-rounds", "200"},
+		{"-protocol", "greedy-fifo", "-rounds", "100"},
+		{"-protocol", "greedy-ntg", "-rounds", "100"},
+		{"-topology", "spider", "-protocol", "tree-ppts", "-rounds", "100"},
+		{"-topology", "binary", "-protocol", "tree-pts", "-adversary", "stream", "-d", "1", "-rounds", "100"},
+		{"-topology", "caterpillar", "-protocol", "greedy-lis", "-rounds", "100"},
+		{"-adversary", "burst", "-d", "4", "-rounds", "150"},
+		{"-adversary", "roundrobin", "-rounds", "100"},
+		{"-adversary", "greedykiller", "-d", "4", "-rounds", "150"},
+		{"-adversary", "lowerbound", "-m", "4", "-ell", "2", "-rho", "1/2"},
+		{"-protocol", "ppts", "-heatmap", "-rounds", "80"},
+		{"-adversary", "hotspot", "-rounds", "150"},
+		{"-protocol", "downhill", "-adversary", "stream", "-d", "1", "-rounds", "150"},
+		{"-protocol", "oddeven", "-adversary", "stream", "-d", "1", "-rho", "1/2", "-rounds", "150"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			out, err := runCLI(t, args...)
+			if err != nil {
+				t.Fatalf("%v: %v", args, err)
+			}
+			if !strings.Contains(out, "max load:") {
+				t.Errorf("missing summary:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out, err := runCLI(t, "-json", "-rounds", "50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "\"loads\"") {
+		t.Errorf("not JSON:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "bogus"},
+		{"-adversary", "bogus"},
+		{"-topology", "bogus"},
+		{"-rho", "not-a-rat"},
+		{"-protocol", "greedy-bogus"},
+		{"-protocol", "hpts", "-ell", "3", "-n", "10"},          // 10 is not m³
+		{"-protocol", "pts", "-adversary", "random", "-d", "3"}, // PTS with 3 dests
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if _, err := runCLI(t, args...); err == nil {
+				t.Errorf("%v succeeded, want error", args)
+			}
+		})
+	}
+}
+
+func TestVerifyFlagCatchesNothingOnGoodPatterns(t *testing.T) {
+	if _, err := runCLI(t, "-verify=true", "-rounds", "150"); err != nil {
+		t.Fatal(err)
+	}
+}

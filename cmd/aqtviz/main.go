@@ -1,0 +1,78 @@
+// Command aqtviz renders the paper's Figure 1 (the hierarchical partition
+// of the line with a packet's virtual trajectory) and, in -demo mode, an
+// occupancy heatmap of a live simulation.
+//
+// Examples:
+//
+//	aqtviz                          # Figure 1 exactly as in the paper
+//	aqtviz -m 3 -ell 3 -src 0 -dst 22
+//	aqtviz -demo -n 64 -rounds 600  # heatmap of PPTS under burst traffic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sb "smallbuffers"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aqtviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aqtviz", flag.ContinueOnError)
+	m := fs.Int("m", 2, "hierarchy base m")
+	ell := fs.Int("ell", 4, "hierarchy levels ℓ")
+	src := fs.Int("src", 0, "trajectory source (src ≥ dst omits the trajectory)")
+	dst := fs.Int("dst", 13, "trajectory destination")
+	demo := fs.Bool("demo", false, "render a live occupancy heatmap instead")
+	n := fs.Int("n", 64, "demo path length")
+	d := fs.Int("d", 8, "demo destination count")
+	rounds := fs.Int("rounds", 600, "demo rounds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *demo {
+		return runDemo(*n, *d, *rounds)
+	}
+
+	h, err := sb.NewHierarchy(*m, *ell)
+	if err != nil {
+		return err
+	}
+	return sb.RenderFigure1(os.Stdout, h, *src, *dst)
+}
+
+func runDemo(n, d, rounds int) error {
+	nw, err := sb.NewPath(n)
+	if err != nil {
+		return err
+	}
+	bound := sb.Bound{Rho: sb.NewRat(1, 1), Sigma: 3}
+	adv, err := sb.PPTSBurstAdversary(nw, bound, d, rounds)
+	if err != nil {
+		return err
+	}
+	rec := sb.NewTraceRecorder()
+	rec.CaptureEvents = false
+	res, err := sb.Run(sb.Config{
+		Net: nw, Protocol: sb.NewPPTS(sb.PPTSWithDrain()), Adversary: adv, Rounds: rounds,
+		Observers: []sb.Observer{rec},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("PPTS under a d=%d burst workload on %d nodes: max load %d (bound %d)\n\n",
+		d, n, res.MaxLoad, 1+d+bound.Sigma)
+	if err := rec.RenderHeatmap(os.Stdout, 40); err != nil {
+		return err
+	}
+	fmt.Println()
+	return sb.RenderSparkline(os.Stdout, rec.MaxLoadSeries(), 72)
+}

@@ -1,0 +1,65 @@
+// Lowerbound: the Section 5 adversary in action. The pattern is only
+// (ρ,1)-bounded — barely bursty at all — yet it drives every forwarding
+// protocol, greedy or peak-to-sink, to Ω(((ℓ+1)ρ−1)/2ℓ · n^(1/ℓ)) packets
+// in some buffer (Theorem 5.1). The run also verifies the paper's
+// fresh/stale accounting (Lemmas 5.2–5.4) live.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sb "smallbuffers"
+)
+
+func main() {
+	const (
+		m   = 8
+		ell = 2
+	)
+	rho := sb.NewRat(3, 4)
+
+	probe, err := sb.NewLowerBoundAdversary(m, ell, rho)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := probe.Network()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pattern: m=%d ℓ=%d ρ=%v — %d buffers, %d rounds, (ρ,1)-bounded\n",
+		m, ell, rho, probe.N(), probe.Rounds())
+	fmt.Printf("Theorem 5.1 floor: every protocol must reach ≥ ~%v\n\n", probe.PredictedBound())
+
+	protocols := []func() sb.Protocol{
+		func() sb.Protocol { return sb.NewPPTS() },
+		func() sb.Protocol { return sb.NewGreedy(sb.FIFO) },
+		func() sb.Protocol { return sb.NewGreedy(sb.LIS) },
+		func() sb.Protocol { return sb.NewGreedy(sb.NTG) },
+		func() sb.Protocol { return sb.NewGreedy(sb.FTG) },
+	}
+	fmt.Printf("%-14s %-10s %-14s %s\n", "protocol", "max load", "≥ floor?", "staleness lemmas")
+	for _, mk := range protocols {
+		proto := mk()
+		adv, err := sb.NewLowerBoundAdversary(m, ell, rho)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tracker := sb.NewStalenessTracker(adv)
+		res, err := sb.Run(sb.Config{
+			Net: nw, Protocol: proto, Adversary: adv, Rounds: adv.Rounds(),
+			Observers: []sb.Observer{tracker},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		floor := int(probe.PredictedBound().Ceil())
+		lemmas := "5.2–5.4 hold ✓"
+		if tracker.Err != nil {
+			lemmas = tracker.Err.Error()
+		}
+		fmt.Printf("%-14s %-10d %-14v %s\n", res.Protocol, res.MaxLoad, res.MaxLoad >= floor, lemmas)
+	}
+	fmt.Println("\nno clever scheduling escapes the bound: the drifting frontier F(t)")
+	fmt.Println("overtakes packets faster than they can be delivered while fresh.")
+}

@@ -1,0 +1,64 @@
+// Tradeoff: the paper's headline result as a runnable sweep. On a fixed
+// 256-node line where every node is a potential destination (d = 255),
+// buffer demand collapses as bandwidth headroom grows: running at rate
+// ρ = 1/k admits a protocol (HPTS with ℓ = k levels) whose buffers stay at
+// k·d^(1/k) + σ + 1 instead of d.
+//
+// This is the "with great speed come small buffers" message: a slightly
+// slower guaranteed injection rate buys exponentially smaller buffers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	sb "smallbuffers"
+)
+
+func main() {
+	const n = 256 // 2^8 admits k ∈ {1, 2, 4, 8}
+	const sigma = 2
+
+	nw, err := sb.NewPath(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dests := make([]sb.NodeID, 0, n-1)
+	for v := 1; v < n; v++ {
+		dests = append(dests, sb.NodeID(v))
+	}
+
+	fmt.Printf("%-10s %-8s %-12s %-10s %-22s %s\n",
+		"k=⌊1/ρ⌋", "ρ", "protocol", "measured", "paper: k·d^(1/k)+σ+1", "lower: d^(1/k)/2k")
+	for _, k := range []int{1, 2, 4, 8} {
+		rho := sb.NewRat(1, int64(k))
+		adv, err := sb.NewRandomAdversary(nw, sb.Bound{Rho: rho, Sigma: sigma}, dests, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var proto sb.Protocol
+		var upper int
+		if k == 1 {
+			proto = sb.NewPPTS() // full rate: the 1+d+σ regime
+			upper = 1 + (n - 1) + sigma
+		} else {
+			proto = sb.NewHPTS(k) // rate 1/k: the k·n^(1/k)+σ+1 regime
+			m := int(math.Round(math.Pow(n, 1/float64(k))))
+			upper = k*m + sigma + 1
+		}
+
+		res, err := sb.Run(sb.Config{
+			Net: nw, Protocol: proto, Adversary: adv, Rounds: 8 * k * n,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lower := math.Pow(n-1, 1/float64(k)) / float64(2*k)
+		fmt.Printf("%-10d %-8v %-12s %-10d %-22d %.1f\n",
+			k, rho, res.Protocol, res.MaxLoad, upper, lower)
+	}
+	fmt.Println("\ninterpretation: multiplying the destination count by α costs either ×α")
+	fmt.Println("buffer space (top row) or ×O(log α) bandwidth headroom (bottom rows).")
+}

@@ -1,0 +1,147 @@
+package smallbuffers_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	sb "smallbuffers"
+)
+
+// TestFacadeSurface exercises every public constructor end to end so the
+// facade cannot drift from the internals it wraps.
+func TestFacadeSurface(t *testing.T) {
+	t.Run("topologies", func(t *testing.T) {
+		if _, err := sb.NewTree([]sb.NodeID{1, sb.None}); err != nil {
+			t.Error(err)
+		}
+		if _, err := sb.NewForest([]sb.NodeID{sb.None, sb.None}); err != nil {
+			t.Error(err)
+		}
+		if _, err := sb.RandomTree(10, rand.New(rand.NewSource(1))); err != nil {
+			t.Error(err)
+		}
+		if _, err := sb.CaterpillarTree(3, 1); err != nil {
+			t.Error(err)
+		}
+		if _, err := sb.BinaryTree(2); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("protocol options", func(t *testing.T) {
+		nw, err := sb.NewPath(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := sb.Bound{Rho: sb.NewRat(1, 1), Sigma: 1}
+		adv, err := sb.PPTSBurstAdversary(nw, bound, 3, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sb.Run(sb.Config{
+			Net: nw, Protocol: sb.NewPPTS(sb.PPTSWithDrain()), Adversary: adv, Rounds: 120,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxLoad > 1+3+1 {
+			t.Errorf("MaxLoad %d", res.MaxLoad)
+		}
+
+		tree, err := sb.SpiderTree(2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tadv, err := sb.TreeBurstAdversary(tree, bound, nil, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sb.Run(sb.Config{
+			Net: tree, Protocol: sb.NewTreePTS(sb.TreePTSWithDrain()), Adversary: tadv, Rounds: 100,
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		nw64, err := sb.NewPath(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		radv, err := sb.NewRandomAdversary(nw64, sb.Bound{Rho: sb.NewRat(1, 2), Sigma: 1}, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sb.Run(sb.Config{
+			Net: nw64, Protocol: sb.NewHPTS(2, sb.HPTSAblatePreBad()), Adversary: radv, Rounds: 200,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("local protocols", func(t *testing.T) {
+		nw, err := sb.NewPath(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := sb.Bound{Rho: sb.NewRat(1, 2), Sigma: 1}
+		for _, p := range []sb.Protocol{sb.NewDownhill(), sb.NewOddEvenDownhill()} {
+			res, err := sb.Run(sb.Config{
+				Net: nw, Protocol: p, Adversary: sb.NewStream(bound, 0, 7), Rounds: 200,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Delivered == 0 {
+				t.Errorf("%s delivered nothing", p.Name())
+			}
+		}
+	})
+
+	t.Run("adversaries", func(t *testing.T) {
+		nw, err := sb.NewPath(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := sb.Bound{Rho: sb.NewRat(1, 1), Sigma: 2}
+		hot, err := sb.NewHotSpotAdversary(nw, bound, []sb.NodeID{15}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons := sb.NewConservationCheck()
+		if _, err := sb.Run(sb.Config{
+			Net: nw, Protocol: sb.NewPTS(), Adversary: hot, Rounds: 150,
+			Observers: []sb.Observer{cons},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if cons.Err != nil {
+			t.Error(cons.Err)
+		}
+
+		rr := sb.NewRoundRobin(bound, 0, []sb.NodeID{10, 12, 15})
+		if err := sb.VerifyAdversary(nw, rr, 60); err != nil {
+			t.Error(err)
+		}
+		delayed := sb.NewDelayed(sb.NewStream(bound, 0, 15), 5)
+		if err := sb.VerifyAdversary(nw, delayed, 60); err != nil {
+			t.Error(err)
+		}
+		gk, err := sb.GreedyKillerAdversary(nw, bound, 4, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sb.VerifyAdversary(nw, gk, 120); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("rendering", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := sb.RenderSparkline(&buf, []int{1, 3, 2, 5}, 20); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Error("empty sparkline")
+		}
+	})
+}

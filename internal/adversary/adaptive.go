@@ -1,0 +1,167 @@
+package adversary
+
+import (
+	"math/rand"
+	"sort"
+
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/packet"
+)
+
+// Loads exposes the current buffer occupancies to adaptive adversaries
+// without coupling this package to the engine.
+type Loads func(v network.NodeID) int
+
+// Adaptive is an optional Adversary extension: implementations may observe
+// the post-forwarding configuration of the previous round when choosing
+// injections. The AQT model quantifies over *all* (ρ,σ)-bounded patterns,
+// so adaptivity does not change the theorems — but an adaptive adversary
+// explores the pattern space far more aggressively than an oblivious one,
+// which makes it a sharper stress test for the upper bounds.
+type Adaptive interface {
+	Adversary
+	// InjectAdaptive returns the round's injections given read access to
+	// the current occupancies. Engines call this instead of Inject when
+	// available.
+	InjectAdaptive(round int, loads Loads) []packet.Injection
+}
+
+// HotSpot is an adaptive adversary that aims all admissible traffic at the
+// currently fullest buffer: every round it finds the argmax-load buffer and
+// proposes injections whose routes cross it, shaped through the exact
+// excess tracker so the pattern remains (ρ,σ)-bounded by construction.
+type HotSpot struct {
+	nw       *network.Network
+	bound    Bound
+	rng      *rand.Rand
+	dests    []network.NodeID
+	excess   *Excess
+	attempts int
+	perRound []int
+}
+
+var _ Adaptive = (*HotSpot)(nil)
+var _ DestinationHinter = (*HotSpot)(nil)
+
+// NewHotSpot returns a hot-spot adversary injecting toward the given
+// destinations (the sinks if none). Deterministic given the seed.
+func NewHotSpot(nw *network.Network, bound Bound, dests []network.NodeID, seed int64) (*HotSpot, error) {
+	if err := bound.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dests) == 0 {
+		dests = nw.Sinks()
+	}
+	dests = append([]network.NodeID(nil), dests...)
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	return &HotSpot{
+		nw:       nw,
+		bound:    bound,
+		rng:      rand.New(rand.NewSource(seed)),
+		dests:    dests,
+		excess:   NewExcess(nw, bound.Rho),
+		attempts: 4*bound.Sigma + 4,
+		perRound: make([]int, nw.Len()),
+	}, nil
+}
+
+// Bound implements Adversary.
+func (h *HotSpot) Bound() Bound { return h.bound }
+
+// Destinations implements DestinationHinter.
+func (h *HotSpot) Destinations() []network.NodeID {
+	return append([]network.NodeID(nil), h.dests...)
+}
+
+// Inject implements Adversary: without load feedback, behave like an
+// unfocused shaped generator (uniform hotspot assumption at node 0).
+func (h *HotSpot) Inject(round int) []packet.Injection {
+	return h.InjectAdaptive(round, func(network.NodeID) int { return 0 })
+}
+
+// InjectAdaptive implements Adaptive.
+func (h *HotSpot) InjectAdaptive(round int, loads Loads) []packet.Injection {
+	_ = round
+	// Find the hottest buffer.
+	hot := network.NodeID(0)
+	best := -1
+	for v := 0; v < h.nw.Len(); v++ {
+		if l := loads(network.NodeID(v)); l > best {
+			best = l
+			hot = network.NodeID(v)
+		}
+	}
+	for i := range h.perRound {
+		h.perRound[i] = 0
+	}
+	var out []packet.Injection
+	for a := 0; a < h.attempts; a++ {
+		in, ok := h.propose(hot)
+		if !ok {
+			continue
+		}
+		if h.admit(in) {
+			out = append(out, in)
+		}
+	}
+	h.excess.Absorb(out)
+	return out
+}
+
+// propose picks a route crossing the hot buffer when possible: a
+// destination strictly beyond it and a source at or before it.
+func (h *HotSpot) propose(hot network.NodeID) (packet.Injection, bool) {
+	// Candidate destinations beyond the hot spot.
+	var beyond []network.NodeID
+	for _, d := range h.dests {
+		if d != hot && h.nw.Reaches(hot, d) {
+			beyond = append(beyond, d)
+		}
+	}
+	if len(beyond) == 0 {
+		// Hot spot is past every destination; fall back to any route.
+		d := h.dests[h.rng.Intn(len(h.dests))]
+		var srcs []network.NodeID
+		for v := 0; v < h.nw.Len(); v++ {
+			id := network.NodeID(v)
+			if id != d && h.nw.Reaches(id, d) {
+				srcs = append(srcs, id)
+			}
+		}
+		if len(srcs) == 0 {
+			return packet.Injection{}, false
+		}
+		return packet.Injection{Src: srcs[h.rng.Intn(len(srcs))], Dst: d}, true
+	}
+	d := beyond[h.rng.Intn(len(beyond))]
+	// Sources from which the route crosses the hot buffer: ancestors of hot
+	// (inclusive). Prefer injecting directly at the hot spot half the time.
+	if h.rng.Intn(2) == 0 {
+		return packet.Injection{Src: hot, Dst: d}, true
+	}
+	var srcs []network.NodeID
+	for v := 0; v < h.nw.Len(); v++ {
+		id := network.NodeID(v)
+		if id != d && h.nw.Reaches(id, hot) {
+			srcs = append(srcs, id)
+		}
+	}
+	if len(srcs) == 0 {
+		return packet.Injection{Src: hot, Dst: d}, true
+	}
+	return packet.Injection{Src: srcs[h.rng.Intn(len(srcs))], Dst: d}, true
+}
+
+// admit charges the candidate against the shaper.
+func (h *HotSpot) admit(in packet.Injection) bool {
+	route := CrossedBuffers(h.nw, in)
+	for _, v := range route {
+		if h.excess.WouldExceed(v, h.perRound[v], h.bound.Sigma) {
+			return false
+		}
+	}
+	for _, v := range route {
+		h.perRound[v]++
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+// Package adversary implements the demand side of the AQT model: injection
+// patterns, the (ρ,σ)-boundedness discipline of Definition 2.1, the excess
+// measure of Definition 2.2, the ℓ-reduction of Definition 2.4, and
+// verifiers that check any pattern against its declared bound.
+//
+// Conventions. Rounds are 0-based. A packet's trajectory is said to contain
+// buffer v when v lies on the packet's route and v is not the destination:
+// buffer v models the queue for the link out of v, so a packet terminating
+// at v never crosses that link. This reading makes the paper's edge-disjoint
+// injection sets (e.g. the Section 5 construction, whose consecutive routes
+// share an endpoint node) exactly rate-ρ, as intended.
+package adversary
+
+import (
+	"fmt"
+
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/packet"
+	"smallbuffers/internal/rat"
+)
+
+// Bound is a (ρ, σ) demand bound: over every interval I and buffer v, the
+// adversary injects at most ρ·|I| + σ packets whose trajectories contain v.
+type Bound struct {
+	Rho   rat.Rat
+	Sigma int
+}
+
+// String renders "(ρ,σ)=(1/2,3)".
+func (b Bound) String() string { return fmt.Sprintf("(ρ,σ)=(%v,%d)", b.Rho, b.Sigma) }
+
+// Validate rejects bounds outside 0 ≤ ρ ≤ 1, σ ≥ 0.
+func (b Bound) Validate() error {
+	if b.Rho.Sign() < 0 || rat.One.Less(b.Rho) {
+		return fmt.Errorf("adversary: rate ρ=%v outside [0,1]", b.Rho)
+	}
+	if b.Sigma < 0 {
+		return fmt.Errorf("adversary: burst σ=%d negative", b.Sigma)
+	}
+	return nil
+}
+
+// Adversary produces the injections of each round. Implementations may be
+// stateful; the engine calls Inject exactly once per round, in increasing
+// round order, starting at round 0. The returned slice is owned by the
+// caller.
+type Adversary interface {
+	// Bound returns the declared (ρ, σ) bound of the pattern.
+	Bound() Bound
+	// Inject returns the packets injected at the given round.
+	Inject(round int) []packet.Injection
+}
+
+// DestinationHinter is an optional interface: adversaries that know their
+// destination set up front expose it so protocols like PPTS can size their
+// pseudo-buffer tables without discovery.
+type DestinationHinter interface {
+	Destinations() []network.NodeID
+}
+
+// Crosses reports whether the trajectory of an injection contains buffer v
+// under the package convention (v on route, v ≠ destination).
+func Crosses(nw *network.Network, in packet.Injection, v network.NodeID) bool {
+	return v != in.Dst && nw.Reaches(in.Src, v) && nw.Reaches(v, in.Dst)
+}
+
+// CrossedBuffers returns all buffers contained in the injection's
+// trajectory, in route order (src … dst-1 for a path).
+func CrossedBuffers(nw *network.Network, in packet.Injection) []network.NodeID {
+	route, err := nw.Route(in.Src, in.Dst)
+	if err != nil {
+		return nil
+	}
+	return route[:len(route)-1] // drop destination
+}
+
+// Excess tracks ξ_t(v) for every buffer of a network, exactly, using the
+// token-bucket recursion
+//
+//	ξ_t(v) = max(0, ξ_{t−1}(v) + N_{t}(v) − ρ)
+//
+// which is equivalent to Definition 2.2 (proved by the accompanying property
+// test against the naïve max-over-intervals form). By Lemma 2.3, a pattern
+// is (ρ,σ)-bounded iff ξ_t(v) ≤ σ for all t, v.
+type Excess struct {
+	nw  *network.Network
+	rho rat.Rat
+	xi  []rat.Rat
+	// counts is scratch space: N_{t}(v) of the round being absorbed.
+	counts []int
+}
+
+// NewExcess returns a tracker with ξ ≡ 0 for the given network and rate.
+func NewExcess(nw *network.Network, rho rat.Rat) *Excess {
+	return &Excess{
+		nw:     nw,
+		rho:    rho,
+		xi:     make([]rat.Rat, nw.Len()),
+		counts: make([]int, nw.Len()),
+	}
+}
+
+// Absorb advances the tracker by one round with the given injections,
+// updating ξ for every buffer. It must be called once per round in order.
+func (e *Excess) Absorb(injections []packet.Injection) {
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	for _, in := range injections {
+		for _, v := range CrossedBuffers(e.nw, in) {
+			e.counts[v]++
+		}
+	}
+	for v := range e.xi {
+		next := e.xi[v].Add(rat.FromInt(int64(e.counts[v]))).Sub(e.rho)
+		e.xi[v] = next.Max(rat.Zero)
+	}
+}
+
+// At returns the current ξ(v).
+func (e *Excess) At(v network.NodeID) rat.Rat { return e.xi[v] }
+
+// Max returns the largest current excess over all buffers and its location.
+func (e *Excess) Max() (rat.Rat, network.NodeID) {
+	best, arg := rat.Zero, network.NodeID(0)
+	for v, x := range e.xi {
+		if best.Less(x) {
+			best, arg = x, network.NodeID(v)
+		}
+	}
+	return best, arg
+}
+
+// WouldExceed reports whether absorbing one additional packet crossing
+// buffer v this round (on top of `already` packets absorbed for v this
+// round) would push ξ(v) above sigma. It is the primitive used by traffic
+// shapers to stay bounded by construction.
+//
+// After absorbing k packets this round, ξ' = max(0, ξ_prev + k − ρ); one
+// more gives max(0, ξ_prev + k + 1 − ρ).
+func (e *Excess) WouldExceed(v network.NodeID, already int, sigma int) bool {
+	next := e.xi[v].Add(rat.FromInt(int64(already + 1))).Sub(e.rho)
+	return rat.FromInt(int64(sigma)).Less(next)
+}

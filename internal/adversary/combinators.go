@@ -1,0 +1,198 @@
+package adversary
+
+import (
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/packet"
+	"smallbuffers/internal/rat"
+)
+
+// Union merges adversaries into one pattern: each round injects the union
+// of the parts' injections. The declared bound is the *sum* of the parts'
+// bounds, which is always sound (each buffer sees at most the sum of the
+// parts' demands) but pessimistic when the parts' routes are disjoint; use
+// WithUnionBound to declare a tighter bound that a verifier has confirmed.
+type Union struct {
+	parts []Adversary
+	bound Bound
+	// explicit marks a caller-declared bound.
+	explicit bool
+}
+
+var _ Adversary = (*Union)(nil)
+var _ DestinationHinter = (*Union)(nil)
+
+// NewUnion returns the union of the given adversaries with the summed
+// bound.
+func NewUnion(parts ...Adversary) *Union {
+	u := &Union{parts: parts}
+	rho := rat.Zero
+	sigma := 0
+	for _, p := range parts {
+		b := p.Bound()
+		rho = rho.Add(b.Rho)
+		sigma += b.Sigma
+	}
+	if rat.One.Less(rho) {
+		rho = rat.One // the model caps usable rate at link capacity
+	}
+	u.bound = Bound{Rho: rho, Sigma: sigma}
+	return u
+}
+
+// WithUnionBound overrides the derived bound (e.g. when the parts' routes
+// are edge-disjoint, the max of the parts' bounds is valid). The caller is
+// responsible for its soundness; VerifyPrefix can check it.
+func (u *Union) WithUnionBound(b Bound) *Union {
+	u.bound = b
+	u.explicit = true
+	return u
+}
+
+// Bound implements Adversary.
+func (u *Union) Bound() Bound { return u.bound }
+
+// Inject implements Adversary.
+func (u *Union) Inject(round int) []packet.Injection {
+	var out []packet.Injection
+	for _, p := range u.parts {
+		out = append(out, p.Inject(round)...)
+	}
+	return out
+}
+
+// Destinations implements DestinationHinter: the union of the parts'
+// hints; nil if any part has no hint (unknown destinations).
+func (u *Union) Destinations() []network.NodeID {
+	seen := make(map[network.NodeID]bool)
+	var out []network.NodeID
+	for _, p := range u.parts {
+		h, ok := p.(DestinationHinter)
+		if !ok {
+			return nil
+		}
+		for _, d := range h.Destinations() {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Delayed shifts an adversary later in time: rounds [0, offset) are silent,
+// and round t ≥ offset plays the inner round t − offset. Time-shifting
+// preserves (ρ,σ)-boundedness.
+type Delayed struct {
+	inner  Adversary
+	offset int
+}
+
+var _ Adversary = (*Delayed)(nil)
+
+// NewDelayed wraps an adversary with a start offset ≥ 0.
+func NewDelayed(inner Adversary, offset int) *Delayed {
+	if offset < 0 {
+		offset = 0
+	}
+	return &Delayed{inner: inner, offset: offset}
+}
+
+// Bound implements Adversary.
+func (d *Delayed) Bound() Bound { return d.inner.Bound() }
+
+// Inject implements Adversary.
+func (d *Delayed) Inject(round int) []packet.Injection {
+	if round < d.offset {
+		return nil
+	}
+	return d.inner.Inject(round - d.offset)
+}
+
+// Destinations implements DestinationHinter when the inner adversary does.
+func (d *Delayed) Destinations() []network.NodeID {
+	if h, ok := d.inner.(DestinationHinter); ok {
+		return h.Destinations()
+	}
+	return nil
+}
+
+// OnOff is a bursty source alternating active and silent periods: during
+// an active period it emits at the peak link rate (one packet per round)
+// along a single route; silence restores the budget. The duty cycle is
+// chosen so the pattern is (ρ,σ)-bounded by construction: an active period
+// lasts at most σ + 1 rounds (the burst budget plus the per-round
+// allowance), and each silent period is long enough for the excess to
+// decay to zero before the next burst. This is the classic on-off traffic
+// model expressed inside the (ρ,σ) discipline.
+type OnOff struct {
+	bound    Bound
+	src, dst network.NodeID
+	onLen    int
+	period   int
+}
+
+var _ Adversary = (*OnOff)(nil)
+var _ DestinationHinter = (*OnOff)(nil)
+
+// NewOnOff returns an on-off source src → dst under the given bound. The
+// rate must be positive.
+func NewOnOff(bound Bound, src, dst network.NodeID) (*OnOff, error) {
+	if err := bound.Validate(); err != nil {
+		return nil, err
+	}
+	if bound.Rho.Sign() <= 0 {
+		return nil, errZeroRate
+	}
+	if bound.Sigma == 0 && !bound.Rho.Equal(rat.One) {
+		// Any single injection creates excess 1−ρ > 0 = σ: only the empty
+		// pattern is (ρ,0)-bounded at fractional rates.
+		return nil, errNoBudget
+	}
+	// Active for a = σ+1 rounds; excess after the burst is a·(1−ρ) ≤ σ by
+	// construction when a ≤ σ/(1−ρ) … choose a = max(1, ⌊σ/(1−ρ)⌋) capped
+	// at σ+1, then silence until the excess a(1−ρ) decays at rate ρ.
+	a := bound.Sigma + 1
+	if !bound.Rho.Equal(rat.One) {
+		// Largest a with a·(1−ρ) ≤ σ.
+		maxA := rat.FromInt(int64(bound.Sigma)).Div(rat.One.Sub(bound.Rho)).Floor()
+		if int(maxA) < a {
+			a = int(maxA)
+		}
+		if a < 1 {
+			a = 1
+		}
+	}
+	// Silent rounds s so that a ≤ ρ·(a+s): s ≥ a(1−ρ)/ρ.
+	s := rat.FromInt(int64(a)).Mul(rat.One.Sub(bound.Rho)).Div(bound.Rho).Ceil()
+	return &OnOff{bound: bound, src: src, dst: dst, onLen: a, period: a + int(s)}, nil
+}
+
+var (
+	errZeroRate = &onOffError{"adversary: on-off source needs ρ > 0"}
+	errNoBudget = &onOffError{"adversary: (ρ<1, σ=0) admits no injections at all"}
+)
+
+type onOffError struct{ msg string }
+
+func (e *onOffError) Error() string { return e.msg }
+
+// Bound implements Adversary.
+func (o *OnOff) Bound() Bound { return o.bound }
+
+// Destinations implements DestinationHinter.
+func (o *OnOff) Destinations() []network.NodeID { return []network.NodeID{o.dst} }
+
+// OnLen returns the active-period length (rounds per burst).
+func (o *OnOff) OnLen() int { return o.onLen }
+
+// Period returns the full on+off cycle length.
+func (o *OnOff) Period() int { return o.period }
+
+// Inject implements Adversary.
+func (o *OnOff) Inject(round int) []packet.Injection {
+	if round%o.period < o.onLen {
+		return []packet.Injection{{Src: o.src, Dst: o.dst}}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package adversary
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/rat"
+)
+
+func TestUnionSumsBounds(t *testing.T) {
+	a := NewStream(Bound{Rho: rat.New(1, 4), Sigma: 1}, 0, 3)
+	b := NewStream(Bound{Rho: rat.New(1, 2), Sigma: 2}, 4, 7)
+	u := NewUnion(a, b)
+	got := u.Bound()
+	if !got.Rho.Equal(rat.New(3, 4)) || got.Sigma != 3 {
+		t.Errorf("Bound = %v, want (3/4, 3)", got)
+	}
+}
+
+func TestUnionCapsRateAtOne(t *testing.T) {
+	a := NewStream(Bound{Rho: rat.New(3, 4), Sigma: 0}, 0, 3)
+	b := NewStream(Bound{Rho: rat.New(3, 4), Sigma: 0}, 4, 7)
+	if got := NewUnion(a, b).Bound(); !got.Rho.Equal(rat.One) {
+		t.Errorf("ρ = %v, want capped at 1", got.Rho)
+	}
+}
+
+func TestUnionInjectsBothParts(t *testing.T) {
+	nw := network.MustPath(8)
+	a := NewStream(Bound{Rho: rat.One, Sigma: 0}, 0, 3)
+	b := NewStream(Bound{Rho: rat.One, Sigma: 0}, 4, 7)
+	// Edge-disjoint routes: the tight per-buffer bound is (1, 0), declared
+	// explicitly and verified.
+	u := NewUnion(a, b).WithUnionBound(Bound{Rho: rat.One, Sigma: 0})
+	if err := VerifyPrefix(nw, u, 100); err != nil {
+		t.Errorf("disjoint union violated declared bound: %v", err)
+	}
+	u2 := NewUnion(
+		NewStream(Bound{Rho: rat.One, Sigma: 0}, 0, 3),
+		NewStream(Bound{Rho: rat.One, Sigma: 0}, 4, 7),
+	)
+	got := u2.Inject(0)
+	if len(got) != 2 {
+		t.Errorf("round 0 injections = %d, want 2", len(got))
+	}
+}
+
+func TestUnionDestinations(t *testing.T) {
+	u := NewUnion(
+		NewStream(Bound{Rho: rat.New(1, 2), Sigma: 1}, 0, 3),
+		NewStream(Bound{Rho: rat.New(1, 2), Sigma: 1}, 0, 5),
+		NewStream(Bound{Rho: rat.New(1, 2), Sigma: 1}, 0, 3), // duplicate dest
+	)
+	dests := u.Destinations()
+	if len(dests) != 2 {
+		t.Errorf("Destinations = %v, want 2 distinct", dests)
+	}
+	// A part without a hint makes the union hint unknown.
+	u2 := NewUnion(NewStream(Bound{Rho: rat.New(1, 2), Sigma: 1}, 0, 3), Empty{})
+	if got := u2.Destinations(); got != nil {
+		t.Errorf("Destinations = %v, want nil", got)
+	}
+}
+
+func TestDelayed(t *testing.T) {
+	inner := NewStream(Bound{Rho: rat.One, Sigma: 0}, 0, 5)
+	d := NewDelayed(inner, 10)
+	for r := 0; r < 10; r++ {
+		if got := d.Inject(r); got != nil {
+			t.Fatalf("round %d: injections before offset: %v", r, got)
+		}
+	}
+	if got := d.Inject(10); len(got) != 1 {
+		t.Errorf("round 10 injections = %v, want 1", got)
+	}
+	if got := d.Bound(); !got.Rho.Equal(rat.One) {
+		t.Errorf("Bound = %v", got)
+	}
+	if got := d.Destinations(); len(got) != 1 || got[0] != 5 {
+		t.Errorf("Destinations = %v", got)
+	}
+	if got := NewDelayed(Empty{}, -3); got.offset != 0 {
+		t.Errorf("negative offset not clamped: %d", got.offset)
+	}
+	if got := NewDelayed(Empty{}, 1).Destinations(); got != nil {
+		t.Errorf("Destinations = %v, want nil", got)
+	}
+}
+
+func TestDelayedPreservesBound(t *testing.T) {
+	nw := network.MustPath(8)
+	inner := NewStream(Bound{Rho: rat.New(1, 2), Sigma: 1}, 0, 7)
+	if err := VerifyPrefix(nw, NewDelayed(inner, 7), 120); err != nil {
+		t.Errorf("delayed stream violated bound: %v", err)
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	if _, err := NewOnOff(Bound{Rho: rat.Zero, Sigma: 2}, 0, 5); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewOnOff(Bound{Rho: rat.New(1, 2), Sigma: 0}, 0, 5); err == nil {
+		t.Error("(ρ<1, σ=0) accepted")
+	}
+	if _, err := NewOnOff(Bound{Rho: rat.New(3, 2), Sigma: 1}, 0, 5); err == nil {
+		t.Error("ρ>1 accepted")
+	}
+	o, err := NewOnOff(Bound{Rho: rat.One, Sigma: 0}, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Period() != o.OnLen() {
+		t.Errorf("ρ=1 on-off should be always-on: on=%d period=%d", o.OnLen(), o.Period())
+	}
+}
+
+func TestOnOffBurstShape(t *testing.T) {
+	o, err := NewOnOff(Bound{Rho: rat.New(1, 2), Sigma: 3}, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a = min(σ+1, ⌊σ/(1−ρ)⌋) = min(4, 6) = 4; s = ⌈4·(1/2)/(1/2)⌉ = 4.
+	if o.OnLen() != 4 || o.Period() != 8 {
+		t.Errorf("on=%d period=%d, want 4, 8", o.OnLen(), o.Period())
+	}
+	// First period: 4 injections then 4 silent rounds.
+	count := 0
+	for r := 0; r < 8; r++ {
+		count += len(o.Inject(r))
+	}
+	if count != 4 {
+		t.Errorf("injections per period = %d, want 4", count)
+	}
+}
+
+// Property: on-off sources are (ρ,σ)-bounded for every admissible (ρ,σ).
+func TestQuickOnOffBounded(t *testing.T) {
+	nw := network.MustPath(10)
+	f := func(pRaw, qRaw, sRaw uint8) bool {
+		q := int64(qRaw%6) + 1
+		p := int64(pRaw%uint8(q)) + 1
+		if p > q {
+			p = q
+		}
+		rho := rat.New(p, q)
+		sigma := int(sRaw%4) + 1
+		o, err := NewOnOff(Bound{Rho: rho, Sigma: sigma}, 0, 9)
+		if err != nil {
+			return false
+		}
+		return VerifyPrefix(nw, o, 6*o.Period()+20) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The union of edge-disjoint on-off sources tiles a line and stays within
+// the max of the parts' bounds.
+func TestUnionOfOnOffSources(t *testing.T) {
+	nw := network.MustPath(12)
+	mk := func(src, dst network.NodeID) Adversary {
+		o, err := NewOnOff(Bound{Rho: rat.New(1, 2), Sigma: 2}, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	u := NewUnion(mk(0, 4), mk(4, 8), mk(8, 11)).
+		WithUnionBound(Bound{Rho: rat.New(1, 2), Sigma: 2})
+	if err := VerifyPrefix(nw, u, 300); err != nil {
+		t.Errorf("disjoint on-off union violated tight bound: %v", err)
+	}
+}
+
+func TestOnOffErrorStrings(t *testing.T) {
+	for _, err := range []error{errZeroRate, errNoBudget} {
+		if err.Error() == "" {
+			t.Error("empty error string")
+		}
+	}
+	if fmt.Sprint(errNoBudget) == "" {
+		t.Error("unprintable")
+	}
+}

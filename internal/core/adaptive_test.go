@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/rat"
+	"smallbuffers/internal/sim"
+)
+
+// The theorems quantify over every (ρ,σ)-bounded pattern, so they must in
+// particular survive an adaptive adversary that aims all admissible traffic
+// at the fullest buffer each round. These runs also carry the conservation
+// checker, covering the engine's bookkeeping under adversarial pressure.
+
+func TestPPTSBoundAgainstAdaptiveHotSpot(t *testing.T) {
+	nw := network.MustPath(24)
+	dests := []network.NodeID{12, 17, 21, 23}
+	for _, sigma := range []int{0, 2, 4} {
+		for seed := int64(0); seed < 3; seed++ {
+			t.Run(fmt.Sprintf("sigma=%d_seed=%d", sigma, seed), func(t *testing.T) {
+				bound := adversary.Bound{Rho: rat.One, Sigma: sigma}
+				adv, err := adversary.NewHotSpot(nw, bound, dests, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				limit := 1 + len(dests) + sigma
+				cons := sim.NewConservationCheck()
+				check := NewPathBoundCheck(nw, rat.One)
+				res, err := sim.Run(sim.Config{
+					Net: nw, Protocol: NewPPTS(), Adversary: adv, Rounds: 500,
+					VerifyAdversary: true,
+					Observers:       []sim.Observer{cons, check.Observer()},
+					Invariants:      []sim.Invariant{MaxLoadInvariant(nw, limit), check.Invariant()},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cons.Err != nil {
+					t.Error(cons.Err)
+				}
+				if res.MaxLoad > limit {
+					t.Errorf("MaxLoad = %d > %d", res.MaxLoad, limit)
+				}
+			})
+		}
+	}
+}
+
+func TestPTSBoundAgainstAdaptiveHotSpot(t *testing.T) {
+	nw := network.MustPath(32)
+	bound := adversary.Bound{Rho: rat.One, Sigma: 3}
+	adv, err := adversary.NewHotSpot(nw, bound, []network.NodeID{31}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := sim.NewConservationCheck()
+	res, err := sim.Run(sim.Config{
+		Net: nw, Protocol: NewPTS(), Adversary: adv, Rounds: 600,
+		VerifyAdversary: true,
+		Observers:       []sim.Observer{cons},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Err != nil {
+		t.Error(cons.Err)
+	}
+	if res.MaxLoad > 2+3 {
+		t.Errorf("MaxLoad = %d > 5", res.MaxLoad)
+	}
+}
+
+func TestHPTSBoundAgainstAdaptiveHotSpot(t *testing.T) {
+	h, err := NewHierarchy(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := network.MustPath(h.N())
+	rho := rat.New(1, 2)
+	bound := adversary.Bound{Rho: rho, Sigma: 2}
+	dests := []network.NodeID{5, 9, 13, 15}
+	adv, err := adversary.NewHotSpot(nw, bound, dests, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := NewHPTSBoundCheck(nw, h, rho)
+	cons := sim.NewConservationCheck()
+	limit := HPTSSpaceBound(h, 2)
+	res, err := sim.Run(sim.Config{
+		Net: nw, Protocol: NewHPTS(2), Adversary: adv, Rounds: 2000,
+		VerifyAdversary: true,
+		Observers:       []sim.Observer{cons, check.Observer()},
+		Invariants:      []sim.Invariant{MaxLoadInvariant(nw, limit), check.Invariant()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Err != nil {
+		t.Error(cons.Err)
+	}
+	if res.MaxLoad > limit {
+		t.Errorf("MaxLoad = %d > %d", res.MaxLoad, limit)
+	}
+}
+
+func TestTreePPTSBoundAgainstAdaptiveHotSpot(t *testing.T) {
+	tree, err := network.CaterpillarTree(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := []network.NodeID{4, 5, 6, 7}
+	dprime := DestinationDepth(tree, dests)
+	bound := adversary.Bound{Rho: rat.One, Sigma: 2}
+	adv, err := adversary.NewHotSpot(tree, bound, dests, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := sim.NewConservationCheck()
+	limit := 1 + dprime + 2
+	res, err := sim.Run(sim.Config{
+		Net: tree, Protocol: NewTreePPTS(), Adversary: adv, Rounds: 500,
+		VerifyAdversary: true,
+		Observers:       []sim.Observer{cons},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Err != nil {
+		t.Error(cons.Err)
+	}
+	if res.MaxLoad > limit {
+		t.Errorf("MaxLoad = %d > 1+d′+σ = %d", res.MaxLoad, limit)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/buffer"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/packet"
+	"smallbuffers/internal/sim"
+)
+
+// HPTS is Algorithm 3, "Hierarchical Peak-to-Sink" (§4), for a path of
+// n = m^ℓ nodes and rates ρ·ℓ ≤ 1. The line is partitioned hierarchically
+// (Hierarchy); each packet traverses segments of strictly decreasing level,
+// and each buffer is split into ℓ·m pseudo-buffers indexed by (level,
+// intermediate destination). The algorithm time-division multiplexes: at
+// round t only level λ = t mod ℓ intervals run a PPTS-style activation
+// (FormPaths, Algorithm 4), plus anticipatory activations at lower levels
+// for packets about to switch level into an occupied pseudo-buffer
+// (ActivatePreBad, Algorithm 5). Packets are accepted only at phase
+// boundaries, i.e. the protocol plays against the ℓ-reduction of the
+// adversary (Definition 2.4).
+//
+// Theorem 4.1: the maximum buffer occupancy is at most ℓ·n^(1/ℓ) + σ + 1.
+type HPTS struct {
+	ell          int
+	ablatePreBad bool
+	h            *Hierarchy
+	nw           *network.Network
+	// scratch, reused across rounds:
+	actLevel []int // per node: activated level, −1 = inactive
+	actK     []int // per node: activated destination index
+}
+
+var _ sim.Protocol = (*HPTS)(nil)
+var _ sim.PhasedAcceptor = (*HPTS)(nil)
+
+// HPTSOption configures HPTS.
+type HPTSOption func(*HPTS)
+
+// HPTSAblatePreBad disables the ActivatePreBad step (Algorithm 5). This is
+// an ablation knob for experiments: without it, packets completing a
+// segment can stack onto occupied lower-level pseudo-buffers and the phase
+// badness invariant of Lemma 4.8 no longer holds.
+func HPTSAblatePreBad() HPTSOption {
+	return func(p *HPTS) { p.ablatePreBad = true }
+}
+
+// NewHPTS returns an HPTS instance with ℓ hierarchy levels. The attached
+// network must be a path of exactly m^ℓ nodes for some integer m ≥ 2.
+// With ℓ = 1, HPTS degenerates to PPTS over all potential destinations.
+func NewHPTS(ell int, opts ...HPTSOption) *HPTS {
+	p := &HPTS{ell: ell}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name implements sim.Protocol.
+func (p *HPTS) Name() string {
+	if p.ablatePreBad {
+		return fmt.Sprintf("HPTS(ℓ=%d,no-prebad)", p.ell)
+	}
+	return fmt.Sprintf("HPTS(ℓ=%d)", p.ell)
+}
+
+// PhaseLength implements sim.PhasedAcceptor: injections are accepted every
+// ℓ rounds (the ℓ-reduction).
+func (p *HPTS) PhaseLength() int { return p.ell }
+
+// Hierarchy returns the attached hierarchy (nil before Attach).
+func (p *HPTS) Hierarchy() *Hierarchy { return p.h }
+
+// Attach implements sim.Protocol.
+func (p *HPTS) Attach(nw *network.Network, bound adversary.Bound, _ []network.NodeID) error {
+	h, err := HierarchyFor(nw.Len(), p.ell)
+	if err != nil {
+		return err
+	}
+	if err := h.Validate(nw); err != nil {
+		return err
+	}
+	p.h = h
+	p.nw = nw
+	p.actLevel = make([]int, nw.Len())
+	p.actK = make([]int, nw.Len())
+	// ρ·ℓ ≤ 1 is the premise of Theorem 4.1; running outside it is allowed
+	// (the bound simply may not hold), so no error here.
+	_ = bound
+	return nil
+}
+
+// hptsView resolves pseudo-buffers lazily from the engine view.
+type hptsView struct {
+	v sim.View
+	h *Hierarchy
+}
+
+// pseudo returns L_{j,k}(i): packets at node i whose segment level is j and
+// whose level-j intermediate destination has index k, in arrival order.
+func (hv hptsView) pseudo(i, j, k int) []packet.Packet {
+	var out []packet.Packet
+	for _, pk := range hv.v.Packets(network.NodeID(i)) {
+		lvl, kk := hv.h.Class(i, int(pk.Dst))
+		if lvl == j && kk == k {
+			out = append(out, pk)
+		}
+	}
+	return out
+}
+
+// Decide implements sim.Protocol (Algorithm 3's forwarding step).
+//
+// Within a phase the levels run in decreasing order: the first round after
+// acceptance serves level ℓ−1 and the last round serves level 0. Lemma 4.8's
+// proof depends on this ("levels are activated in decreasing order over the
+// course of a phase"): when forwarding replaces a bad packet at level λ with
+// a bad packet at some level j < λ, the level-j round still lies ahead in
+// the same phase and clears it, which is what makes the phase badness
+// strictly decrease.
+func (p *HPTS) Decide(v sim.View) ([]sim.Forward, error) {
+	lambda := p.ell - 1 - v.Round()%p.ell
+	hv := hptsView{v: v, h: p.h}
+	for i := range p.actLevel {
+		p.actLevel[i] = -1
+	}
+	// Lines 6–8: FormPaths on every level-λ interval.
+	for r := 0; r < p.h.IntervalCount(lambda); r++ {
+		p.formPaths(hv, lambda, r)
+	}
+	// Lines 9–11: anticipatory activation at lower levels.
+	if !p.ablatePreBad {
+		for j := lambda - 1; j >= 0; j-- {
+			p.activatePreBad(hv, j)
+		}
+	}
+	// Line 12: every non-empty activated pseudo-buffer forwards.
+	var out []sim.Forward
+	for i := 0; i < p.h.N(); i++ {
+		if p.actLevel[i] < 0 {
+			continue
+		}
+		ps := hv.pseudo(i, p.actLevel[i], p.actK[i])
+		if len(ps) == 0 {
+			continue
+		}
+		out = append(out, sim.Forward{From: network.NodeID(i), Pkt: lifoTop(ps)})
+	}
+	return out, nil
+}
+
+// formPaths is Algorithm 4 on interval I_{λ,r}: a PPTS sweep over the
+// interval's m intermediate destinations.
+func (p *HPTS) formPaths(hv hptsView, lambda, r int) {
+	lo, _ := p.h.Interval(lambda, r)
+	dests := p.h.IntermediateDests(lambda, r)
+	m := p.h.M()
+	frontier := dests[m-1] // Algorithm 4 line 2: i′ ← w_{m−1}
+	for k := m - 1; k >= 0; k-- {
+		wk := dests[k]
+		// Left-most bad (λ,k)-pseudo-buffer strictly left of the frontier.
+		ik := -1
+		for i := lo; i < frontier; i++ {
+			if len(hv.pseudo(i, lambda, k)) >= 2 {
+				ik = i
+				break
+			}
+		}
+		if ik < 0 {
+			continue
+		}
+		hi := frontier - 1
+		if wk-1 < hi {
+			hi = wk - 1
+		}
+		for i := ik; i <= hi; i++ {
+			p.actLevel[i] = lambda
+			p.actK[i] = k
+		}
+		frontier = ik
+	}
+}
+
+// activatePreBad is Algorithm 5 at level j: for each level-j interval whose
+// left endpoint a is about to receive a packet P that completes its segment
+// at a, re-enters at level j, and would land on an occupied pseudo-buffer
+// (Definition 4.6), activate the chain of (j, k)-pseudo-buffers from a up
+// to P's level-j intermediate destination or the first active node.
+func (p *HPTS) activatePreBad(hv hptsView, j int) {
+	for r := 0; r < p.h.IntervalCount(j); r++ {
+		a, b := p.h.Interval(j, r)
+		if a == 0 || p.actLevel[a] >= 0 {
+			continue // no upstream neighbor, or a already active
+		}
+		// The unique active pseudo-buffer of node a−1, if any, sends its
+		// LIFO top this round.
+		if p.actLevel[a-1] < 0 {
+			continue
+		}
+		ps := hv.pseudo(a-1, p.actLevel[a-1], p.actK[a-1])
+		if len(ps) == 0 {
+			continue
+		}
+		pkt := ps[len(ps)-1]
+		w := int(pkt.Dst)
+		if w == a {
+			continue // delivered on arrival, cannot become bad
+		}
+		// P completes its current segment exactly at a?
+		if p.h.IntermediateDest(a-1, w) != a {
+			continue
+		}
+		// P's new level at a must be this j, and its new pseudo-buffer
+		// occupied (pre-bad).
+		jNew, kNew := p.h.Class(a, w)
+		if jNew != j || len(hv.pseudo(a, jNew, kNew)) < 1 {
+			continue
+		}
+		// Chain [a, wEnd]: maximal inactive prefix up to w_k − 1, where w_k
+		// is the packet's level-j intermediate destination. The chain must
+		// not claim w_k itself: its (j,k)-pseudo-buffer is empty (packets
+		// switch level on arrival), and marking it active would block the
+		// cascaded pre-bad activation of the next interval (the event-(a)
+		// chain of Claim 2).
+		wk := p.h.IntermediateDest(a, w)
+		if wk-1 > b {
+			wk = b + 1 // cannot happen (segment stays in the interval); guard anyway
+		}
+		wEnd := a - 1
+		for i := a; i <= wk-1; i++ {
+			if p.actLevel[i] >= 0 {
+				break
+			}
+			wEnd = i
+		}
+		for i := a; i <= wEnd; i++ {
+			p.actLevel[i] = j
+			p.actK[i] = kNew
+		}
+	}
+}
+
+// HPTSClassifier returns a buffer.Classifier assigning packets at node i to
+// their (level, destination-index) pseudo-buffer, for badness accounting.
+func HPTSClassifier(h *Hierarchy, i network.NodeID) buffer.Classifier {
+	return func(p packet.Packet) buffer.Class {
+		j, k := h.Class(int(i), int(p.Dst))
+		return buffer.Class{Major: j, Minor: k}
+	}
+}
+
+// HPTSSpaceBound returns the Theorem 4.1 bound ℓ·n^(1/ℓ) + σ + 1 = ℓ·m+σ+1.
+func HPTSSpaceBound(h *Hierarchy, sigma int) int {
+	return h.Levels()*h.M() + sigma + 1
+}

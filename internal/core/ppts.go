@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/buffer"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/packet"
+	"smallbuffers/internal/sim"
+)
+
+// PPTS is Algorithm 2, "Parallel Peak-to-Sink": the multi-destination path
+// protocol of §3.2. Each buffer is partitioned into per-destination
+// pseudo-buffers (virtual output queues). Scanning destinations from
+// right-most to left-most, the algorithm activates, for each destination
+// w_k, the interval of k-pseudo-buffers from the left-most bad one up to
+// the frontier established by higher destinations; the intervals are
+// disjoint (Lemma B.1), so at most one pseudo-buffer per node forwards.
+// Proposition 3.2: against any (ρ,σ)-bounded adversary with d
+// destinations, every buffer holds at most 1 + d + σ packets.
+//
+// Destinations need not be declared: per the remark after Algorithm 2,
+// PPTS treats every node as a potential destination and scans the
+// destinations actually present in the configuration each round.
+//
+// The DrainWhenIdle extension (off by default, not in the paper) forwards
+// on rounds with no bad pseudo-buffer: it runs the same scan over
+// *non-empty* pseudo-buffers, additionally ending each interval only where
+// the receiving pseudo-buffer is empty (or the destination), which keeps
+// the configuration badness-free, preserving the bound.
+type PPTS struct {
+	drainWhenIdle bool
+	nw            *network.Network
+}
+
+var _ sim.Protocol = (*PPTS)(nil)
+
+// PPTSOption configures PPTS.
+type PPTSOption func(*PPTS)
+
+// PPTSWithDrain enables the drain-when-idle liveness extension.
+func PPTSWithDrain() PPTSOption {
+	return func(p *PPTS) { p.drainWhenIdle = true }
+}
+
+// NewPPTS returns a PPTS instance.
+func NewPPTS(opts ...PPTSOption) *PPTS {
+	p := &PPTS{}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name implements sim.Protocol.
+func (p *PPTS) Name() string {
+	if p.drainWhenIdle {
+		return "PPTS+drain"
+	}
+	return "PPTS"
+}
+
+// Attach implements sim.Protocol.
+func (p *PPTS) Attach(nw *network.Network, _ adversary.Bound, _ []network.NodeID) error {
+	if !nw.IsPath() {
+		return fmt.Errorf("core: PPTS requires a path topology (use TreePPTS for trees)")
+	}
+	p.nw = nw
+	return nil
+}
+
+// pptsState is the per-round view: for each destination w present in the
+// configuration, the per-node pseudo-buffer contents.
+type pptsState struct {
+	n int
+	// byDest[w][i] = packets at node i destined for w, arrival order.
+	byDest map[network.NodeID][][]packet.Packet
+	dests  []network.NodeID // sorted ascending
+}
+
+func newPPTSState(v sim.View) *pptsState {
+	n := v.Net().Len()
+	st := &pptsState{n: n, byDest: make(map[network.NodeID][][]packet.Packet)}
+	for i := 0; i < n; i++ {
+		for _, pk := range v.Packets(network.NodeID(i)) {
+			per := st.byDest[pk.Dst]
+			if per == nil {
+				per = make([][]packet.Packet, n)
+				st.byDest[pk.Dst] = per
+				st.dests = append(st.dests, pk.Dst)
+			}
+			per[i] = append(per[i], pk)
+		}
+	}
+	sort.Slice(st.dests, func(a, b int) bool { return st.dests[a] < st.dests[b] })
+	return st
+}
+
+// pseudo returns the k-pseudo-buffer of node i for destination w.
+func (st *pptsState) pseudo(w network.NodeID, i int) []packet.Packet {
+	per := st.byDest[w]
+	if per == nil {
+		return nil
+	}
+	return per[i]
+}
+
+// Decide implements sim.Protocol (Algorithm 2).
+func (p *PPTS) Decide(v sim.View) ([]sim.Forward, error) {
+	st := newPPTSState(v)
+	out := p.scan(st, true)
+	if out == nil && p.drainWhenIdle {
+		out = p.scan(st, false)
+	}
+	return out, nil
+}
+
+// scan performs the right-to-left destination sweep. With bad=true it is
+// Algorithm 2 verbatim: intervals begin at the left-most bad pseudo-buffer.
+// With bad=false (drain mode) intervals begin at the left-most non-empty
+// pseudo-buffer and are additionally truncated so that the packet leaving
+// the interval's right end lands in an empty pseudo-buffer (or its
+// destination), preserving zero badness.
+func (p *PPTS) scan(st *pptsState, bad bool) []sim.Forward {
+	frontier := st.n // sentinel "w_d"
+	var out []sim.Forward
+	for kk := len(st.dests) - 1; kk >= 0; kk-- {
+		w := st.dests[kk]
+		// Left-most qualifying k-pseudo-buffer strictly left of the frontier.
+		ik := -1
+		limit := int(w)
+		if frontier < limit {
+			limit = frontier
+		}
+		for i := 0; i < limit; i++ {
+			ps := st.pseudo(w, i)
+			if (bad && len(ps) >= 2) || (!bad && len(ps) >= 1) {
+				ik = i
+				break
+			}
+		}
+		if ik < 0 {
+			continue
+		}
+		hi := frontier - 1
+		if int(w)-1 < hi {
+			hi = int(w) - 1
+		}
+		if !bad {
+			// Truncate so the interval's emission lands safely: find the
+			// largest hi' ∈ [ik, hi] with (hi'+1 == w) or L_k(hi'+1) empty.
+			for hi >= ik && hi+1 != int(w) && len(st.pseudo(w, hi+1)) > 0 {
+				hi--
+			}
+			if hi < ik {
+				continue
+			}
+		}
+		for i := ik; i <= hi; i++ {
+			ps := st.pseudo(w, i)
+			if len(ps) == 0 {
+				continue
+			}
+			out = append(out, sim.Forward{From: network.NodeID(i), Pkt: lifoTop(ps)})
+		}
+		frontier = ik
+	}
+	return out
+}
+
+// PPTSClassifier returns a buffer.Classifier assigning each packet to its
+// destination pseudo-buffer (Major = 0, Minor = destination node ID). It is
+// used by badness accounting and tests.
+func PPTSClassifier() buffer.Classifier {
+	return func(p packet.Packet) buffer.Class {
+		return buffer.Class{Minor: int(p.Dst)}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/packet"
+	"smallbuffers/internal/sim"
+)
+
+// PTS is Algorithm 1, "Peak-to-Sink": the single-destination path protocol
+// of §3.1. Each round it finds the left-most bad buffer (load ≥ 2) and
+// activates every buffer from there to the destination; all activated
+// non-empty buffers forward simultaneously. Proposition 3.1: against any
+// (ρ,σ)-bounded adversary with ρ ≤ 1, every buffer holds at most 2 + σ
+// packets.
+//
+// The paper's PTS forwards nothing when no buffer is bad, which preserves
+// space but not liveness. The DrainWhenIdle option additionally activates
+// the suffix from the left-most *non-empty* buffer on rounds with no bad
+// buffer; since the head of that suffix forwards without receiving and
+// every other member receives at most one packet while forwarding, the
+// configuration stays badness-free and Proposition 3.1 is unaffected (the
+// accompanying tests check the bound in both modes).
+type PTS struct {
+	drainWhenIdle bool
+	nw            *network.Network
+	dest          network.NodeID
+}
+
+var _ sim.Protocol = (*PTS)(nil)
+
+// PTSOption configures PTS.
+type PTSOption func(*PTS)
+
+// WithDrain enables forwarding on rounds with no bad buffer (a liveness
+// extension; see type comment).
+func WithDrain() PTSOption {
+	return func(p *PTS) { p.drainWhenIdle = true }
+}
+
+// NewPTS returns a PTS instance.
+func NewPTS(opts ...PTSOption) *PTS {
+	p := &PTS{}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name implements sim.Protocol.
+func (p *PTS) Name() string {
+	if p.drainWhenIdle {
+		return "PTS+drain"
+	}
+	return "PTS"
+}
+
+// Attach implements sim.Protocol. PTS requires a path and a single common
+// destination: the destination hint must name at most one node (the sink is
+// assumed when the hint is empty).
+func (p *PTS) Attach(nw *network.Network, _ adversary.Bound, dests []network.NodeID) error {
+	if !nw.IsPath() {
+		return fmt.Errorf("core: PTS requires a path topology (use TreePTS for trees)")
+	}
+	p.nw = nw
+	switch len(dests) {
+	case 0:
+		p.dest = network.NodeID(nw.Len() - 1)
+	case 1:
+		p.dest = dests[0]
+	default:
+		return fmt.Errorf("core: PTS handles a single destination, adversary declares %d (use PPTS)", len(dests))
+	}
+	return nil
+}
+
+// Decide implements sim.Protocol.
+func (p *PTS) Decide(v sim.View) ([]sim.Forward, error) {
+	start := network.NodeID(-1)
+	// Left-most bad buffer (Algorithm 1 line 2).
+	for i := network.NodeID(0); i < p.dest; i++ {
+		if v.Load(i) >= 2 {
+			start = i
+			break
+		}
+	}
+	if start < 0 && p.drainWhenIdle {
+		for i := network.NodeID(0); i < p.dest; i++ {
+			if v.Load(i) >= 1 {
+				start = i
+				break
+			}
+		}
+	}
+	if start < 0 {
+		return nil, nil
+	}
+	// Activate [start, dest−1]; every non-empty activated buffer forwards
+	// its LIFO top.
+	var out []sim.Forward
+	for i := start; i < p.dest; i++ {
+		pkts := v.Packets(i)
+		if len(pkts) == 0 {
+			continue
+		}
+		out = append(out, sim.Forward{From: i, Pkt: pkts[len(pkts)-1].ID})
+	}
+	return out, nil
+}
+
+// lifoTop returns the ID of the most recently arrived packet in pkts
+// (the slice is in arrival order).
+func lifoTop(pkts []packet.Packet) packet.ID {
+	return pkts[len(pkts)-1].ID
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"io"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/baseline"
+	"smallbuffers/internal/core"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/rat"
+	"smallbuffers/internal/sim"
+	"smallbuffers/internal/stats"
+	"smallbuffers/internal/trace"
+)
+
+// E11Latency measures the flip side the paper leaves implicit: the
+// space-optimal peak-to-sink protocols move packets only to resolve
+// badness, so their worst-case space comes at a delay cost relative to
+// work-conserving greedy forwarding, which buys its low latency with
+// unbounded worst-case buffers (E7). Same workload, both families.
+func E11Latency() Experiment {
+	return Experiment{
+		ID:    "E11",
+		Title: "the latency price of space-optimal forwarding",
+		Paper: "complement to §3 (space-optimality) and §1's greedy discussion",
+		Run: func(w io.Writer) (*Outcome, error) {
+			const n = 64
+			const sigma = 2
+			const d = 8
+			nw := network.MustPath(n)
+			bound := adversary.Bound{Rho: rat.New(1, 2), Sigma: sigma}
+			dests := make([]network.NodeID, d)
+			for k := 0; k < d; k++ {
+				dests[k] = network.NodeID(n - d + k)
+			}
+			table := stats.NewTable("rate 1/2, d = 8 destinations, 3000 rounds + drain tail",
+				"protocol", "max load", "delivered", "avg latency", "p50", "p99", "max")
+			ok := true
+			protos := []sim.Protocol{
+				core.NewPPTS(core.PPTSWithDrain()),
+				core.NewHPTS(2),
+				baseline.NewGreedy(baseline.FIFO{}),
+				baseline.NewGreedy(baseline.LIS{}),
+			}
+			type row struct {
+				name    string
+				maxLoad int
+				avg     float64
+			}
+			var rows []row
+			for _, proto := range protos {
+				adv, err := adversary.NewRandom(nw, bound, dests, 12)
+				if err != nil {
+					return nil, err
+				}
+				lat := trace.NewLatencyRecorder()
+				res, err := sim.Run(sim.Config{
+					Net: nw, Protocol: proto, Adversary: adv, Rounds: 3000,
+					Observers: []sim.Observer{lat},
+				})
+				if err != nil {
+					return nil, err
+				}
+				if res.Delivered == 0 {
+					ok = false
+				}
+				avg, _ := res.AvgLatency()
+				table.AddRow(res.Protocol, res.MaxLoad, res.Delivered,
+					avg, lat.P(50), lat.P(99), res.MaxLatency)
+				rows = append(rows, row{res.Protocol, res.MaxLoad, avg})
+			}
+			// Expected shape: greedy latency ≤ peak-to-sink latency, and the
+			// peak-to-sink protocols respect their space bounds.
+			if rows[0].maxLoad > 1+d+sigma {
+				ok = false
+			}
+			greedyBest, ptsWorst := rows[2].avg, rows[0].avg
+			if rows[3].avg < greedyBest {
+				greedyBest = rows[3].avg
+			}
+			if rows[1].avg > ptsWorst {
+				ptsWorst = rows[1].avg
+			}
+			if greedyBest > ptsWorst {
+				ok = false // greedy should not be slower than peak-to-sink
+			}
+			out := &Outcome{Tables: []*stats.Table{table}, OK: ok,
+				Notes: []string{
+					"expected shape: greedy is fastest (work-conserving) but pays in space on adversarial patterns (E7); the peak-to-sink family trades delay for its proved space bounds",
+					"HPTS adds phase latency on top: it accepts injections only every ℓ rounds and serves one level per round",
+				}}
+			return out, emit(w, out)
+		},
+	}
+}

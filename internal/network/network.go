@@ -1,0 +1,262 @@
+// Package network provides the topology substrate for adversarial-queuing
+// simulations: directed in-forests, in which every node has at most one
+// outgoing edge ("next hop"). Both topologies studied in the paper — the
+// directed path (§2) and directed trees with all edges oriented toward the
+// root (§3.3, Appendix B.2) — are in-forests, and the one-outgoing-edge
+// property is what makes a forwarding round expressible as "each node
+// forwards at most one packet", matching the unit link capacity of the model.
+package network
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Nodes of an n-node network are 0..n-1, matching
+// the paper's ⟨n⟩ = {0, …, n−1} convention. For paths, the ID is the
+// position on the line.
+type NodeID int
+
+// None is the sentinel "no node" value (e.g. the next hop of a sink).
+const None NodeID = -1
+
+// Network is an immutable directed in-forest. Construct one with NewPath,
+// NewTree, or via Builder; the constructors validate shape so that methods
+// never fail at simulation time.
+type Network struct {
+	next     []NodeID   // next[v] = unique out-neighbor, None for sinks
+	children [][]NodeID // reverse adjacency, sorted
+	depth    []int      // hop count to the sink of v's component
+	sinks    []NodeID
+	isPath   bool
+}
+
+// NewPath returns the directed path on n nodes: 0 → 1 → … → n−1.
+// It returns an error if n < 2.
+func NewPath(n int) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("network: path needs ≥ 2 nodes, got %d", n)
+	}
+	next := make([]NodeID, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = NodeID(i + 1)
+	}
+	next[n-1] = None
+	return fromNext(next, true)
+}
+
+// MustPath is NewPath but panics on error; intended for tests and examples
+// with constant sizes.
+func MustPath(n int) *Network {
+	nw, err := NewPath(n)
+	if err != nil {
+		panic(err)
+	}
+	return nw
+}
+
+// NewTree builds an in-tree (edges toward the root) from a parent vector:
+// parent[v] is v's next hop toward the root, and exactly one node (the root)
+// has parent[v] == None. It returns an error if the vector does not describe
+// a single rooted tree.
+func NewTree(parent []NodeID) (*Network, error) {
+	nw, err := fromNext(append([]NodeID(nil), parent...), false)
+	if err != nil {
+		return nil, err
+	}
+	if len(nw.sinks) != 1 {
+		return nil, fmt.Errorf("network: tree must have exactly one root, got %d", len(nw.sinks))
+	}
+	return nw, nil
+}
+
+// NewForest builds an in-forest (a disjoint union of in-trees) from a parent
+// vector; multiple roots are allowed.
+func NewForest(parent []NodeID) (*Network, error) {
+	return fromNext(append([]NodeID(nil), parent...), false)
+}
+
+// fromNext validates the next-hop vector: in range, acyclic, ≥ 1 sink.
+func fromNext(next []NodeID, isPath bool) (*Network, error) {
+	n := len(next)
+	if n == 0 {
+		return nil, fmt.Errorf("network: empty node set")
+	}
+	children := make([][]NodeID, n)
+	var sinks []NodeID
+	for v, p := range next {
+		switch {
+		case p == None:
+			sinks = append(sinks, NodeID(v))
+		case p < 0 || int(p) >= n:
+			return nil, fmt.Errorf("network: node %d has out-of-range next hop %d", v, p)
+		case int(p) == v:
+			return nil, fmt.Errorf("network: node %d has a self-loop", v)
+		default:
+			children[p] = append(children[p], NodeID(v))
+		}
+	}
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("network: no sink (next-hop graph has a cycle)")
+	}
+	for _, c := range children {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	// Depth via BFS from sinks along reverse edges; unreached nodes are on a
+	// cycle.
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	queue := make([]NodeID, 0, n)
+	for _, s := range sinks {
+		depth[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, c := range children[v] {
+			depth[c] = depth[v] + 1
+			queue = append(queue, c)
+		}
+	}
+	for v, d := range depth {
+		if d < 0 {
+			return nil, fmt.Errorf("network: node %d is on a directed cycle", v)
+		}
+	}
+	return &Network{next: next, children: children, depth: depth, sinks: sinks, isPath: isPath}, nil
+}
+
+// Len returns the number of nodes.
+func (nw *Network) Len() int { return len(nw.next) }
+
+// Next returns v's unique out-neighbor, or None if v is a sink.
+func (nw *Network) Next(v NodeID) NodeID { return nw.next[v] }
+
+// Children returns the in-neighbors of v (nodes whose next hop is v). The
+// returned slice is shared; callers must not modify it.
+func (nw *Network) Children(v NodeID) []NodeID { return nw.children[v] }
+
+// Depth returns the hop distance from v to the sink of its component.
+func (nw *Network) Depth(v NodeID) int { return nw.depth[v] }
+
+// Sinks returns the sink nodes (the root, for a tree; node n−1, for a path).
+// The returned slice is shared; callers must not modify it.
+func (nw *Network) Sinks() []NodeID { return nw.sinks }
+
+// IsPath reports whether the network was built as a directed path, in which
+// case NodeID coincides with line position.
+func (nw *Network) IsPath() bool { return nw.isPath }
+
+// Valid reports whether v names a node of the network.
+func (nw *Network) Valid(v NodeID) bool { return v >= 0 && int(v) < len(nw.next) }
+
+// Reaches reports whether w lies on the directed path from v to its sink
+// (inclusive of v itself). For trees this is the partial order v ⪯ w of
+// Appendix B.2 restricted to comparable pairs; for paths it is v ≤ w.
+func (nw *Network) Reaches(v, w NodeID) bool {
+	if !nw.Valid(v) || !nw.Valid(w) {
+		return false
+	}
+	// Walk from v toward the sink. Depth strictly decreases along the walk,
+	// so once the current depth drops below w's, w can never appear.
+	for u := v; u != None && nw.depth[u] >= nw.depth[w]; u = nw.next[u] {
+		if u == w {
+			return true
+		}
+	}
+	return false
+}
+
+// Route returns the node sequence from src to dst following next hops,
+// inclusive of both endpoints. It returns an error if dst is not reachable
+// from src.
+func (nw *Network) Route(src, dst NodeID) ([]NodeID, error) {
+	if !nw.Valid(src) || !nw.Valid(dst) {
+		return nil, fmt.Errorf("network: route %d→%d: node out of range", src, dst)
+	}
+	capHint := nw.depth[src] - nw.depth[dst] + 1
+	if capHint < 1 {
+		capHint = 1
+	}
+	route := make([]NodeID, 0, capHint)
+	for u := src; u != None; u = nw.next[u] {
+		route = append(route, u)
+		if u == dst {
+			return route, nil
+		}
+	}
+	return nil, fmt.Errorf("network: destination %d not reachable from %d", dst, src)
+}
+
+// Dist returns the hop count from src to dst, or an error if unreachable.
+func (nw *Network) Dist(src, dst NodeID) (int, error) {
+	if !nw.Valid(src) || !nw.Valid(dst) {
+		return 0, fmt.Errorf("network: dist %d→%d: node out of range", src, dst)
+	}
+	d := 0
+	for u := src; u != None; u = nw.next[u] {
+		if u == dst {
+			return d, nil
+		}
+		d++
+	}
+	return 0, fmt.Errorf("network: destination %d not reachable from %d", dst, src)
+}
+
+// Subtree returns all nodes u with u ⪯ v (v's subtree, including v): the
+// nodes whose route to the sink passes through v. Appendix B.2 calls this
+// U_v. The result is freshly allocated and sorted.
+func (nw *Network) Subtree(v NodeID) []NodeID {
+	var out []NodeID
+	stack := []NodeID{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, u)
+		stack = append(stack, nw.children[u]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Leaves returns the nodes with no in-neighbors, sorted.
+func (nw *Network) Leaves() []NodeID {
+	var out []NodeID
+	for v := range nw.next {
+		if len(nw.children[v]) == 0 {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the nodes sorted so that every node appears before its
+// next hop (leaves first, sinks last). Ties are broken by NodeID.
+func (nw *Network) TopoOrder() []NodeID {
+	out := make([]NodeID, nw.Len())
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if nw.depth[a] != nw.depth[b] {
+			return nw.depth[a] > nw.depth[b]
+		}
+		return a < b
+	})
+	return out
+}
+
+// MaxDepth returns the largest node depth (the height of the forest).
+func (nw *Network) MaxDepth() int {
+	m := 0
+	for _, d := range nw.depth {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

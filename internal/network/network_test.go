@@ -1,0 +1,353 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPath(t *testing.T) {
+	nw, err := NewPath(5)
+	if err != nil {
+		t.Fatalf("NewPath(5): %v", err)
+	}
+	if nw.Len() != 5 {
+		t.Errorf("Len = %d, want 5", nw.Len())
+	}
+	if !nw.IsPath() {
+		t.Error("IsPath = false, want true")
+	}
+	for i := 0; i < 4; i++ {
+		if got := nw.Next(NodeID(i)); got != NodeID(i+1) {
+			t.Errorf("Next(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+	if got := nw.Next(4); got != None {
+		t.Errorf("Next(4) = %d, want None", got)
+	}
+	if got := nw.Sinks(); len(got) != 1 || got[0] != 4 {
+		t.Errorf("Sinks = %v, want [4]", got)
+	}
+	if got := nw.Depth(0); got != 4 {
+		t.Errorf("Depth(0) = %d, want 4", got)
+	}
+}
+
+func TestNewPathErrors(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if _, err := NewPath(n); err == nil {
+			t.Errorf("NewPath(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestMustPathPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPath(0) did not panic")
+		}
+	}()
+	MustPath(0)
+}
+
+func TestNewTree(t *testing.T) {
+	// 0→2, 1→2, 2→4, 3→4, 4 root.
+	nw, err := NewTree([]NodeID{2, 2, 4, 4, None})
+	if err != nil {
+		t.Fatalf("NewTree: %v", err)
+	}
+	if nw.IsPath() {
+		t.Error("IsPath = true for a tree")
+	}
+	if got := nw.Children(2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Children(2) = %v, want [0 1]", got)
+	}
+	if got := nw.Children(4); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("Children(4) = %v, want [2 3]", got)
+	}
+	if got := nw.Depth(0); got != 2 {
+		t.Errorf("Depth(0) = %d, want 2", got)
+	}
+	if got := nw.Leaves(); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Errorf("Leaves = %v, want [0 1 3]", got)
+	}
+}
+
+func TestNewTreeErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		parent []NodeID
+	}{
+		{"empty", nil},
+		{"two roots", []NodeID{None, None}},
+		{"cycle", []NodeID{1, 0, None}},
+		{"self loop", []NodeID{0, None}},
+		{"out of range", []NodeID{5, None}},
+		{"no root", []NodeID{1, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewTree(tt.parent); err == nil {
+				t.Error("NewTree succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestNewForestAllowsMultipleRoots(t *testing.T) {
+	nw, err := NewForest([]NodeID{1, None, 3, None})
+	if err != nil {
+		t.Fatalf("NewForest: %v", err)
+	}
+	if got := nw.Sinks(); len(got) != 2 {
+		t.Errorf("Sinks = %v, want two roots", got)
+	}
+}
+
+func TestReaches(t *testing.T) {
+	nw := MustPath(6)
+	tests := []struct {
+		v, w NodeID
+		want bool
+	}{
+		{0, 5, true},
+		{0, 0, true},
+		{3, 3, true},
+		{3, 2, false},
+		{5, 0, false},
+		{2, 4, true},
+		{-1, 3, false},
+		{3, 99, false},
+	}
+	for _, tt := range tests {
+		if got := nw.Reaches(tt.v, tt.w); got != tt.want {
+			t.Errorf("Reaches(%d,%d) = %v, want %v", tt.v, tt.w, got, tt.want)
+		}
+	}
+
+	tree, err := NewTree([]NodeID{2, 2, 4, 4, None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Reaches(0, 4) {
+		t.Error("tree: Reaches(0,4) = false, want true")
+	}
+	if tree.Reaches(0, 3) {
+		t.Error("tree: Reaches(0,3) = true, want false (incomparable)")
+	}
+	if tree.Reaches(0, 1) {
+		t.Error("tree: Reaches(0,1) = true, want false (siblings)")
+	}
+}
+
+func TestRouteAndDist(t *testing.T) {
+	nw := MustPath(5)
+	route, err := nw.Route(1, 4)
+	if err != nil {
+		t.Fatalf("Route(1,4): %v", err)
+	}
+	want := []NodeID{1, 2, 3, 4}
+	if len(route) != len(want) {
+		t.Fatalf("Route(1,4) = %v, want %v", route, want)
+	}
+	for i := range want {
+		if route[i] != want[i] {
+			t.Fatalf("Route(1,4) = %v, want %v", route, want)
+		}
+	}
+	if _, err := nw.Route(4, 1); err == nil {
+		t.Error("Route(4,1) succeeded, want error")
+	}
+	if d, err := nw.Dist(1, 4); err != nil || d != 3 {
+		t.Errorf("Dist(1,4) = %d, %v, want 3, nil", d, err)
+	}
+	if d, err := nw.Dist(2, 2); err != nil || d != 0 {
+		t.Errorf("Dist(2,2) = %d, %v, want 0, nil", d, err)
+	}
+	if _, err := nw.Dist(3, 0); err == nil {
+		t.Error("Dist(3,0) succeeded, want error")
+	}
+	if _, err := nw.Dist(-1, 0); err == nil {
+		t.Error("Dist(-1,0) succeeded, want error")
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	tree, err := NewTree([]NodeID{2, 2, 4, 4, None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tree.Subtree(2)
+	want := []NodeID{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Subtree(2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Subtree(2) = %v, want %v", got, want)
+		}
+	}
+	if got := tree.Subtree(4); len(got) != 5 {
+		t.Errorf("Subtree(root) = %v, want all 5 nodes", got)
+	}
+	if got := tree.Subtree(3); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Subtree(leaf 3) = %v, want [3]", got)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	tree, err := NewTree([]NodeID{2, 2, 4, 4, None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := tree.TopoOrder()
+	pos := make(map[NodeID]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	for v := 0; v < tree.Len(); v++ {
+		if p := tree.Next(NodeID(v)); p != None && pos[NodeID(v)] > pos[p] {
+			t.Errorf("node %d appears after its next hop %d", v, p)
+		}
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder(4)
+	if err := b.Edge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Edge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Edge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Edge(0, 2); err == nil {
+		t.Error("duplicate out-edge accepted")
+	}
+	if err := b.Edge(0, 9); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	nw, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := nw.Next(1); got != 3 {
+		t.Errorf("Next(1) = %d, want 3", got)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	t.Run("caterpillar", func(t *testing.T) {
+		nw, err := CaterpillarTree(4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw.Len() != 12 {
+			t.Errorf("Len = %d, want 12", nw.Len())
+		}
+		if got := len(nw.Sinks()); got != 1 {
+			t.Errorf("sinks = %d, want 1", got)
+		}
+		// Each spine node except the last has 1 path child + 2 legs.
+		if got := len(nw.Children(1)); got != 3 {
+			t.Errorf("Children(1) = %d, want 3", got)
+		}
+	})
+	t.Run("caterpillar errors", func(t *testing.T) {
+		if _, err := CaterpillarTree(1, 2); err == nil {
+			t.Error("want error for spine 1")
+		}
+		if _, err := CaterpillarTree(3, -1); err == nil {
+			t.Error("want error for negative legs")
+		}
+	})
+	t.Run("binary", func(t *testing.T) {
+		nw, err := BinaryTree(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw.Len() != 15 {
+			t.Errorf("Len = %d, want 15", nw.Len())
+		}
+		root := nw.Sinks()[0]
+		if root != 14 {
+			t.Errorf("root = %d, want 14", root)
+		}
+		if got := len(nw.Children(root)); got != 2 {
+			t.Errorf("root children = %d, want 2", got)
+		}
+		if got := nw.MaxDepth(); got != 3 {
+			t.Errorf("MaxDepth = %d, want 3", got)
+		}
+		if _, err := BinaryTree(0); err == nil {
+			t.Error("want error for height 0")
+		}
+	})
+	t.Run("spider", func(t *testing.T) {
+		nw, err := SpiderTree(3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw.Len() != 13 {
+			t.Errorf("Len = %d, want 13", nw.Len())
+		}
+		if got := len(nw.Children(nw.Sinks()[0])); got != 3 {
+			t.Errorf("root children = %d, want 3 arms", got)
+		}
+		if got := nw.Depth(0); got != 4 {
+			t.Errorf("Depth(0) = %d, want 4", got)
+		}
+		if _, err := SpiderTree(0, 3); err == nil {
+			t.Error("want error for 0 arms")
+		}
+	})
+	t.Run("random", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 20; i++ {
+			nw, err := RandomTree(2+rng.Intn(50), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(nw.Sinks()); got != 1 {
+				t.Errorf("random tree has %d roots, want 1", got)
+			}
+		}
+		if _, err := RandomTree(1, rng); err == nil {
+			t.Error("want error for n=1")
+		}
+	})
+}
+
+func TestQuickRandomTreeInvariants(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz)%60
+		rng := rand.New(rand.NewSource(seed))
+		nw, err := RandomTree(n, rng)
+		if err != nil {
+			return false
+		}
+		root := nw.Sinks()[0]
+		// Every node reaches the root; routes have length Depth+1.
+		for v := 0; v < n; v++ {
+			if !nw.Reaches(NodeID(v), root) {
+				return false
+			}
+			route, err := nw.Route(NodeID(v), root)
+			if err != nil || len(route) != nw.Depth(NodeID(v))+1 {
+				return false
+			}
+		}
+		// Subtree sizes sum to total path lengths: Σ|Subtree(v)| = Σ(depth+1).
+		sum, want := 0, 0
+		for v := 0; v < n; v++ {
+			sum += len(nw.Subtree(NodeID(v)))
+			want += nw.Depth(NodeID(v)) + 1
+		}
+		return sum == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+// Package packet defines the packet model of the AQT simulation. A packet is
+// the paper's triple P = (t, i_P, w_P): injection round, injection site, and
+// destination (§2). Packets additionally carry a unique ID so traces,
+// staleness accounting, and delivery bookkeeping can refer to them stably,
+// plus the arrival round at the current node, which greedy baselines (FIFO,
+// LIFO) use for intra-buffer priority.
+package packet
+
+import (
+	"fmt"
+
+	"smallbuffers/internal/network"
+)
+
+// ID uniquely identifies a packet within one simulation run. IDs are
+// assigned in injection order, so they also provide a deterministic
+// tie-break for scheduling policies.
+type ID uint64
+
+// Packet is a routed packet. Fields are set at injection and never mutated;
+// per-node position is tracked by the buffer layer.
+type Packet struct {
+	ID     ID
+	Src    network.NodeID // injection site i_P
+	Dst    network.NodeID // destination w_P
+	Inject int            // injection round t
+
+	// Arrived is the round at which the packet most recently entered the
+	// buffer it currently occupies (== Inject at the injection site). The
+	// engine updates it on every hop.
+	Arrived int
+}
+
+// String renders the packet as "#id src→dst@t" for traces and test output.
+func (p Packet) String() string {
+	return fmt.Sprintf("#%d %d→%d@%d", p.ID, p.Src, p.Dst, p.Inject)
+}
+
+// Injection is a packet-to-be: what an adversary emits. The engine assigns
+// the ID and stamps the round.
+type Injection struct {
+	Src network.NodeID
+	Dst network.NodeID
+}
+
+// Validate checks that the injection names a real, non-trivial route in nw:
+// both endpoints exist, src ≠ dst, and dst is reachable from src.
+func (in Injection) Validate(nw *network.Network) error {
+	if !nw.Valid(in.Src) || !nw.Valid(in.Dst) {
+		return fmt.Errorf("packet: injection %d→%d: node out of range [0,%d)", in.Src, in.Dst, nw.Len())
+	}
+	if in.Src == in.Dst {
+		return fmt.Errorf("packet: injection %d→%d: empty route", in.Src, in.Dst)
+	}
+	if !nw.Reaches(in.Src, in.Dst) {
+		return fmt.Errorf("packet: injection %d→%d: destination not on route to sink", in.Src, in.Dst)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package packet
+
+import (
+	"testing"
+
+	"smallbuffers/internal/network"
+)
+
+func TestString(t *testing.T) {
+	p := Packet{ID: 7, Src: 1, Dst: 4, Inject: 12}
+	if got := p.String(); got != "#7 1→4@12" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestInjectionValidate(t *testing.T) {
+	path := network.MustPath(5)
+	tree, err := network.NewTree([]network.NodeID{2, 2, 4, 4, network.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		nw   *network.Network
+		in   Injection
+		ok   bool
+	}{
+		{"path forward", path, Injection{0, 4}, true},
+		{"path one hop", path, Injection{2, 3}, true},
+		{"path backward", path, Injection{3, 1}, false},
+		{"path empty route", path, Injection{2, 2}, false},
+		{"path src out of range", path, Injection{-1, 3}, false},
+		{"path dst out of range", path, Injection{0, 9}, false},
+		{"tree to root", tree, Injection{0, 4}, true},
+		{"tree to ancestor", tree, Injection{1, 2}, true},
+		{"tree to sibling", tree, Injection{0, 1}, false},
+		{"tree to incomparable", tree, Injection{0, 3}, false},
+		{"tree downward", tree, Injection{4, 0}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.in.Validate(tt.nw)
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate(%v) err = %v, want ok=%v", tt.in, err, tt.ok)
+			}
+		})
+	}
+}

@@ -1,0 +1,426 @@
+// Package sim implements the synchronous execution model of §2: rounds
+// consisting of an injection step followed by a forwarding step, with at
+// most one packet forwarded over each link per round.
+//
+// The engine owns all buffers; protocols are centralized deciders that
+// observe the full configuration through the read-only View and return a
+// set of forwarding decisions. The engine validates each decision set
+// against the capacity constraint (at most one packet leaves each node per
+// round — on in-forests each node has one outgoing link), applies all moves
+// simultaneously, and delivers packets that reach their destination.
+//
+// Buffer occupancies are sampled at the paper's measurement point, L_t:
+// after the injection step and before the forwarding step, as well as after
+// forwarding, and the maxima over both sample points are reported.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/buffer"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/packet"
+)
+
+// View is the read-only interface protocols use to observe the
+// configuration.
+type View interface {
+	// Round returns the current (0-based) round number.
+	Round() int
+	// Net returns the topology.
+	Net() *network.Network
+	// Packets returns the packets buffered at v in arrival order (LIFO
+	// pseudo-buffer order is derived from this). The slice is shared;
+	// callers must not modify it.
+	Packets(v network.NodeID) []packet.Packet
+	// Load returns |L(v)|, the number of packets buffered at v.
+	Load(v network.NodeID) int
+}
+
+// Forward is one forwarding decision: node From sends the identified packet
+// over its unique outgoing link.
+type Forward struct {
+	From network.NodeID
+	Pkt  packet.ID
+}
+
+// Move is an applied forwarding decision, as reported to observers.
+type Move struct {
+	Pkt       packet.Packet
+	From, To  network.NodeID
+	Delivered bool
+}
+
+// Protocol is a centralized online forwarding algorithm.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Attach is called once before the run with the topology, the declared
+	// demand bound, and an optional destination hint (nil means unknown).
+	Attach(nw *network.Network, bound adversary.Bound, dests []network.NodeID) error
+	// Decide returns the forwarding decisions for the current round. The
+	// engine validates feasibility; an infeasible decision aborts the run
+	// with an error.
+	Decide(v View) ([]Forward, error)
+}
+
+// PhasedAcceptor is an optional Protocol interface. A protocol with phase
+// length ℓ > 1 plays against the ℓ-reduction of the adversary
+// (Definition 2.4): packets injected at round u become visible at round
+// ⌈u/ℓ⌉·ℓ. The engine stages injections accordingly; staged packets are
+// counted in the physical occupancy but not in the visible one.
+type PhasedAcceptor interface {
+	PhaseLength() int
+}
+
+// Observer receives execution events. Implementations embed NopObserver to
+// stay source-compatible as hooks are added.
+type Observer interface {
+	// OnInject fires after the injection step with the packets injected
+	// this round (possibly staged, not yet visible).
+	OnInject(round int, pkts []packet.Packet)
+	// OnAccept fires when packets become visible to the protocol (for
+	// unphased protocols this is every round, right after OnInject).
+	OnAccept(round int, pkts []packet.Packet)
+	// OnForward fires after the forwarding step with the applied moves.
+	OnForward(round int, moves []Move)
+	// OnRoundEnd fires at the end of each round with the post-forwarding
+	// configuration.
+	OnRoundEnd(round int, v View)
+}
+
+// NopObserver is an Observer with no-op hooks, for embedding.
+type NopObserver struct{}
+
+// OnInject implements Observer.
+func (NopObserver) OnInject(int, []packet.Packet) {}
+
+// OnAccept implements Observer.
+func (NopObserver) OnAccept(int, []packet.Packet) {}
+
+// OnForward implements Observer.
+func (NopObserver) OnForward(int, []Move) {}
+
+// OnRoundEnd implements Observer.
+func (NopObserver) OnRoundEnd(int, View) {}
+
+// Invariant is a per-round predicate checked after the forwarding step;
+// returning an error aborts the run. Invariants power the bound assertions
+// in tests and experiments.
+type Invariant func(v View) error
+
+// Config describes one simulation run.
+type Config struct {
+	Net       *network.Network
+	Protocol  Protocol
+	Adversary adversary.Adversary
+	Rounds    int
+
+	// VerifyAdversary re-checks every injection against the adversary's
+	// declared (ρ,σ) bound; a violation aborts the run. Crafted adversaries
+	// are pre-verified, so this defaults to off.
+	VerifyAdversary bool
+
+	Observers  []Observer
+	Invariants []Invariant
+}
+
+// Result summarizes a run.
+type Result struct {
+	Protocol string
+	Rounds   int
+
+	// MaxLoad is the maximum visible buffer occupancy over all rounds and
+	// nodes, sampled both at L_t (post-injection) and post-forwarding.
+	MaxLoad int
+	// MaxLoadNode and MaxLoadRound locate the first maximum.
+	MaxLoadNode  network.NodeID
+	MaxLoadRound int
+	// MaxPhysicalLoad additionally counts packets staged by phased
+	// acceptance (equals MaxLoad for unphased protocols).
+	MaxPhysicalLoad int
+	// PerNodeMax[v] is the maximum visible occupancy seen at v.
+	PerNodeMax []int
+
+	Injected  int
+	Delivered int
+	// Residual is Injected − Delivered at the end of the run.
+	Residual int
+
+	// MaxLatency and TotalLatency aggregate delivery times (delivery round
+	// − injection round) over delivered packets.
+	MaxLatency   int
+	TotalLatency int
+}
+
+// AvgLatency returns the mean delivery latency, or 0 with ok=false if
+// nothing was delivered.
+func (r Result) AvgLatency() (float64, bool) {
+	if r.Delivered == 0 {
+		return 0, false
+	}
+	return float64(r.TotalLatency) / float64(r.Delivered), true
+}
+
+// Engine executes one run. It implements View.
+type Engine struct {
+	cfg      Config
+	buffers  []buffer.Buffer
+	staged   []([]packet.Packet) // per-node staging for phased acceptance
+	stagedN  int
+	phaseLen int
+	verifier *adversary.Verifier
+	round    int
+	nextID   packet.ID
+	res      Result
+}
+
+var _ View = (*Engine)(nil)
+
+// NewEngine validates the configuration and prepares a run.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("sim: nil network")
+	}
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("sim: nil protocol")
+	}
+	if cfg.Adversary == nil {
+		return nil, fmt.Errorf("sim: nil adversary")
+	}
+	if cfg.Rounds < 0 {
+		return nil, fmt.Errorf("sim: negative round count %d", cfg.Rounds)
+	}
+	n := cfg.Net.Len()
+	e := &Engine{
+		cfg:     cfg,
+		buffers: make([]buffer.Buffer, n),
+		staged:  make([][]packet.Packet, n),
+		res: Result{
+			Protocol:   cfg.Protocol.Name(),
+			Rounds:     cfg.Rounds,
+			PerNodeMax: make([]int, n),
+		},
+	}
+	if pa, ok := cfg.Protocol.(PhasedAcceptor); ok {
+		e.phaseLen = pa.PhaseLength()
+		if e.phaseLen < 1 {
+			return nil, fmt.Errorf("sim: protocol %q reports phase length %d < 1", cfg.Protocol.Name(), e.phaseLen)
+		}
+	} else {
+		e.phaseLen = 1
+	}
+	var dests []network.NodeID
+	if h, ok := cfg.Adversary.(adversary.DestinationHinter); ok {
+		dests = h.Destinations()
+	}
+	if err := cfg.Protocol.Attach(cfg.Net, cfg.Adversary.Bound(), dests); err != nil {
+		return nil, fmt.Errorf("sim: protocol attach: %w", err)
+	}
+	if cfg.VerifyAdversary {
+		ver, err := adversary.NewVerifier(cfg.Net, cfg.Adversary.Bound())
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		e.verifier = ver
+	}
+	return e, nil
+}
+
+// Round implements View.
+func (e *Engine) Round() int { return e.round }
+
+// Net implements View.
+func (e *Engine) Net() *network.Network { return e.cfg.Net }
+
+// Packets implements View.
+func (e *Engine) Packets(v network.NodeID) []packet.Packet { return e.buffers[v].Packets() }
+
+// Load implements View.
+func (e *Engine) Load(v network.NodeID) int { return e.buffers[v].Len() }
+
+// Staged returns the number of packets staged (injected but not yet
+// accepted) at v. Zero for unphased protocols.
+func (e *Engine) Staged(v network.NodeID) int { return len(e.staged[v]) }
+
+// Run executes the configured number of rounds and returns the summary.
+// The engine is single-use.
+func (e *Engine) Run() (Result, error) {
+	for t := 0; t < e.cfg.Rounds; t++ {
+		if err := e.step(t); err != nil {
+			return e.res, fmt.Errorf("round %d: %w", t, err)
+		}
+	}
+	e.res.Residual = e.res.Injected - e.res.Delivered
+	return e.res, nil
+}
+
+// step runs one full round: injection, acceptance, sampling, forwarding.
+func (e *Engine) step(t int) error {
+	e.round = t
+
+	// Injection step. Adaptive adversaries observe the previous round's
+	// post-forwarding occupancies.
+	var injs []packet.Injection
+	if ad, ok := e.cfg.Adversary.(adversary.Adaptive); ok {
+		injs = ad.InjectAdaptive(t, func(v network.NodeID) int { return e.buffers[v].Len() })
+	} else {
+		injs = e.cfg.Adversary.Inject(t)
+	}
+	if e.verifier != nil {
+		if err := e.verifier.Check(t, injs); err != nil {
+			return err
+		}
+	}
+	newPkts := make([]packet.Packet, 0, len(injs))
+	for _, in := range injs {
+		if err := in.Validate(e.cfg.Net); err != nil {
+			return err
+		}
+		p := packet.Packet{ID: e.nextID, Src: in.Src, Dst: in.Dst, Inject: t, Arrived: t}
+		e.nextID++
+		newPkts = append(newPkts, p)
+	}
+	e.res.Injected += len(newPkts)
+	for _, ob := range e.cfg.Observers {
+		ob.OnInject(t, newPkts)
+	}
+
+	// Acceptance: phased protocols see injections only at phase boundaries.
+	var accepted []packet.Packet
+	if e.phaseLen == 1 {
+		accepted = newPkts
+	} else {
+		for _, p := range newPkts {
+			e.staged[p.Src] = append(e.staged[p.Src], p)
+			e.stagedN++
+		}
+		if t%e.phaseLen == 0 {
+			for v := range e.staged {
+				accepted = append(accepted, e.staged[v]...)
+				e.staged[v] = e.staged[v][:0]
+			}
+			e.stagedN = 0
+			// Deterministic acceptance order: by packet ID.
+			sort.Slice(accepted, func(i, j int) bool { return accepted[i].ID < accepted[j].ID })
+		}
+	}
+	for _, p := range accepted {
+		p.Arrived = t
+		e.buffers[p.Src].Add(p)
+	}
+	if len(accepted) > 0 {
+		for _, ob := range e.cfg.Observers {
+			ob.OnAccept(t, accepted)
+		}
+	}
+
+	// Sample L_t (post-injection, pre-forwarding).
+	e.sampleLoads(t)
+
+	// Forwarding step.
+	decisions, err := e.cfg.Protocol.Decide(e)
+	if err != nil {
+		return fmt.Errorf("protocol %q: %w", e.cfg.Protocol.Name(), err)
+	}
+	moves, err := e.apply(t, decisions)
+	if err != nil {
+		return err
+	}
+	for _, ob := range e.cfg.Observers {
+		ob.OnForward(t, moves)
+	}
+
+	// Sample post-forwarding occupancy too (receivers that did not forward
+	// can peak here).
+	e.sampleLoads(t)
+
+	for _, inv := range e.cfg.Invariants {
+		if err := inv(e); err != nil {
+			return fmt.Errorf("invariant: %w", err)
+		}
+	}
+	for _, ob := range e.cfg.Observers {
+		ob.OnRoundEnd(t, e)
+	}
+	return nil
+}
+
+// apply validates and executes a decision set simultaneously.
+func (e *Engine) apply(t int, decisions []Forward) ([]Move, error) {
+	seen := make(map[network.NodeID]bool, len(decisions))
+	moves := make([]Move, 0, len(decisions))
+	// Remove phase: validate and detach all forwarded packets first so the
+	// moves are simultaneous.
+	for _, d := range decisions {
+		if !e.cfg.Net.Valid(d.From) {
+			return nil, fmt.Errorf("sim: decision from invalid node %d", d.From)
+		}
+		if seen[d.From] {
+			return nil, fmt.Errorf("sim: node %d forwards twice in one round (link capacity is 1)", d.From)
+		}
+		seen[d.From] = true
+		to := e.cfg.Net.Next(d.From)
+		if to == network.None {
+			return nil, fmt.Errorf("sim: sink node %d cannot forward", d.From)
+		}
+		p, err := e.buffers[d.From].Remove(d.Pkt)
+		if err != nil {
+			return nil, fmt.Errorf("sim: node %d: %w", d.From, err)
+		}
+		moves = append(moves, Move{Pkt: p, From: d.From, To: to, Delivered: to == p.Dst})
+	}
+	// Deterministic arrival order: by source node, then packet ID.
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].From != moves[j].From {
+			return moves[i].From < moves[j].From
+		}
+		return moves[i].Pkt.ID < moves[j].Pkt.ID
+	})
+	// Insert phase.
+	for i := range moves {
+		m := &moves[i]
+		if m.Delivered {
+			e.res.Delivered++
+			lat := t - m.Pkt.Inject
+			e.res.TotalLatency += lat
+			if lat > e.res.MaxLatency {
+				e.res.MaxLatency = lat
+			}
+			continue
+		}
+		p := m.Pkt
+		p.Arrived = t + 1 // available at the receiver from the next round
+		e.buffers[m.To].Add(p)
+	}
+	return moves, nil
+}
+
+// sampleLoads folds the current occupancies into the result maxima.
+func (e *Engine) sampleLoads(t int) {
+	for v := range e.buffers {
+		load := e.buffers[v].Len()
+		if load > e.res.PerNodeMax[v] {
+			e.res.PerNodeMax[v] = load
+		}
+		if load > e.res.MaxLoad {
+			e.res.MaxLoad = load
+			e.res.MaxLoadNode = network.NodeID(v)
+			e.res.MaxLoadRound = t
+		}
+		if phys := load + len(e.staged[v]); phys > e.res.MaxPhysicalLoad {
+			e.res.MaxPhysicalLoad = phys
+		}
+	}
+}
+
+// Run is a convenience wrapper: build an engine from cfg and execute it.
+func Run(cfg Config) (Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run()
+}

@@ -1,0 +1,173 @@
+// Package stats provides the small reporting toolkit used by the
+// experiment harness: aligned text tables, numeric summaries, and series
+// helpers. Everything renders to plain text so experiment output diffs
+// cleanly and embeds in EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is an ordered grid with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: append([]string(nil), columns...)}
+}
+
+// AddRow appends a row; values are stringified with %v (floats with %.3g).
+func (t *Table) AddRow(values ...interface{}) *Table {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = strconv.FormatFloat(x, 'g', 4, 64)
+		case fmt.Stringer:
+			row[i] = x.String()
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("-", len(t.Title))); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(t.Columns, "\t")); err != nil {
+		return err
+	}
+	underline := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		underline[i] = strings.Repeat("=", len([]rune(c)))
+	}
+	if _, err := fmt.Fprintln(tw, strings.Join(underline, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Summary aggregates a numeric sample.
+type Summary struct {
+	Count    int
+	Min, Max float64
+	Mean     float64
+	sum      float64
+	values   []float64
+}
+
+// Add folds a value into the summary.
+func (s *Summary) Add(v float64) {
+	if s.Count == 0 || v < s.Min {
+		s.Min = v
+	}
+	if s.Count == 0 || v > s.Max {
+		s.Max = v
+	}
+	s.Count++
+	s.sum += v
+	s.Mean = s.sum / float64(s.Count)
+	s.values = append(s.values, v)
+}
+
+// AddInt folds an integer value.
+func (s *Summary) AddInt(v int) { s.Add(float64(v)) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank, or
+// 0 for an empty summary.
+func (s *Summary) Percentile(p float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	rank := int(p/100*float64(s.Count)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	return sorted[rank]
+}
+
+// String renders "n=… min=… mean=… max=…".
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d min=%g mean=%.3g max=%g", s.Count, s.Min, s.Mean, s.Max)
+}
+
+// Ratio formats measured/bound as a tightness ratio string ("0.83×").
+func Ratio(measured, bound int) string {
+	if bound == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f×", float64(measured)/float64(bound))
+}
+
+// CheckMark renders "✓" when ok, "✗ VIOLATION" otherwise; experiment tables
+// use it for bound assertions.
+func CheckMark(ok bool) string {
+	if ok {
+		return "✓"
+	}
+	return "✗ VIOLATION"
+}

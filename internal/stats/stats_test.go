@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow(1, "x").AddRow(2.5, "y")
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	out := tb.String()
+	for _, want := range []string{"demo", "a", "b", "1", "2.5", "x", "y", "="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("p", "q")
+	var sb strings.Builder
+	if err := tb.Markdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### demo", "| a | b |", "| --- | --- |", "| p | q |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableStringerValues(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(strings.NewReplacer()) // not a Stringer: falls back to %v
+	tb.AddRow(testStringer{})
+	if !strings.Contains(tb.String(), "custom") {
+		t.Error("Stringer not used")
+	}
+}
+
+type testStringer struct{}
+
+func (testStringer) String() string { return "custom" }
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		s.Add(v)
+	}
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 2.8 {
+		t.Errorf("Mean = %v, want 2.8", s.Mean)
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("P50 = %v, want 3", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	s2 := Summary{}
+	if got := s2.Percentile(50); got != 0 {
+		t.Errorf("empty P50 = %v", got)
+	}
+	var s3 Summary
+	s3.AddInt(7)
+	if s3.Max != 7 {
+		t.Errorf("AddInt: %v", s3.Max)
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Summary
+		for _, v := range vals {
+			s.Add(float64(v))
+		}
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.Count == len(vals) &&
+			s.Percentile(0) == s.Min && s.Percentile(100) == s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioAndCheckMark(t *testing.T) {
+	if got := Ratio(3, 4); got != "0.75×" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "n/a" {
+		t.Errorf("Ratio/0 = %q", got)
+	}
+	if CheckMark(true) != "✓" || !strings.Contains(CheckMark(false), "VIOLATION") {
+		t.Error("CheckMark wrong")
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"smallbuffers/internal/core"
+)
+
+// RenderFigure1 reproduces Figure 1 of the paper for an arbitrary
+// hierarchy: one row per level (top = highest), with boxes marking the
+// level's intervals, plus the base-m digit labels of every node. If
+// 0 ≤ src < dst < n, the virtual trajectory of a packet src→dst is drawn
+// underneath: for each of its segments, the covered span at the segment's
+// level.
+//
+// For m=2, ℓ=4, src=0, dst=13 the output matches the paper's figure: the
+// 16-node line, rows j = 3..0, and a trajectory descending through levels
+// 3, 2, 0.
+func RenderFigure1(w io.Writer, h *core.Hierarchy, src, dst int) error {
+	n := h.N()
+	cell := len(fmt.Sprintf("%d", n-1)) // width of a node label
+	if digits := h.Levels(); digits > cell {
+		cell = digits
+	}
+	cellW := cell + 1 // one space of padding
+
+	header := fmt.Sprintf("Hierarchical partition: n = %d, m = %d, ℓ = %d", n, h.M(), h.Levels())
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", header, strings.Repeat("=", len(header))); err != nil {
+		return err
+	}
+
+	// Interval rows, top level first.
+	for j := h.Levels() - 1; j >= 0; j-- {
+		var sb strings.Builder
+		sb.WriteString(fmt.Sprintf("j=%d  ", j))
+		for r := 0; r < h.IntervalCount(j); r++ {
+			lo, hi := h.Interval(j, r)
+			span := (hi - lo + 1) * cellW
+			label := fmt.Sprintf("I%d,%d", j, r)
+			if len(label)+2 > span {
+				label = ""
+			}
+			pad := span - 2 - len(label)
+			sb.WriteString("[" + label + strings.Repeat("-", pad) + "]")
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+	}
+
+	// Node digit labels.
+	var nodes strings.Builder
+	nodes.WriteString("node ")
+	for i := 0; i < n; i++ {
+		digits := make([]byte, h.Levels())
+		for j := 0; j < h.Levels(); j++ {
+			digits[h.Levels()-1-j] = byte('0' + h.Digit(i, j))
+		}
+		label := string(digits)
+		nodes.WriteString(fmt.Sprintf("%-*s", cellW, label))
+	}
+	if _, err := fmt.Fprintln(w, nodes.String()); err != nil {
+		return err
+	}
+
+	// Virtual trajectory.
+	if src >= 0 && dst > src && dst < n {
+		if _, err := fmt.Fprintf(w, "\nvirtual trajectory of a packet %d → %d:\n", src, dst); err != nil {
+			return err
+		}
+		for _, seg := range h.Segments(src, dst) {
+			var sb strings.Builder
+			sb.WriteString(fmt.Sprintf("lv=%d ", seg.Level))
+			for i := 0; i < n; i++ {
+				ch := " "
+				switch {
+				case i == seg.From:
+					ch = "●"
+				case i == seg.To:
+					ch = "►"
+				case i > seg.From && i < seg.To:
+					ch = "─"
+				}
+				sb.WriteString(fmt.Sprintf("%-*s", cellW, ch))
+			}
+			sb.WriteString(fmt.Sprintf(" segment [%d,%d]", seg.From, seg.To))
+			if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

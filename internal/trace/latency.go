@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"smallbuffers/internal/sim"
+	"smallbuffers/internal/stats"
+)
+
+// LatencyRecorder is an engine observer that collects per-packet delivery
+// latencies (delivery round − injection round) into a summary with
+// percentiles — finer-grained than the engine Result's total/max.
+type LatencyRecorder struct {
+	sim.NopObserver
+	summary stats.Summary
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+
+// OnForward implements sim.Observer.
+func (l *LatencyRecorder) OnForward(round int, moves []sim.Move) {
+	for _, m := range moves {
+		if m.Delivered {
+			l.summary.AddInt(round - m.Pkt.Inject)
+		}
+	}
+}
+
+// Summary returns the collected latency distribution.
+func (l *LatencyRecorder) Summary() *stats.Summary { return &l.summary }
+
+// P returns the p-th latency percentile (0 for an empty recorder).
+func (l *LatencyRecorder) P(p float64) float64 { return l.summary.Percentile(p) }
+
+// Count returns the number of recorded deliveries.
+func (l *LatencyRecorder) Count() int { return l.summary.Count }

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"testing"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/baseline"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/rat"
+	"smallbuffers/internal/sim"
+)
+
+func TestLatencyRecorder(t *testing.T) {
+	nw := network.MustPath(6)
+	adv := adversary.NewStream(adversary.Bound{Rho: rat.One, Sigma: 0}, 0, 5)
+	lat := NewLatencyRecorder()
+	res, err := sim.Run(sim.Config{
+		Net: nw, Protocol: baseline.NewGreedy(baseline.FIFO{}), Adversary: adv,
+		Rounds: 50, Observers: []sim.Observer{lat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.Count() != res.Delivered {
+		t.Errorf("recorded %d deliveries, result says %d", lat.Count(), res.Delivered)
+	}
+	// A clean rate-1 pipeline delivers every packet in exactly 4 rounds
+	// (first forward happens in the injection round).
+	if got := lat.P(50); got != 4 {
+		t.Errorf("p50 latency = %v, want 4", got)
+	}
+	if got := lat.P(100); got != float64(res.MaxLatency) {
+		t.Errorf("p100 = %v, max = %d", got, res.MaxLatency)
+	}
+	if s := lat.Summary(); s.Mean != 4 {
+		t.Errorf("mean = %v, want 4", s.Mean)
+	}
+}
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	lat := NewLatencyRecorder()
+	if lat.Count() != 0 || lat.P(50) != 0 {
+		t.Error("empty recorder not zero")
+	}
+}

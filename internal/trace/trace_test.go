@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/baseline"
+	"smallbuffers/internal/core"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/rat"
+	"smallbuffers/internal/sim"
+)
+
+func recordRun(t *testing.T, rounds int) *Recorder {
+	t.Helper()
+	nw := network.MustPath(8)
+	adv := adversary.NewStream(adversary.Bound{Rho: rat.One, Sigma: 0}, 0, 7)
+	rec := NewRecorder()
+	_, err := sim.Run(sim.Config{
+		Net: nw, Protocol: baseline.NewGreedy(baseline.FIFO{}), Adversary: adv,
+		Rounds: rounds, Observers: []sim.Observer{rec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecorderCaptures(t *testing.T) {
+	rec := recordRun(t, 20)
+	if len(rec.Loads) != 20 {
+		t.Errorf("Loads rows = %d, want 20", len(rec.Loads))
+	}
+	kinds := make(map[string]int)
+	for _, e := range rec.Events {
+		kinds[e.Kind]++
+	}
+	if kinds["inject"] != 20 {
+		t.Errorf("inject events = %d, want 20", kinds["inject"])
+	}
+	if kinds["deliver"] == 0 {
+		t.Error("no deliveries recorded")
+	}
+	if kinds["forward"] == 0 {
+		t.Error("no forwards recorded")
+	}
+}
+
+func TestRecorderEventsOptional(t *testing.T) {
+	nw := network.MustPath(4)
+	adv := adversary.NewStream(adversary.Bound{Rho: rat.One, Sigma: 0}, 0, 3)
+	rec := &Recorder{CaptureEvents: false}
+	if _, err := sim.Run(sim.Config{
+		Net: nw, Protocol: baseline.NewGreedy(baseline.FIFO{}), Adversary: adv,
+		Rounds: 10, Observers: []sim.Observer{rec},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != 0 {
+		t.Errorf("events captured despite CaptureEvents=false: %d", len(rec.Events))
+	}
+	if len(rec.Loads) != 10 {
+		t.Errorf("loads not captured: %d", len(rec.Loads))
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	rec := recordRun(t, 5)
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Events []Event `json:"events"`
+		Loads  [][]int `json:"loads"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.Loads) != 5 {
+		t.Errorf("JSON loads = %d, want 5", len(doc.Loads))
+	}
+}
+
+func TestRenderHeatmap(t *testing.T) {
+	rec := recordRun(t, 100)
+	var buf bytes.Buffer
+	if err := rec.RenderHeatmap(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "occupancy heatmap") {
+		t.Error("missing header")
+	}
+	lines := strings.Count(out, "\n")
+	if lines > 13 {
+		t.Errorf("heatmap not subsampled: %d lines", lines)
+	}
+	empty := &Recorder{}
+	buf.Reset()
+	if err := empty.RenderHeatmap(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no rounds") {
+		t.Error("empty recorder message missing")
+	}
+}
+
+func TestMaxLoadSeriesAndSparkline(t *testing.T) {
+	rec := recordRun(t, 30)
+	series := rec.MaxLoadSeries()
+	if len(series) != 30 {
+		t.Fatalf("series = %d", len(series))
+	}
+	var buf bytes.Buffer
+	if err := RenderSparkline(&buf, series, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "max load per round") {
+		t.Error("sparkline header missing")
+	}
+	buf.Reset()
+	if err := RenderSparkline(&buf, nil, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty series") {
+		t.Error("empty series message missing")
+	}
+	buf.Reset()
+	if err := RenderSparkline(&buf, []int{0, 0, 0}, 20); err != nil {
+		t.Fatal(err) // zero max must not divide by zero
+	}
+}
+
+func TestRenderFigure1MatchesPaper(t *testing.T) {
+	h, err := core.NewHierarchy(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure1(&buf, h, 0, 13); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"n = 16, m = 2, ℓ = 4",
+		"j=3", "j=0",
+		"0000", "1101", "1111",
+		"virtual trajectory of a packet 0 → 13",
+		"lv=3", "lv=2", "lv=0",
+		"segment [0,8]", "segment [8,12]", "segment [12,13]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "lv=1") {
+		t.Error("figure shows a level-1 segment; 0→13 must skip level 1")
+	}
+}
+
+func TestRenderFigure1NoTrajectory(t *testing.T) {
+	h, err := core.NewHierarchy(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure1(&buf, h, -1, -1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "virtual trajectory") {
+		t.Error("trajectory rendered despite being omitted")
+	}
+}

@@ -1,0 +1,353 @@
+// Package smallbuffers is a simulation library and reproduction of
+// "With Great Speed Come Small Buffers: Space-Bandwidth Tradeoffs for
+// Routing" (Miller, Patt-Shamir, Rosenbaum; PODC 2019).
+//
+// It provides, under one stable API:
+//
+//   - the adversarial-queuing model of the paper: synchronous store-and-
+//     forward rounds on directed paths and in-trees, with (ρ,σ)-bounded
+//     packet injections (Definition 2.1) and unit link capacities;
+//   - the paper's forwarding algorithms: PTS (Alg. 1, ≤ 2+σ), PPTS
+//     (Alg. 2, ≤ 1+d+σ), their directed-tree variants (App. B.2), and the
+//     hierarchical HPTS (Algs. 3–5, ≤ ℓ·n^(1/ℓ)+σ+1 at rate ρ ≤ 1/ℓ);
+//   - the Section 5 lower-bound adversary forcing Ω(((ℓ+1)ρ−1)/2ℓ·n^(1/ℓ))
+//     space against every protocol, with the fresh/stale accounting of
+//     Lemmas 5.2–5.4 as an executable tracker;
+//   - classical greedy baselines (FIFO, LIFO, LIS, SIS, NTG, FTG);
+//   - adversary construction kits: verified replay schedules, shaped random
+//     patterns that are (ρ,σ)-bounded by construction, crafted worst cases;
+//   - an experiment harness regenerating every theorem and figure of the
+//     paper (see EXPERIMENTS.md), plus tracing and ASCII visualization.
+//
+// # Quick start
+//
+//	nw, _ := smallbuffers.NewPath(64)
+//	adv, _ := smallbuffers.NewRandomAdversary(nw, smallbuffers.Bound{
+//		Rho: smallbuffers.NewRat(1, 1), Sigma: 2,
+//	}, nil, 42)
+//	res, _ := smallbuffers.Run(smallbuffers.Config{
+//		Net: nw, Protocol: smallbuffers.NewPPTS(), Adversary: adv, Rounds: 1000,
+//	})
+//	fmt.Println(res.MaxLoad) // ≤ 1 + d + σ per Proposition 3.2
+package smallbuffers
+
+import (
+	"io"
+	"math/rand"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/baseline"
+	"smallbuffers/internal/core"
+	"smallbuffers/internal/experiments"
+	"smallbuffers/internal/local"
+	"smallbuffers/internal/lowerbound"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/opt"
+	"smallbuffers/internal/packet"
+	"smallbuffers/internal/rat"
+	"smallbuffers/internal/sim"
+	"smallbuffers/internal/trace"
+)
+
+// Core model types, re-exported.
+type (
+	// NodeID identifies a node; nodes of an n-node network are 0…n−1.
+	NodeID = network.NodeID
+	// Network is an immutable directed in-forest (path or in-tree).
+	Network = network.Network
+	// Rat is an exact rational; injection rates ρ are Rats.
+	Rat = rat.Rat
+	// Bound is a (ρ,σ) demand bound (Definition 2.1).
+	Bound = adversary.Bound
+	// Injection is a packet-to-be emitted by an adversary.
+	Injection = packet.Injection
+	// Packet is a routed packet.
+	Packet = packet.Packet
+	// Adversary produces each round's injections.
+	Adversary = adversary.Adversary
+	// Protocol is a centralized online forwarding algorithm.
+	Protocol = sim.Protocol
+	// Config describes one simulation run.
+	Config = sim.Config
+	// Result summarizes a run.
+	Result = sim.Result
+	// View is the read-only configuration protocols observe.
+	View = sim.View
+	// Forward is one forwarding decision.
+	Forward = sim.Forward
+	// Move is an applied forwarding decision, as seen by observers.
+	Move = sim.Move
+	// Observer receives engine events.
+	Observer = sim.Observer
+	// NopObserver is an embeddable no-op Observer.
+	NopObserver = sim.NopObserver
+	// Invariant is a per-round predicate checked by the engine.
+	Invariant = sim.Invariant
+	// Hierarchy is the base-m partition HPTS runs on (§4.1).
+	Hierarchy = core.Hierarchy
+	// Segment is one leg of a packet's virtual trajectory (Figure 1).
+	Segment = core.Segment
+	// Experiment is one unit of the reproduction suite.
+	Experiment = experiments.Experiment
+	// ExperimentOutcome is an experiment's structured result.
+	ExperimentOutcome = experiments.Outcome
+	// GreedyPolicy ranks packets within a buffer for greedy baselines.
+	GreedyPolicy = baseline.Policy
+	// LowerBoundAdversary is the Section 5 construction.
+	LowerBoundAdversary = lowerbound.Adversary
+	// StalenessTracker replays the Section 5 fresh/stale accounting.
+	StalenessTracker = lowerbound.StalenessTracker
+	// TraceRecorder captures events and occupancy matrices.
+	TraceRecorder = trace.Recorder
+)
+
+// None is the sentinel "no node" value.
+const None = network.None
+
+// NewRat returns the exact rational p/q (panics if q = 0).
+func NewRat(p, q int64) Rat { return rat.New(p, q) }
+
+// ParseRat parses "p/q", an integer, or a decimal.
+func ParseRat(s string) (Rat, error) { return rat.Parse(s) }
+
+// --- Topologies ---
+
+// NewPath returns the directed path 0 → 1 → … → n−1.
+func NewPath(n int) (*Network, error) { return network.NewPath(n) }
+
+// NewTree builds an in-tree from a parent vector (exactly one root).
+func NewTree(parent []NodeID) (*Network, error) { return network.NewTree(parent) }
+
+// NewForest builds an in-forest from a parent vector (≥ 1 roots).
+func NewForest(parent []NodeID) (*Network, error) { return network.NewForest(parent) }
+
+// RandomTree returns a random in-tree on n nodes rooted at n−1.
+func RandomTree(n int, rng *rand.Rand) (*Network, error) { return network.RandomTree(n, rng) }
+
+// CaterpillarTree returns a spine path with `legs` leaves per spine node.
+func CaterpillarTree(spine, legs int) (*Network, error) {
+	return network.CaterpillarTree(spine, legs)
+}
+
+// BinaryTree returns a complete binary in-tree of the given height.
+func BinaryTree(height int) (*Network, error) { return network.BinaryTree(height) }
+
+// SpiderTree returns `arms` directed paths merging into one root.
+func SpiderTree(arms, length int) (*Network, error) { return network.SpiderTree(arms, length) }
+
+// --- Protocols (the paper's algorithms) ---
+
+// NewPTS returns Peak-to-Sink (Algorithm 1): single destination on a path,
+// max load ≤ 2 + σ (Proposition 3.1).
+func NewPTS(opts ...core.PTSOption) *core.PTS { return core.NewPTS(opts...) }
+
+// PTSWithDrain enables forwarding on rounds with no bad buffer (liveness
+// extension that preserves the bound).
+func PTSWithDrain() core.PTSOption { return core.WithDrain() }
+
+// NewPPTS returns Parallel Peak-to-Sink (Algorithm 2): d destinations on a
+// path, max load ≤ 1 + d + σ (Proposition 3.2).
+func NewPPTS(opts ...core.PPTSOption) *core.PPTS { return core.NewPPTS(opts...) }
+
+// PPTSWithDrain enables the drain-when-idle liveness extension.
+func PPTSWithDrain() core.PPTSOption { return core.PPTSWithDrain() }
+
+// NewTreePTS returns the directed-tree PTS (Proposition B.3: ≤ 2 + σ).
+func NewTreePTS(opts ...core.TreePTSOption) *core.TreePTS { return core.NewTreePTS(opts...) }
+
+// TreePTSWithDrain enables drain-when-idle for TreePTS.
+func TreePTSWithDrain() core.TreePTSOption { return core.TreePTSWithDrain() }
+
+// NewTreePPTS returns the directed-tree PPTS (Proposition 3.5:
+// ≤ 1 + d′ + σ, d′ = max destinations on a leaf-root path).
+func NewTreePPTS() *core.TreePPTS { return core.NewTreePPTS() }
+
+// NewHPTS returns Hierarchical Peak-to-Sink (Algorithms 3–5) with ℓ
+// levels on a path of n = m^ℓ nodes: max load ≤ ℓ·n^(1/ℓ) + σ + 1 whenever
+// ρ·ℓ ≤ 1 (Theorem 4.1).
+func NewHPTS(ell int, opts ...core.HPTSOption) *core.HPTS { return core.NewHPTS(ell, opts...) }
+
+// HPTSAblatePreBad disables Algorithm 5 (ablation knob for experiments).
+func HPTSAblatePreBad() core.HPTSOption { return core.HPTSAblatePreBad() }
+
+// NewHierarchy returns the base-m, ℓ-level partition over m^ℓ nodes.
+func NewHierarchy(m, ell int) (*Hierarchy, error) { return core.NewHierarchy(m, ell) }
+
+// DestinationDepth returns d′(G, W): the maximum number of destinations on
+// any leaf-root path (Proposition 3.5's parameter).
+func DestinationDepth(nw *Network, dests []NodeID) int {
+	return core.DestinationDepth(nw, dests)
+}
+
+// --- Baselines ---
+
+// NewGreedy returns a work-conserving greedy protocol with the given
+// intra-buffer policy.
+func NewGreedy(p GreedyPolicy) *baseline.Greedy { return baseline.NewGreedy(p) }
+
+// Greedy scheduling policies from classical AQT.
+var (
+	FIFO GreedyPolicy = baseline.FIFO{}
+	LIFO GreedyPolicy = baseline.LIFO{}
+	LIS  GreedyPolicy = baseline.LIS{}
+	SIS  GreedyPolicy = baseline.SIS{}
+	NTG  GreedyPolicy = baseline.NTG{}
+	FTG  GreedyPolicy = baseline.FTG{}
+)
+
+// AllGreedy returns one greedy protocol per classical policy.
+func AllGreedy() []*baseline.Greedy { return baseline.All() }
+
+// --- Local protocols (the §1 locality context, [9]/[17]) ---
+
+// NewDownhill returns the naive locality-1 protocol: a node forwards when
+// its buffer is strictly larger than its next hop's. Single destination
+// (the sink). Under sustained full-rate traffic its steady state is the
+// Θ(n) staircase — the gap experiment E10 measures against PTS's O(1+σ).
+func NewDownhill() *local.Downhill { return local.NewDownhill() }
+
+// NewOddEvenDownhill returns the parity-staggered downhill variant (in the
+// spirit of the OED algorithm of [9,17]); it sustains rates ρ ≤ 1/2.
+func NewOddEvenDownhill() *local.OddEven { return local.NewOddEven() }
+
+// --- Adversaries ---
+
+// NewRandomAdversary returns a randomized pattern that is (ρ,σ)-bounded by
+// construction, injecting toward dests (the sinks if nil), deterministic in
+// seed.
+func NewRandomAdversary(nw *Network, bound Bound, dests []NodeID, seed int64) (Adversary, error) {
+	return adversary.NewRandom(nw, bound, dests, seed)
+}
+
+// NewHotSpotAdversary returns an *adaptive* (ρ,σ)-bounded pattern that aims
+// every admissible injection at the currently fullest buffer. The paper's
+// bounds quantify over all patterns, so they hold against it — it is the
+// sharpest stress test in the suite.
+func NewHotSpotAdversary(nw *Network, bound Bound, dests []NodeID, seed int64) (Adversary, error) {
+	return adversary.NewHotSpot(nw, bound, dests, seed)
+}
+
+// NewStream returns a smooth rate-ρ single-route stream src → dst.
+func NewStream(bound Bound, src, dst NodeID) Adversary {
+	return adversary.NewStream(bound, src, dst)
+}
+
+// NewRoundRobin returns a smooth aggregate rate-ρ flow from src cycling the
+// given destinations.
+func NewRoundRobin(bound Bound, src NodeID, dests []NodeID) Adversary {
+	return adversary.NewRoundRobin(bound, src, dests)
+}
+
+// NewSchedule returns a fluent builder for explicit injection schedules.
+func NewSchedule() *adversary.Schedule { return adversary.NewSchedule() }
+
+// NewUnion merges adversaries; the derived bound is the (capped) sum of the
+// parts' bounds. Use WithUnionBound on the result to declare a tighter
+// bound for edge-disjoint parts.
+func NewUnion(parts ...Adversary) *adversary.Union { return adversary.NewUnion(parts...) }
+
+// NewDelayed time-shifts an adversary by `offset` silent rounds.
+func NewDelayed(inner Adversary, offset int) Adversary {
+	return adversary.NewDelayed(inner, offset)
+}
+
+// NewOnOff returns a bursty on-off source src → dst whose duty cycle is
+// derived from (ρ,σ) so the pattern is bounded by construction.
+func NewOnOff(bound Bound, src, dst NodeID) (Adversary, error) {
+	return adversary.NewOnOff(bound, src, dst)
+}
+
+// PTSBurstAdversary is the crafted near-tight pattern for Proposition 3.1.
+func PTSBurstAdversary(nw *Network, bound Bound, horizon int) (Adversary, error) {
+	return adversary.PTSBurst(nw, bound, horizon)
+}
+
+// PPTSBurstAdversary is the crafted near-tight pattern for Proposition 3.2.
+func PPTSBurstAdversary(nw *Network, bound Bound, d, horizon int) (Adversary, error) {
+	return adversary.PPTSBurst(nw, bound, d, horizon)
+}
+
+// TreeBurstAdversary is the crafted pattern for Proposition 3.5.
+func TreeBurstAdversary(nw *Network, bound Bound, dests []NodeID, horizon int) (Adversary, error) {
+	return adversary.TreeBurst(nw, bound, dests, horizon)
+}
+
+// GreedyKillerAdversary is the multi-destination stress pattern of §1/[17].
+func GreedyKillerAdversary(nw *Network, bound Bound, d, horizon int) (Adversary, error) {
+	return adversary.GreedyKiller(nw, bound, d, horizon)
+}
+
+// NewLowerBoundAdversary returns the Section 5 construction with the given
+// m, ℓ and rate ρ (ρ·m must be an integer).
+func NewLowerBoundAdversary(m, ell int, rho Rat) (*LowerBoundAdversary, error) {
+	return lowerbound.New(m, ell, rho)
+}
+
+// NewStalenessTracker returns an observer verifying Lemmas 5.2–5.4 during a
+// run of the lower-bound pattern.
+func NewStalenessTracker(adv *LowerBoundAdversary) *StalenessTracker {
+	return lowerbound.NewStalenessTracker(adv)
+}
+
+// VerifyAdversary replays an adversary for `rounds` rounds through the
+// exact (ρ,σ) verifier, returning the first violation if any. The
+// adversary is consumed.
+func VerifyAdversary(nw *Network, adv Adversary, rounds int) error {
+	return adversary.VerifyPrefix(nw, adv, rounds)
+}
+
+// --- Execution ---
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) { return sim.Run(cfg) }
+
+// MaxLoadInvariant returns an Invariant asserting every buffer stays at or
+// below `bound` packets — the executable form of the space theorems.
+func MaxLoadInvariant(nw *Network, bound int) Invariant {
+	return core.MaxLoadInvariant(nw, bound)
+}
+
+// NewTraceRecorder returns an Observer capturing events and the per-round
+// occupancy matrix (JSON export, heatmap rendering).
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// NewConservationCheck returns an Observer asserting packet conservation
+// (delivered + buffered + staged = injected, nothing past its destination)
+// after every round; inspect its Err field after the run.
+func NewConservationCheck() *sim.ConservationCheck { return sim.NewConservationCheck() }
+
+// RenderFigure1 draws the paper's Figure 1 for the given hierarchy and an
+// optional packet trajectory (pass src ≥ dst to omit it).
+func RenderFigure1(w io.Writer, h *Hierarchy, src, dst int) error {
+	return trace.RenderFigure1(w, h, src, dst)
+}
+
+// RenderSparkline draws a compact per-round series (e.g. a recorder's
+// MaxLoadSeries) as a unicode sparkline.
+func RenderSparkline(w io.Writer, series []int, width int) error {
+	return trace.RenderSparkline(w, series, width)
+}
+
+// --- Exact offline optimum (tiny instances) ---
+
+// SolveOptimal computes the exact minimal achievable max buffer load for a
+// fixed injection pattern on a small path instance.
+func SolveOptimal(cfg opt.Config) (opt.Result, error) { return opt.Solve(cfg) }
+
+// OptConfig configures SolveOptimal.
+type OptConfig = opt.Config
+
+// OptResult is SolveOptimal's report.
+type OptResult = opt.Result
+
+// --- Reproduction suite ---
+
+// Experiments returns the full reproduction suite (F1, E1–E9).
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID finds one experiment ("E1" … "E9", "F1").
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// RunAllExperiments executes the suite, writing tables to w; it reports
+// whether every bound assertion held.
+func RunAllExperiments(w io.Writer) (bool, error) { return experiments.RunAll(w) }
