@@ -8,6 +8,7 @@ package smallbuffers_test
 // full tables.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -16,9 +17,9 @@ import (
 )
 
 // runOnce executes one simulation and reports the max load to the bench.
-func runOnce(b *testing.B, cfg sb.Config) sb.Result {
+func runOnce(b *testing.B, spec sb.Spec) sb.Result {
 	b.Helper()
-	res, err := sb.Run(cfg)
+	res, err := sb.RunContext(context.Background(), spec)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func BenchmarkE1PTS(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res := runOnce(b, sb.Config{Net: nw, Protocol: sb.NewPTS(), Adversary: adv, Rounds: 384})
+		res := runOnce(b, sb.NewSpec(nw, sb.NewPTS(), adv, 384))
 		if res.MaxLoad > 2+bound.Sigma {
 			b.Fatalf("bound violated: %d", res.MaxLoad)
 		}
@@ -58,7 +59,7 @@ func BenchmarkE2PPTS(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res := runOnce(b, sb.Config{Net: nw, Protocol: sb.NewPPTS(), Adversary: adv, Rounds: 512})
+		res := runOnce(b, sb.NewSpec(nw, sb.NewPPTS(), adv, 512))
 		if res.MaxLoad > 1+8+bound.Sigma {
 			b.Fatalf("bound violated: %d", res.MaxLoad)
 		}
@@ -80,7 +81,7 @@ func BenchmarkE3Tree(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		runOnce(b, sb.Config{Net: tree, Protocol: sb.NewTreePPTS(), Adversary: adv, Rounds: 300})
+		runOnce(b, sb.NewSpec(tree, sb.NewTreePPTS(), adv, 300))
 	}
 }
 
@@ -99,7 +100,7 @@ func BenchmarkE4HPTS(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res := runOnce(b, sb.Config{Net: nw, Protocol: sb.NewHPTS(2), Adversary: adv, Rounds: 1024})
+		res := runOnce(b, sb.NewSpec(nw, sb.NewHPTS(2), adv, 1024))
 		if res.MaxLoad > 2*8+bound.Sigma+1 {
 			b.Fatalf("bound violated: %d", res.MaxLoad)
 		}
@@ -124,7 +125,7 @@ func BenchmarkE5LowerBound(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res := runOnce(b, sb.Config{Net: nw, Protocol: sb.NewPPTS(), Adversary: adv, Rounds: adv.Rounds()})
+		res := runOnce(b, sb.NewSpec(nw, sb.NewPPTS(), adv, adv.Rounds()))
 		if res.MaxLoad < floor {
 			b.Fatalf("floor missed: %d < %d", res.MaxLoad, floor)
 		}
@@ -149,7 +150,7 @@ func BenchmarkE6Tradeoff(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res := runOnce(b, sb.Config{Net: nw, Protocol: sb.NewHPTS(2), Adversary: adv, Rounds: 1024})
+		res := runOnce(b, sb.NewSpec(nw, sb.NewHPTS(2), adv, 1024))
 		if res.MaxLoad > 2*16+bound.Sigma+1 {
 			b.Fatalf("bound violated: %d", res.MaxLoad)
 		}
@@ -170,7 +171,7 @@ func BenchmarkE7Greedy(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		runOnce(b, sb.Config{Net: nw, Protocol: sb.NewGreedy(sb.FIFO), Adversary: adv, Rounds: 768})
+		runOnce(b, sb.NewSpec(nw, sb.NewGreedy(sb.FIFO), adv, 768))
 	}
 }
 
@@ -189,7 +190,7 @@ func BenchmarkE8Ablation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		runOnce(b, sb.Config{Net: nw, Protocol: sb.NewHPTS(2, sb.HPTSAblatePreBad()), Adversary: adv, Rounds: 1024})
+		runOnce(b, sb.NewSpec(nw, sb.NewHPTS(2, sb.HPTSAblatePreBad()), adv, 1024))
 	}
 }
 
@@ -230,7 +231,7 @@ func BenchmarkE10Locality(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		adv := sb.NewStream(bound, 0, 15)
-		res := runOnce(b, sb.Config{Net: nw, Protocol: sb.NewDownhill(), Adversary: adv, Rounds: 768})
+		res := runOnce(b, sb.NewSpec(nw, sb.NewDownhill(), adv, 768))
 		if res.MaxLoad != 15 {
 			b.Fatalf("staircase height %d, want 15", res.MaxLoad)
 		}
@@ -252,7 +253,7 @@ func BenchmarkE11Latency(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		runOnce(b, sb.Config{Net: nw, Protocol: sb.NewPPTS(sb.PPTSWithDrain()), Adversary: adv, Rounds: 1024})
+		runOnce(b, sb.NewSpec(nw, sb.NewPPTS(sb.PPTSWithDrain()), adv, 1024))
 	}
 }
 
@@ -270,7 +271,7 @@ func BenchmarkAdaptiveHotSpot(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res := runOnce(b, sb.Config{Net: nw, Protocol: sb.NewPPTS(), Adversary: adv, Rounds: 512})
+		res := runOnce(b, sb.NewSpec(nw, sb.NewPPTS(), adv, 512))
 		if res.MaxLoad > 1+4+2 {
 			b.Fatalf("bound violated: %d", res.MaxLoad)
 		}
@@ -304,7 +305,69 @@ func BenchmarkEngineGreedyThroughput(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		adv := sb.NewStream(bound, 0, 255)
-		runOnce(b, sb.Config{Net: nw, Protocol: sb.NewGreedy(sb.FIFO), Adversary: adv, Rounds: 1024})
+		runOnce(b, sb.NewSpec(nw, sb.NewGreedy(sb.FIFO), adv, 1024))
+	}
+}
+
+// BenchmarkEngineReuse measures the allocation savings of Reset-driven
+// engine reuse: one engine executes every iteration's run.
+func BenchmarkEngineReuse(b *testing.B) {
+	nw, err := sb.NewPath(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := sb.Bound{Rho: sb.NewRat(1, 1), Sigma: 0}
+	mkSpec := func() sb.Spec {
+		return sb.NewSpec(nw, sb.NewGreedy(sb.FIFO), sb.NewStream(bound, 0, 255), 1024)
+	}
+	eng, err := sb.NewEngine(mkSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Reset(mkSpec()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep32 executes the 32-cell acceptance grid on the worker
+// pool; reported time is per whole sweep.
+func BenchmarkSweep32(b *testing.B) {
+	mk := func() *sb.Sweep {
+		return &sb.Sweep{
+			Protocols: []sb.SweepProtocol{
+				sb.NewSweepProtocol("TreePTS", func() sb.Protocol { return sb.NewTreePTS() }),
+				sb.NewSweepProtocol("TreePPTS", func() sb.Protocol { return sb.NewTreePPTS() }),
+				sb.NewSweepProtocol("FIFO", func() sb.Protocol { return sb.NewGreedy(sb.FIFO) }),
+				sb.NewSweepProtocol("LIS", func() sb.Protocol { return sb.NewGreedy(sb.LIS) }),
+			},
+			Topologies: []sb.SweepTopology{
+				sb.SweepPath(32),
+				{Name: "binary(4)", New: func() (*sb.Network, error) { return sb.BinaryTree(4) }},
+			},
+			Bounds:      []sb.Bound{{Rho: sb.NewRat(1, 1), Sigma: 2}},
+			Adversaries: []sb.SweepAdversary{sb.SweepRandomAdversary(nil)},
+			Seeds:       []int64{1, 2, 3, 4},
+			Rounds:      []int{400},
+		}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		agg, err := mk().Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Completed != 32 {
+			b.Fatalf("completed %d cells: %v", agg.Completed, agg.FirstErr())
+		}
 	}
 }
 
@@ -322,7 +385,7 @@ func BenchmarkPPTSDecide(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		runOnce(b, sb.Config{Net: nw, Protocol: sb.NewPPTS(), Adversary: adv, Rounds: 256})
+		runOnce(b, sb.NewSpec(nw, sb.NewPPTS(), adv, 256))
 	}
 }
 

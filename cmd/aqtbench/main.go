@@ -3,33 +3,44 @@
 //
 // Examples:
 //
-//	aqtbench                # run the full suite (F1, E1–E9)
-//	aqtbench -run E4        # one experiment
-//	aqtbench -o report.txt  # write to a file
-//	aqtbench -list          # list experiments
+//	aqtbench                      # run the full suite (F1, E1–E11)
+//	aqtbench -run E4              # one experiment
+//	aqtbench -o report.txt        # write to a file
+//	aqtbench -json -o bench.json  # machine-readable outcomes (BENCH_*.json trajectory)
+//	aqtbench -list                # list experiments
+//
+// Interrupting the process (SIGINT/SIGTERM) cancels the suite between
+// simulation rounds.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	sb "smallbuffers"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "aqtbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("aqtbench", flag.ContinueOnError)
-	id := fs.String("run", "", "experiment to run (E1…E9, F1); empty = all")
+	id := fs.String("run", "", "experiment to run (E1…E11, F1); empty = all")
 	out := fs.String("o", "", "output file (default stdout)")
 	list := fs.Bool("list", false, "list experiments and exit")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON outcomes instead of text tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,29 +68,82 @@ func run(args []string) error {
 		return nil
 	}
 
+	exps := sb.Experiments()
 	if *id != "" {
 		e, err := sb.ExperimentByID(*id)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s — %s (%s)\n\n", e.ID, e.Title, e.Paper)
-		outcome, err := e.Run(w)
-		if err != nil {
-			return err
-		}
-		if !outcome.OK {
-			return fmt.Errorf("%s reports violated bounds", e.ID)
-		}
-		return nil
+		exps = []sb.Experiment{e}
 	}
 
-	ok, err := sb.RunAllExperiments(w)
-	if err != nil {
-		return err
+	if *asJSON {
+		return runJSON(ctx, w, exps)
+	}
+
+	ok := true
+	for _, e := range exps {
+		if _, err := fmt.Fprintf(w, "\n%s — %s (%s)\n\n", e.ID, e.Title, e.Paper); err != nil {
+			return err
+		}
+		outcome, err := e.Run(ctx, w)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		ok = ok && outcome.OK
 	}
 	if !ok {
 		return fmt.Errorf("some experiments report violated bounds")
 	}
-	_, err = fmt.Fprintln(w, "\nall experiments passed")
+	_, err := fmt.Fprintln(w, "\nall experiments passed")
 	return err
+}
+
+// The JSON schema tracked across benchmark snapshots (BENCH_*.json): one
+// record per experiment with its structured tables, so downstream tooling
+// can diff measured values between revisions without scraping text.
+type jsonReport struct {
+	Suite       string           `json:"suite"`
+	OK          bool             `json:"ok"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Paper  string      `json:"paper"`
+	OK     bool        `json:"ok"`
+	Notes  []string    `json:"notes,omitempty"`
+	Tables []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func runJSON(ctx context.Context, w io.Writer, exps []sb.Experiment) error {
+	report := jsonReport{Suite: "smallbuffers reproduction", OK: true}
+	for _, e := range exps {
+		outcome, err := e.Run(ctx, io.Discard)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		je := jsonExperiment{ID: e.ID, Title: e.Title, Paper: e.Paper, OK: outcome.OK, Notes: outcome.Notes}
+		for _, t := range outcome.Tables {
+			je.Tables = append(je.Tables, jsonTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
+		}
+		report.Experiments = append(report.Experiments, je)
+		report.OK = report.OK && outcome.OK
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if !report.OK {
+		return fmt.Errorf("some experiments report violated bounds")
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +11,7 @@ import (
 
 func TestList(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "list.txt")
-	if err := run([]string{"-list", "-o", path}); err != nil {
+	if err := run(context.Background(), []string{"-list", "-o", path}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -26,7 +28,7 @@ func TestList(t *testing.T) {
 
 func TestRunSingleExperiment(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "f1.txt")
-	if err := run([]string{"-run", "F1", "-o", path}); err != nil {
+	if err := run(context.Background(), []string{"-run", "F1", "-o", path}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -39,19 +41,52 @@ func TestRunSingleExperiment(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-run", "E99"}); err == nil {
+	if err := run(context.Background(), []string{"-run", "E99"}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestBadOutputPath(t *testing.T) {
-	if err := run([]string{"-list", "-o", "/nonexistent-dir/x.txt"}); err == nil {
+	if err := run(context.Background(), []string{"-list", "-o", "/nonexistent-dir/x.txt"}); err == nil {
 		t.Error("bad output path accepted")
 	}
 }
 
 func TestBadFlag(t *testing.T) {
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f1.json")
+	if err := run(context.Background(), []string{"-run", "F1", "-json", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, data)
+	}
+	if !report.OK || len(report.Experiments) != 1 {
+		t.Fatalf("unexpected report: %+v", report)
+	}
+	e := report.Experiments[0]
+	if e.ID != "F1" || !e.OK || len(e.Tables) == 0 {
+		t.Errorf("unexpected experiment record: %+v", e)
+	}
+	if len(e.Tables[0].Columns) == 0 || len(e.Tables[0].Rows) == 0 {
+		t.Errorf("table not structured: %+v", e.Tables[0])
+	}
+}
+
+func TestJSONCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, []string{"-run", "E1", "-json", "-o", filepath.Join(t.TempDir(), "x.json")}); err == nil {
+		t.Error("cancelled context did not abort the run")
 	}
 }

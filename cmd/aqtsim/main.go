@@ -11,17 +11,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	sb "smallbuffers"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "aqtsim:", err)
 		os.Exit(1)
 	}
@@ -53,7 +58,7 @@ type options struct {
 	json    bool
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	var o options
 	fs := flag.NewFlagSet("aqtsim", flag.ContinueOnError)
 	fs.StringVar(&o.topology, "topology", "path", "path | caterpillar | binary | spider")
@@ -124,12 +129,11 @@ func run(args []string, w io.Writer) error {
 
 	rec := sb.NewTraceRecorder()
 	rec.CaptureEvents = o.json
-	cfg := sb.Config{
-		Net: nw, Protocol: proto, Adversary: adv, Rounds: o.rounds,
-		VerifyAdversary: o.verify,
-		Observers:       []sb.Observer{rec},
+	opts := []sb.RunOption{sb.WithObservers(rec)}
+	if o.verify {
+		opts = append(opts, sb.WithVerifyAdversary())
 	}
-	res, err := sb.Run(cfg)
+	res, err := sb.RunContext(ctx, sb.NewSpec(nw, proto, adv, o.rounds, opts...))
 	if err != nil {
 		return err
 	}

@@ -10,21 +10,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	sb "smallbuffers"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "aqtviz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("aqtviz", flag.ContinueOnError)
 	m := fs.Int("m", 2, "hierarchy base m")
 	ell := fs.Int("ell", 4, "hierarchy levels ℓ")
@@ -39,7 +44,7 @@ func run(args []string) error {
 	}
 
 	if *demo {
-		return runDemo(*n, *d, *rounds)
+		return runDemo(ctx, *n, *d, *rounds)
 	}
 
 	h, err := sb.NewHierarchy(*m, *ell)
@@ -49,7 +54,7 @@ func run(args []string) error {
 	return sb.RenderFigure1(os.Stdout, h, *src, *dst)
 }
 
-func runDemo(n, d, rounds int) error {
+func runDemo(ctx context.Context, n, d, rounds int) error {
 	nw, err := sb.NewPath(n)
 	if err != nil {
 		return err
@@ -61,10 +66,8 @@ func runDemo(n, d, rounds int) error {
 	}
 	rec := sb.NewTraceRecorder()
 	rec.CaptureEvents = false
-	res, err := sb.Run(sb.Config{
-		Net: nw, Protocol: sb.NewPPTS(sb.PPTSWithDrain()), Adversary: adv, Rounds: rounds,
-		Observers: []sb.Observer{rec},
-	})
+	res, err := sb.RunContext(ctx,
+		sb.NewSpec(nw, sb.NewPPTS(sb.PPTSWithDrain()), adv, rounds, sb.WithObservers(rec)))
 	if err != nil {
 		return err
 	}

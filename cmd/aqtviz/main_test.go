@@ -1,41 +1,42 @@
 package main
 
 import (
+	"context"
 	"testing"
 )
 
 func TestFigureDefaults(t *testing.T) {
-	if err := run(nil); err != nil {
+	if err := run(context.Background(), nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestFigureCustom(t *testing.T) {
-	if err := run([]string{"-m", "3", "-ell", "3", "-src", "0", "-dst", "22"}); err != nil {
+	if err := run(context.Background(), []string{"-m", "3", "-ell", "3", "-src", "0", "-dst", "22"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestFigureNoTrajectory(t *testing.T) {
-	if err := run([]string{"-src", "5", "-dst", "5"}); err != nil {
+	if err := run(context.Background(), []string{"-src", "5", "-dst", "5"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestDemo(t *testing.T) {
-	if err := run([]string{"-demo", "-n", "32", "-d", "4", "-rounds", "150"}); err != nil {
+	if err := run(context.Background(), []string{"-demo", "-n", "32", "-d", "4", "-rounds", "150"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestErrors(t *testing.T) {
-	if err := run([]string{"-m", "1"}); err == nil {
+	if err := run(context.Background(), []string{"-m", "1"}); err == nil {
 		t.Error("m=1 accepted")
 	}
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}); err == nil {
 		t.Error("bad flag accepted")
 	}
-	if err := run([]string{"-demo", "-n", "1"}); err == nil {
+	if err := run(context.Background(), []string{"-demo", "-n", "1"}); err == nil {
 		t.Error("n=1 accepted")
 	}
 }

@@ -1,17 +1,35 @@
-// Quickstart: simulate PPTS (Algorithm 2 of the paper) on a 64-node line
-// against a randomized (ρ,σ)-bounded adversary with four destinations, and
-// check the measured maximum buffer occupancy against Proposition 3.2's
-// bound of 1 + d + σ.
+// Quickstart for the two-tier execution API.
+//
+// Tier 1: simulate PPTS (Algorithm 2 of the paper) on a 64-node line
+// against a randomized (ρ,σ)-bounded adversary with four destinations,
+// checking the measured maximum buffer occupancy against Proposition 3.2's
+// bound of 1 + d + σ. The run is described by a Spec (functional options)
+// and executed under a context, so it is cancellable.
+//
+// Tier 2: sweep the same question across a protocol × path-length × seed
+// grid in parallel, and summarize the family of runs.
+//
+// The old struct-literal form, sb.Run(sb.Config{...}), still works but is
+// deprecated in favor of what this program shows.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	sb "smallbuffers"
 )
 
 func main() {
+	// Cancellation propagates into the engine between rounds; a timeout
+	// here bounds the whole program.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// --- Tier 1: one run -------------------------------------------------
+
 	// A directed path 0 → 1 → … → 63.
 	nw, err := sb.NewPath(64)
 	if err != nil {
@@ -33,15 +51,9 @@ func main() {
 	// Run PPTS for 2000 rounds. The MaxLoadInvariant aborts the run if the
 	// paper's bound is ever exceeded — it never is.
 	limit := 1 + len(dests) + bound.Sigma
-	res, err := sb.Run(sb.Config{
-		Net:       nw,
-		Protocol:  sb.NewPPTS(),
-		Adversary: adv,
-		Rounds:    2000,
-		Invariants: []sb.Invariant{
-			sb.MaxLoadInvariant(nw, limit),
-		},
-	})
+	res, err := sb.RunContext(ctx, sb.NewSpec(nw, sb.NewPPTS(), adv, 2000,
+		sb.WithInvariants(sb.MaxLoadInvariant(nw, limit)),
+	))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,5 +65,38 @@ func main() {
 	fmt.Printf("paper bound:    1 + d + σ = %d (Proposition 3.2)\n", limit)
 	if res.MaxLoad <= limit {
 		fmt.Println("bound holds ✓")
+	}
+
+	// --- Tier 2: a parallel sweep ---------------------------------------
+
+	// The paper's statements quantify over families of runs; the Sweep
+	// layer runs the family. 2 protocols × 2 path lengths × 4 seeds = 16
+	// cells, executed on a bounded worker pool with deterministic per-cell
+	// seeds (the same grid reproduces exactly at any worker count).
+	sweep := &sb.Sweep{
+		Protocols: []sb.SweepProtocol{
+			sb.NewSweepProtocol("PPTS", func() sb.Protocol { return sb.NewPPTS() }),
+			sb.NewSweepProtocol("Greedy-FIFO", func() sb.Protocol { return sb.NewGreedy(sb.FIFO) }),
+		},
+		Topologies:  []sb.SweepTopology{sb.SweepPath(64), sb.SweepPath(128)},
+		Bounds:      []sb.Bound{bound},
+		Adversaries: []sb.SweepAdversary{sb.SweepRandomAdversary(nil)},
+		Seeds:       []int64{1, 2, 3, 4},
+		Rounds:      []int{2000},
+	}
+	agg, err := sweep.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsweep:          %d/%d cells completed\n", agg.Completed, agg.Requested)
+	fmt.Printf("max load:       mean %.1f, p95 %g, max %g\n",
+		agg.MaxLoad.Mean, agg.MaxLoad.Percentile(95), agg.MaxLoad.Max)
+	for _, cell := range agg.Cells {
+		if cell.Err != nil {
+			log.Fatal(cell.Err)
+		}
+		fmt.Printf("  %-12s %-10s seed=%d → max load %d\n",
+			cell.Cell.Protocol, cell.Cell.Topology, cell.Cell.Seed, cell.Result.MaxLoad)
 	}
 }

@@ -1,0 +1,3 @@
+module smallbuffers
+
+go 1.24

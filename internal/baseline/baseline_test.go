@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"smallbuffers/internal/adversary"
@@ -45,7 +46,7 @@ func TestGreedyDeliversEverything(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := sim.Run(sim.Config{Net: nw, Protocol: g, Adversary: adv, Rounds: 400})
+			res, err := sim.Run(context.Background(), sim.NewSpec(nw, g, adv, 400))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,7 +71,7 @@ func TestGreedyWorksOnTrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(sim.Config{Net: tree, Protocol: NewGreedy(LIS{}), Adversary: adv, Rounds: 300})
+	res, err := sim.Run(context.Background(), sim.NewSpec(tree, NewGreedy(LIS{}), adv, 300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestGreedyDeterministicTieBreak(t *testing.T) {
 	g := NewGreedy(FIFO{})
 	var firstMove packet.ID
 	obs := &moveRecorder{first: &firstMove}
-	if _, err := sim.Run(sim.Config{Net: nw, Protocol: g, Adversary: adv, Rounds: 2, Observers: []sim.Observer{obs}}); err != nil {
+	if _, err := sim.RunConfig(sim.Config{Net: nw, Protocol: g, Adversary: adv, Rounds: 2, Observers: []sim.Observer{obs}}); err != nil {
 		t.Fatal(err)
 	}
 	if firstMove != 0 {

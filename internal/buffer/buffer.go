@@ -35,6 +35,10 @@ func (b *Buffer) Len() int { return len(b.pkts) }
 // pseudo-buffer).
 func (b *Buffer) Add(p packet.Packet) { b.pkts = append(b.pkts, p) }
 
+// Reset empties the buffer, retaining its backing storage so a reused
+// engine run does not reallocate.
+func (b *Buffer) Reset() { b.pkts = b.pkts[:0] }
+
 // Packets returns the stored packets in arrival order. The returned slice
 // is shared; callers must not modify it. Use Snapshot for an owned copy.
 func (b *Buffer) Packets() []packet.Packet { return b.pkts }

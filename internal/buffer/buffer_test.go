@@ -171,3 +171,18 @@ func TestQuickBadTotalIdentity(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestReset(t *testing.T) {
+	var b Buffer
+	b.Add(packet.Packet{ID: 1})
+	b.Add(packet.Packet{ID: 2})
+	b.Reset()
+	if b.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", b.Len())
+	}
+	// Storage is retained: the next Add must not lose ordering semantics.
+	b.Add(packet.Packet{ID: 3})
+	if got := b.Packets(); len(got) != 1 || got[0].ID != 3 {
+		t.Errorf("Packets after Reset+Add = %v", got)
+	}
+}

@@ -29,7 +29,7 @@ func TestPPTSBoundAgainstAdaptiveHotSpot(t *testing.T) {
 				limit := 1 + len(dests) + sigma
 				cons := sim.NewConservationCheck()
 				check := NewPathBoundCheck(nw, rat.One)
-				res, err := sim.Run(sim.Config{
+				res, err := sim.RunConfig(sim.Config{
 					Net: nw, Protocol: NewPPTS(), Adversary: adv, Rounds: 500,
 					VerifyAdversary: true,
 					Observers:       []sim.Observer{cons, check.Observer()},
@@ -57,7 +57,7 @@ func TestPTSBoundAgainstAdaptiveHotSpot(t *testing.T) {
 		t.Fatal(err)
 	}
 	cons := sim.NewConservationCheck()
-	res, err := sim.Run(sim.Config{
+	res, err := sim.RunConfig(sim.Config{
 		Net: nw, Protocol: NewPTS(), Adversary: adv, Rounds: 600,
 		VerifyAdversary: true,
 		Observers:       []sim.Observer{cons},
@@ -89,7 +89,7 @@ func TestHPTSBoundAgainstAdaptiveHotSpot(t *testing.T) {
 	check := NewHPTSBoundCheck(nw, h, rho)
 	cons := sim.NewConservationCheck()
 	limit := HPTSSpaceBound(h, 2)
-	res, err := sim.Run(sim.Config{
+	res, err := sim.RunConfig(sim.Config{
 		Net: nw, Protocol: NewHPTS(2), Adversary: adv, Rounds: 2000,
 		VerifyAdversary: true,
 		Observers:       []sim.Observer{cons, check.Observer()},
@@ -120,7 +120,7 @@ func TestTreePPTSBoundAgainstAdaptiveHotSpot(t *testing.T) {
 	}
 	cons := sim.NewConservationCheck()
 	limit := 1 + dprime + 2
-	res, err := sim.Run(sim.Config{
+	res, err := sim.RunConfig(sim.Config{
 		Net: tree, Protocol: NewTreePPTS(), Adversary: adv, Rounds: 500,
 		VerifyAdversary: true,
 		Observers:       []sim.Observer{cons},

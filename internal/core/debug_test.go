@@ -62,7 +62,7 @@ func TestHPTSLevelScheduleRegression(t *testing.T) {
 		t.Fatal(err)
 	}
 	check := NewHPTSBoundCheck(nw, h, rho)
-	_, err = sim.Run(sim.Config{
+	_, err = sim.RunConfig(sim.Config{
 		Net: nw, Protocol: NewHPTS(2), Adversary: adv, Rounds: 2000,
 		Observers:  []sim.Observer{check.Observer()},
 		Invariants: []sim.Invariant{check.Invariant(), MaxLoadInvariant(nw, HPTSSpaceBound(h, 2))},

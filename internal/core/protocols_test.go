@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -18,7 +19,7 @@ func runChecked(t *testing.T, cfg sim.Config, check *BoundCheck) sim.Result {
 		cfg.Observers = append(cfg.Observers, check.Observer())
 		cfg.Invariants = append(cfg.Invariants, check.Invariant())
 	}
-	res, err := sim.Run(cfg)
+	res, err := sim.RunConfig(cfg)
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
@@ -106,7 +107,7 @@ func TestPTSDrainDeliversWhenIdle(t *testing.T) {
 	// One packet, then silence: strict PTS never forwards it; drain does.
 	bound := adversary.Bound{Rho: rat.One, Sigma: 0}
 	strictAdv := adversary.NewSchedule().At(0, 0, 7).Build(bound)
-	res, err := sim.Run(sim.Config{Net: nw, Protocol: NewPTS(), Adversary: strictAdv, Rounds: 40})
+	res, err := sim.Run(context.Background(), sim.NewSpec(nw, NewPTS(), strictAdv, 40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestPTSDrainDeliversWhenIdle(t *testing.T) {
 		t.Errorf("strict PTS delivered %d, want 0 (no bad buffer ever forms)", res.Delivered)
 	}
 	drainAdv := adversary.NewSchedule().At(0, 0, 7).Build(bound)
-	res, err = sim.Run(sim.Config{Net: nw, Protocol: NewPTS(WithDrain()), Adversary: drainAdv, Rounds: 40})
+	res, err = sim.Run(context.Background(), sim.NewSpec(nw, NewPTS(WithDrain()), drainAdv, 40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestForestPTSBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	cons := sim.NewConservationCheck()
-	res, err := sim.Run(sim.Config{
+	res, err := sim.RunConfig(sim.Config{
 		Net: forest, Protocol: NewTreePTS(), Adversary: adv, Rounds: 120,
 		Observers:  []sim.Observer{cons},
 		Invariants: []sim.Invariant{MaxLoadInvariant(forest, 2+sigma)},
@@ -345,10 +346,7 @@ func TestForestPPTSBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(sim.Config{
-		Net: forest, Protocol: NewTreePPTS(), Adversary: adv, Rounds: 300,
-		Invariants: []sim.Invariant{MaxLoadInvariant(forest, 1+dprime+sigma)},
-	})
+	res, err := sim.Run(context.Background(), sim.NewSpec(forest, NewTreePPTS(), adv, 300, sim.WithInvariants(MaxLoadInvariant(forest, 1+dprime+sigma))))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +412,7 @@ func TestTreePTSDrainDelivers(t *testing.T) {
 	root := tree.Sinks()[0]
 	bound := adversary.Bound{Rho: rat.One, Sigma: 0}
 	adv := adversary.NewSchedule().At(0, 0, root).At(1, 3, root).Build(bound)
-	res, err := sim.Run(sim.Config{Net: tree, Protocol: NewTreePTS(TreePTSWithDrain()), Adversary: adv, Rounds: 30})
+	res, err := sim.Run(context.Background(), sim.NewSpec(tree, NewTreePTS(TreePTSWithDrain()), adv, 30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -608,7 +606,7 @@ func TestHPTSAblationRunsFeasibly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(sim.Config{
+	res, err := sim.RunConfig(sim.Config{
 		Net: nw, Protocol: NewHPTS(3, HPTSAblatePreBad()), Adversary: adv, Rounds: 500,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"smallbuffers/internal/adversary"
@@ -22,7 +23,7 @@ func E8Ablations() Experiment {
 		ID:    "E8",
 		Title: "ablations: ActivatePreBad (HPTS) and drain-when-idle (PPTS)",
 		Paper: "Algorithm 5 / Lemma 4.8; §3 liveness discussion",
-		Run: func(w io.Writer) (*Outcome, error) {
+		Run: func(ctx context.Context, w io.Writer) (*Outcome, error) {
 			ok := true
 
 			// (a) HPTS with and without ActivatePreBad.
@@ -57,11 +58,9 @@ func E8Ablations() Experiment {
 					}
 					check := core.NewHPTSBoundCheck(nw, h, rho)
 					violations := 0
-					res, err := sim.Run(sim.Config{
-						Net: nw, Protocol: proto, Adversary: adv, Rounds: 60 * mc.ell * n,
-						Observers:  []sim.Observer{check.Observer()},
-						Invariants: []sim.Invariant{softInvariant(check.Invariant(), &violations)},
-					})
+					res, err := sim.Run(ctx, sim.NewSpec(nw, proto, adv, 60*mc.ell*n,
+						sim.WithObservers(check.Observer()),
+						sim.WithInvariants(softInvariant(check.Invariant(), &violations))))
 					if err != nil {
 						return nil, err
 					}
@@ -100,7 +99,7 @@ func E8Ablations() Experiment {
 				}
 				// Horizon extends well past the pattern (6n rounds) so drain
 				// can walk every leftover packet to its destination.
-				res, err := sim.Run(sim.Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 40 * n})
+				res, err := sim.Run(ctx, sim.NewSpec(nw, proto, adv, 40*n))
 				if err != nil {
 					return nil, err
 				}
@@ -132,7 +131,7 @@ func Figure1() Experiment {
 		ID:    "F1",
 		Title: "hierarchical partition and virtual trajectory (n=16, m=2, ℓ=4)",
 		Paper: "Figure 1",
-		Run: func(w io.Writer) (*Outcome, error) {
+		Run: func(ctx context.Context, w io.Writer) (*Outcome, error) {
 			h, err := core.NewHierarchy(2, 4)
 			if err != nil {
 				return nil, err

@@ -21,6 +21,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,13 +38,14 @@ type Outcome struct {
 	Notes []string
 }
 
-// Experiment is one reproducible unit of the evaluation.
+// Experiment is one reproducible unit of the evaluation. Run honors ctx:
+// a cancelled context stops the experiment's simulations between rounds.
 type Experiment struct {
 	ID    string
 	Title string
 	// Paper identifies the artifact being reproduced.
 	Paper string
-	Run   func(w io.Writer) (*Outcome, error)
+	Run   func(ctx context.Context, w io.Writer) (*Outcome, error)
 }
 
 // All returns the full suite in presentation order.
@@ -75,14 +77,14 @@ func ByID(id string) (Experiment, error) {
 }
 
 // RunAll executes the suite, writing every table to w, and reports whether
-// all experiments passed.
-func RunAll(w io.Writer) (bool, error) {
+// all experiments passed. Cancelling ctx aborts the suite between rounds.
+func RunAll(ctx context.Context, w io.Writer) (bool, error) {
 	ok := true
 	for _, e := range All() {
 		if _, err := fmt.Fprintf(w, "\n%s — %s (%s)\n\n", e.ID, e.Title, e.Paper); err != nil {
 			return false, err
 		}
-		out, err := e.Run(w)
+		out, err := e.Run(ctx, w)
 		if err != nil {
 			return false, fmt.Errorf("%s: %w", e.ID, err)
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -49,7 +50,7 @@ func TestExperimentsPass(t *testing.T) {
 				t.Skip("heavy sweep; run without -short")
 			}
 			var buf bytes.Buffer
-			out, err := e.Run(&buf)
+			out, err := e.Run(context.Background(), &buf)
 			if err != nil {
 				t.Fatalf("%s failed: %v\n%s", e.ID, err, buf.String())
 			}
@@ -67,7 +68,7 @@ func TestRunAllAggregates(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full suite")
 	}
-	ok, err := RunAll(io.Discard)
+	ok, err := RunAll(context.Background(), io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestFigure1Output(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := f1.Run(&buf)
+	out, err := f1.Run(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"smallbuffers/internal/adversary"
@@ -23,7 +24,7 @@ func E11Latency() Experiment {
 		ID:    "E11",
 		Title: "the latency price of space-optimal forwarding",
 		Paper: "complement to §3 (space-optimality) and §1's greedy discussion",
-		Run: func(w io.Writer) (*Outcome, error) {
+		Run: func(ctx context.Context, w io.Writer) (*Outcome, error) {
 			const n = 64
 			const sigma = 2
 			const d = 8
@@ -54,10 +55,8 @@ func E11Latency() Experiment {
 					return nil, err
 				}
 				lat := trace.NewLatencyRecorder()
-				res, err := sim.Run(sim.Config{
-					Net: nw, Protocol: proto, Adversary: adv, Rounds: 3000,
-					Observers: []sim.Observer{lat},
-				})
+				res, err := sim.Run(ctx, sim.NewSpec(nw, proto, adv, 3000,
+					sim.WithObservers(lat)))
 				if err != nil {
 					return nil, err
 				}

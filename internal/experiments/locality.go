@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"smallbuffers/internal/adversary"
@@ -31,7 +32,7 @@ func E10Locality() Experiment {
 		ID:    "E10",
 		Title: "the price of locality: centralized PTS vs local downhill",
 		Paper: "§1 recent progress ([9], [17]): optimal-local is Θ(ρ·log n + σ)",
-		Run: func(w io.Writer) (*Outcome, error) {
+		Run: func(ctx context.Context, w io.Writer) (*Outcome, error) {
 			ok := true
 
 			// Full pressure: a sustained rate-1 stream from the head. The
@@ -44,7 +45,7 @@ func E10Locality() Experiment {
 				rounds := 3 * n * n // enough to converge to the steady state
 				measure := func(p sim.Protocol) (int, error) {
 					adv := adversary.NewStream(adversary.Bound{Rho: rat.One, Sigma: 0}, 0, network.NodeID(n-1))
-					res, err := sim.Run(sim.Config{Net: nw, Protocol: p, Adversary: adv, Rounds: rounds})
+					res, err := sim.Run(ctx, sim.NewSpec(nw, p, adv, rounds))
 					if err != nil {
 						return 0, err
 					}
@@ -76,7 +77,7 @@ func E10Locality() Experiment {
 					if err != nil {
 						return 0, err
 					}
-					res, err := sim.Run(sim.Config{Net: nw, Protocol: p, Adversary: adv, Rounds: 8 * n})
+					res, err := sim.Run(ctx, sim.NewSpec(nw, p, adv, 8*n))
 					if err != nil {
 						return 0, err
 					}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,7 +23,7 @@ func E5LowerBound() Experiment {
 		ID:    "E5",
 		Title: "lower-bound adversary vs the protocol portfolio",
 		Paper: "Theorem 5.1: any protocol needs Ω(((ℓ+1)ρ−1)/2ℓ · n^(1/ℓ)) space",
-		Run: func(w io.Writer) (*Outcome, error) {
+		Run: func(ctx context.Context, w io.Writer) (*Outcome, error) {
 			ok := true
 			var tables []*stats.Table
 			for _, pc := range []struct {
@@ -64,10 +65,8 @@ func E5LowerBound() Experiment {
 						return nil, err
 					}
 					tracker := lowerbound.NewStalenessTracker(adv)
-					res, err := sim.Run(sim.Config{
-						Net: nw, Protocol: proto, Adversary: adv, Rounds: adv.Rounds(),
-						Observers: []sim.Observer{tracker},
-					})
+					res, err := sim.Run(ctx, sim.NewSpec(nw, proto, adv, adv.Rounds(),
+						sim.WithObservers(tracker)))
 					if err != nil {
 						return nil, err
 					}
@@ -124,7 +123,7 @@ func E9Exact() Experiment {
 		ID:    "E9",
 		Title: "exhaustive offline optimum on tiny instances",
 		Paper: "Theorem 5.1 holds against *all* protocols — exact check at toy scale",
-		Run: func(w io.Writer) (*Outcome, error) {
+		Run: func(ctx context.Context, w io.Writer) (*Outcome, error) {
 			table := stats.NewTable("exact optimum vs floor and PPTS",
 				"instance", "rounds", "floor", "optimum", "PPTS", "states", "ok")
 			ok := true
@@ -149,7 +148,7 @@ func E9Exact() Experiment {
 			if err != nil {
 				return nil, err
 			}
-			simRes, err := sim.Run(sim.Config{Net: nw, Protocol: core.NewPPTS(), Adversary: lb2, Rounds: lb2.Rounds()})
+			simRes, err := sim.Run(ctx, sim.NewSpec(nw, core.NewPPTS(), lb2, lb2.Rounds()))
 			if err != nil {
 				return nil, err
 			}
@@ -171,7 +170,7 @@ func E9Exact() Experiment {
 			if err != nil {
 				return nil, err
 			}
-			simRes2, err := sim.Run(sim.Config{Net: nw2, Protocol: core.NewPPTS(), Adversary: mkAdv(), Rounds: 8})
+			simRes2, err := sim.Run(ctx, sim.NewSpec(nw2, core.NewPPTS(), mkAdv(), 8))
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"smallbuffers/internal/adversary"
 	"smallbuffers/internal/baseline"
 	"smallbuffers/internal/core"
+	"smallbuffers/internal/harness"
 	"smallbuffers/internal/network"
 	"smallbuffers/internal/rat"
 	"smallbuffers/internal/sim"
@@ -23,7 +25,7 @@ func E6Tradeoff() Experiment {
 		ID:    "E6",
 		Title: "space vs bandwidth: buffer need as a function of k = ⌊1/ρ⌋",
 		Paper: "abstract: O(k·d^(1/k)) sufficient, Ω(d^(1/k)/k) necessary",
-		Run: func(w io.Writer) (*Outcome, error) {
+		Run: func(ctx context.Context, w io.Writer) (*Outcome, error) {
 			const n = 256 // 2^8: admits ℓ ∈ {1,2,4,8}
 			const sigma = 2
 			table := stats.NewTable(
@@ -56,9 +58,7 @@ func E6Tradeoff() Experiment {
 					}
 					upper = core.HPTSSpaceBound(h, sigma)
 				}
-				res, err := sim.Run(sim.Config{
-					Net: nw, Protocol: proto, Adversary: adv, Rounds: 10 * k * n,
-				})
+				res, err := sim.Run(ctx, sim.NewSpec(nw, proto, adv, 10*k*n))
 				if err != nil {
 					return nil, err
 				}
@@ -86,39 +86,51 @@ func E7Greedy() Experiment {
 		ID:    "E7",
 		Title: "greedy scheduling policies vs PPTS under d-destination stress",
 		Paper: "§1 (and [17]): greedy forwarding needs Ω(d) buffers for ρ > 1/2",
-		Run: func(w io.Writer) (*Outcome, error) {
+		Run: func(ctx context.Context, w io.Writer) (*Outcome, error) {
 			ok := true
 			var tables []*stats.Table
 			const n = 64
-			nw := network.MustPath(n)
+			// One parallel sweep per destination count: the whole protocol
+			// portfolio races the same crafted pattern concurrently.
+			protos := []harness.ProtocolSpec{
+				harness.Protocol("PPTS", func() sim.Protocol { return core.NewPPTS() }),
+			}
+			for _, g := range baseline.All() {
+				policy := policyOf(g)
+				protos = append(protos, harness.Protocol(g.Name(), func() sim.Protocol {
+					return baseline.NewGreedy(policy)
+				}))
+			}
 			for _, d := range []int{8, 16} {
-				bound := adversary.Bound{Rho: rat.One, Sigma: 1}
-				horizon := 24 * n
+				d := d
 				table := stats.NewTable(
 					fmt.Sprintf("GreedyKiller workload: n=%d, d=%d, ρ=1, σ=1 (PPTS bound %d)", n, d, 1+d+1),
 					"protocol", "measured max load", "PPTS bound 1+d+σ", "within PPTS bound")
-				protos := []sim.Protocol{core.NewPPTS()}
-				for _, g := range baseline.All() {
-					protos = append(protos, g)
+				sweep := &harness.Sweep{
+					Protocols:  protos,
+					Topologies: []harness.TopologySpec{harness.Path(n)},
+					Bounds:     []adversary.Bound{{Rho: rat.One, Sigma: 1}},
+					Adversaries: []harness.AdversarySpec{
+						{Name: "greedykiller", New: func(nw *network.Network, bound adversary.Bound, _ int64, rounds int) (adversary.Adversary, error) {
+							return adversary.GreedyKiller(nw, bound, d, rounds)
+						}},
+					},
+					Rounds: []int{24 * n},
 				}
-				pptsLoad := 0
-				for _, proto := range protos {
-					adv, err := adversary.GreedyKiller(nw, bound, d, horizon)
-					if err != nil {
-						return nil, err
-					}
-					res, err := sim.Run(sim.Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: horizon})
-					if err != nil {
-						return nil, err
-					}
-					within := res.MaxLoad <= 1+d+1
-					if proto.Name() == "PPTS" {
-						pptsLoad = res.MaxLoad
+				res, err := sweep.Run(ctx)
+				if err != nil {
+					return nil, err
+				}
+				if err := res.FirstErr(); err != nil {
+					return nil, err
+				}
+				for _, cell := range res.Cells {
+					within := cell.Result.MaxLoad <= 1+d+1
+					if cell.Cell.Protocol == "PPTS" {
 						ok = ok && within // the bound must hold for PPTS
 					}
-					table.AddRow(proto.Name(), res.MaxLoad, 1+d+1, stats.CheckMark(within))
+					table.AddRow(cell.Cell.Protocol, cell.Result.MaxLoad, 1+d+1, stats.CheckMark(within))
 				}
-				_ = pptsLoad
 				tables = append(tables, table)
 			}
 			out := &Outcome{Tables: tables, OK: ok,

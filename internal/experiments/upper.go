@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"smallbuffers/internal/adversary"
 	"smallbuffers/internal/core"
+	"smallbuffers/internal/harness"
 	"smallbuffers/internal/network"
 	"smallbuffers/internal/rat"
 	"smallbuffers/internal/sim"
@@ -13,48 +15,49 @@ import (
 )
 
 // E1PTS reproduces Proposition 3.1: PTS keeps every buffer at ≤ 2 + σ.
+// The 30-cell grid (3 path lengths × 5 demand bounds × 2 adversaries) runs
+// as a parallel harness sweep.
 func E1PTS() Experiment {
 	return Experiment{
 		ID:    "E1",
 		Title: "PTS buffer bound on a path, single destination",
 		Paper: "Proposition 3.1: max load ≤ 2 + σ",
-		Run: func(w io.Writer) (*Outcome, error) {
+		Run: func(ctx context.Context, w io.Writer) (*Outcome, error) {
 			table := stats.NewTable("PTS max buffer load vs 2+σ",
 				"n", "ρ", "σ", "adversary", "measured", "bound", "ratio", "ok")
+			sweep := &harness.Sweep{
+				Protocols: []harness.ProtocolSpec{
+					harness.Protocol("PTS", func() sim.Protocol { return core.NewPTS() }),
+				},
+				Topologies: []harness.TopologySpec{harness.Path(16), harness.Path(64), harness.Path(256)},
+				Bounds: []adversary.Bound{
+					{Rho: rat.One, Sigma: 0}, {Rho: rat.One, Sigma: 2}, {Rho: rat.One, Sigma: 6},
+					{Rho: rat.New(1, 2), Sigma: 3}, {Rho: rat.New(1, 4), Sigma: 2},
+				},
+				Adversaries: []harness.AdversarySpec{
+					{Name: "burst", New: func(nw *network.Network, bound adversary.Bound, _ int64, rounds int) (adversary.Adversary, error) {
+						return adversary.PTSBurst(nw, bound, rounds)
+					}},
+					harness.RandomAdversary(nil), // sinks = the single destination n−1
+				},
+				RoundsFor: func(nw *network.Network) int { return 6 * nw.Len() },
+				BaseSeed:  1,
+			}
+			res, err := sweep.Run(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := res.FirstErr(); err != nil {
+				return nil, err
+			}
 			ok := true
-			type cfg struct {
-				rho   rat.Rat
-				sigma int
-			}
-			cfgs := []cfg{
-				{rat.One, 0}, {rat.One, 2}, {rat.One, 6},
-				{rat.New(1, 2), 3}, {rat.New(1, 4), 2},
-			}
-			for _, n := range []int{16, 64, 256} {
-				nw := network.MustPath(n)
-				for _, c := range cfgs {
-					bound := adversary.Bound{Rho: c.rho, Sigma: c.sigma}
-					horizon := 6 * n
-					burst, err := adversary.PTSBurst(nw, bound, horizon)
-					if err != nil {
-						return nil, err
-					}
-					rnd, err := adversary.NewRandom(nw, bound, []network.NodeID{network.NodeID(n - 1)}, 1)
-					if err != nil {
-						return nil, err
-					}
-					for name, adv := range map[string]adversary.Adversary{"burst": burst, "random": rnd} {
-						res, err := sim.Run(sim.Config{Net: nw, Protocol: core.NewPTS(), Adversary: adv, Rounds: horizon})
-						if err != nil {
-							return nil, err
-						}
-						limit := 2 + c.sigma
-						rowOK := res.MaxLoad <= limit
-						ok = ok && rowOK
-						table.AddRow(n, c.rho, c.sigma, name, res.MaxLoad, limit,
-							stats.Ratio(res.MaxLoad, limit), stats.CheckMark(rowOK))
-					}
-				}
+			for _, cell := range res.Cells {
+				n := len(cell.Result.PerNodeMax)
+				limit := 2 + cell.Cell.Bound.Sigma
+				rowOK := cell.Result.MaxLoad <= limit
+				ok = ok && rowOK
+				table.AddRow(n, cell.Cell.Bound.Rho, cell.Cell.Bound.Sigma, cell.Cell.Adversary,
+					cell.Result.MaxLoad, limit, stats.Ratio(cell.Result.MaxLoad, limit), stats.CheckMark(rowOK))
 			}
 			out := &Outcome{Tables: []*stats.Table{table}, OK: ok,
 				Notes: []string{"expected shape: measured ≤ 2+σ everywhere; crafted bursts approach the bound"}}
@@ -69,7 +72,7 @@ func E2PPTS() Experiment {
 		ID:    "E2",
 		Title: "PPTS buffer bound on a path, d destinations",
 		Paper: "Proposition 3.2: max load ≤ 1 + d + σ",
-		Run: func(w io.Writer) (*Outcome, error) {
+		Run: func(ctx context.Context, w io.Writer) (*Outcome, error) {
 			table := stats.NewTable("PPTS max buffer load vs 1+d+σ",
 				"n", "d", "σ", "adversary", "measured", "bound", "ratio", "ok")
 			ok := true
@@ -92,7 +95,7 @@ func E2PPTS() Experiment {
 						return nil, err
 					}
 					for name, adv := range map[string]adversary.Adversary{"burst": burst, "random": rnd} {
-						res, err := sim.Run(sim.Config{Net: nw, Protocol: core.NewPPTS(), Adversary: adv, Rounds: horizon})
+						res, err := sim.Run(ctx, sim.NewSpec(nw, core.NewPPTS(), adv, horizon))
 						if err != nil {
 							return nil, err
 						}
@@ -117,7 +120,7 @@ func E3Trees() Experiment {
 		ID:    "E3",
 		Title: "tree PTS and PPTS buffer bounds on directed trees",
 		Paper: "Prop B.3: ≤ 2 + σ (single dest); Prop 3.5: ≤ 1 + d′ + σ",
-		Run: func(w io.Writer) (*Outcome, error) {
+		Run: func(ctx context.Context, w io.Writer) (*Outcome, error) {
 			single := stats.NewTable("TreePTS (all packets to the root) vs 2+σ",
 				"tree", "nodes", "σ", "measured", "bound", "ok")
 			multi := stats.NewTable("TreePPTS (chain destinations) vs 1+d′+σ",
@@ -145,7 +148,7 @@ func E3Trees() Experiment {
 					if err != nil {
 						return nil, err
 					}
-					res, err := sim.Run(sim.Config{Net: sh.nw, Protocol: core.NewTreePTS(), Adversary: adv, Rounds: 240})
+					res, err := sim.Run(ctx, sim.NewSpec(sh.nw, core.NewTreePTS(), adv, 240))
 					if err != nil {
 						return nil, err
 					}
@@ -174,7 +177,7 @@ func E3Trees() Experiment {
 					if err != nil {
 						return nil, err
 					}
-					res, err := sim.Run(sim.Config{Net: sh.nw, Protocol: core.NewTreePPTS(), Adversary: adv, Rounds: 300})
+					res, err := sim.Run(ctx, sim.NewSpec(sh.nw, core.NewTreePPTS(), adv, 300))
 					if err != nil {
 						return nil, err
 					}
@@ -197,7 +200,7 @@ func E4HPTS() Experiment {
 		ID:    "E4",
 		Title: "HPTS hierarchical bound on a path of n = m^ℓ nodes",
 		Paper: "Theorem 4.1: max load ≤ ℓ·n^(1/ℓ) + σ + 1 for ρ·ℓ ≤ 1",
-		Run: func(w io.Writer) (*Outcome, error) {
+		Run: func(ctx context.Context, w io.Writer) (*Outcome, error) {
 			table := stats.NewTable("HPTS max buffer load vs ℓ·m+σ+1 (ρ = 1/ℓ)",
 				"n", "m", "ℓ", "σ", "measured", "bound", "ratio", "phase-invariant", "ok")
 			ok := true
@@ -224,12 +227,9 @@ func E4HPTS() Experiment {
 					}
 					check := core.NewHPTSBoundCheck(nw, h, rho)
 					violations := 0
-					res, err := sim.Run(sim.Config{
-						Net: nw, Protocol: core.NewHPTS(mc.ell), Adversary: adv,
-						Rounds:     24 * mc.ell * n,
-						Observers:  []sim.Observer{check.Observer()},
-						Invariants: []sim.Invariant{softInvariant(check.Invariant(), &violations)},
-					})
+					res, err := sim.Run(ctx, sim.NewSpec(nw, core.NewHPTS(mc.ell), adv, 24*mc.ell*n,
+						sim.WithObservers(check.Observer()),
+						sim.WithInvariants(softInvariant(check.Invariant(), &violations))))
 					if err != nil {
 						return nil, err
 					}

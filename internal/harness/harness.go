@@ -1,0 +1,452 @@
+// Package harness is Tier 2 of the execution API: declarative, parallel
+// parameter sweeps over the simulation engine.
+//
+// The paper's results are statements over families of runs — every
+// (ρ,σ)-bounded adversary, every level count ℓ, every topology — so the
+// natural workload shape is a grid of scenarios, not a single run. A Sweep
+// names the axes of that grid (protocols × topologies × bounds ×
+// adversaries × seeds × rounds), and the harness executes the cartesian
+// product on a bounded worker pool, streaming per-cell results over a
+// channel and folding them into an aggregated SweepResult.
+//
+// Reproducibility is structural: each cell derives its adversary seed
+// deterministically from the sweep's BaseSeed and the cell's coordinates,
+// never from worker identity or scheduling, so the same Sweep produces the
+// same per-cell results at any worker count. Cancellation is cooperative:
+// the engine honors ctx between rounds, so a cancelled sweep stops
+// promptly and returns the cells that completed.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/sim"
+	"smallbuffers/internal/stats"
+)
+
+// ProtocolSpec is one point on the protocol axis. New is a factory because
+// protocols are stateful per run: every cell gets a fresh instance.
+type ProtocolSpec struct {
+	Name string
+	New  func() (sim.Protocol, error)
+}
+
+// Protocol wraps a stateless constructor as a ProtocolSpec.
+func Protocol(name string, mk func() sim.Protocol) ProtocolSpec {
+	return ProtocolSpec{Name: name, New: func() (sim.Protocol, error) { return mk(), nil }}
+}
+
+// TopologySpec is one point on the topology axis.
+type TopologySpec struct {
+	Name string
+	New  func() (*network.Network, error)
+}
+
+// Path returns the path-topology spec on n nodes.
+func Path(n int) TopologySpec {
+	return TopologySpec{Name: fmt.Sprintf("path(%d)", n), New: func() (*network.Network, error) {
+		return network.NewPath(n)
+	}}
+}
+
+// AdversarySpec is one point on the adversary axis. New receives the cell's
+// topology, bound, derived seed, and horizon (crafted bursts are sized to
+// the horizon; randomized patterns consume the seed).
+type AdversarySpec struct {
+	Name string
+	New  func(nw *network.Network, bound adversary.Bound, seed int64, rounds int) (adversary.Adversary, error)
+}
+
+// RandomAdversary is the AdversarySpec for the shaped random pattern
+// injecting toward dests (the sinks if nil).
+func RandomAdversary(dests []network.NodeID) AdversarySpec {
+	return AdversarySpec{Name: "random", New: func(nw *network.Network, bound adversary.Bound, seed int64, _ int) (adversary.Adversary, error) {
+		return adversary.NewRandom(nw, bound, dests, seed)
+	}}
+}
+
+// Cell identifies one point of the sweep grid: the names of its coordinates
+// plus the resolved seed and horizon.
+type Cell struct {
+	// Index is the cell's position in the row-major expansion of the grid;
+	// results stream in completion order and are re-sorted by Index.
+	Index     int
+	Protocol  string
+	Topology  string
+	Adversary string
+	Bound     adversary.Bound
+	// Seed is the grid seed; DerivedSeed is what the adversary factory
+	// receives — a deterministic hash of BaseSeed and the cell coordinates,
+	// so distinct cells never share an RNG stream even at equal grid seeds.
+	Seed        int64
+	DerivedSeed int64
+	Rounds      int
+}
+
+// String renders a compact cell label for tables and errors.
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%s/%s/%v/seed=%d/T=%d", c.Protocol, c.Topology, c.Adversary, c.Bound, c.Seed, c.Rounds)
+}
+
+// CellResult pairs a cell with its run outcome. Err is non-nil when the
+// cell failed to build or its run aborted (invariant violation, protocol
+// error); such cells carry a zero Result.
+type CellResult struct {
+	Cell   Cell
+	Result sim.Result
+	Err    error
+}
+
+// Sweep is a declarative cartesian grid of simulation runs. Protocols,
+// Topologies, Bounds, and Adversaries are required axes; Seeds defaults to
+// {1} and exactly one of Rounds or RoundsFor must be set.
+type Sweep struct {
+	Protocols   []ProtocolSpec
+	Topologies  []TopologySpec
+	Bounds      []adversary.Bound
+	Adversaries []AdversarySpec
+	Seeds       []int64
+	Rounds      []int
+
+	// RoundsFor derives the horizon from the cell's topology (e.g. 6·n);
+	// it replaces the Rounds axis.
+	RoundsFor func(nw *network.Network) int
+
+	// BaseSeed is folded into every cell's derived seed; vary it to re-draw
+	// the whole sweep's randomness at once.
+	BaseSeed int64
+
+	// Workers bounds the worker pool; ≤ 0 means GOMAXPROCS.
+	Workers int
+
+	// VerifyAdversary re-checks every cell's injections against the
+	// declared (ρ,σ) bound.
+	VerifyAdversary bool
+
+	// Observers and Invariants, when set, are called per cell to build the
+	// run's instrumentation (fresh per run — observers are stateful).
+	Observers  func(c Cell, nw *network.Network) []sim.Observer
+	Invariants func(c Cell, nw *network.Network) []sim.Invariant
+}
+
+// validate checks the axes before expansion. Axis names must be unique:
+// cells reference their axis entries by name, so a duplicate would
+// silently execute the wrong spec.
+func (s *Sweep) validate() error {
+	if len(s.Protocols) == 0 {
+		return fmt.Errorf("harness: sweep has no protocols")
+	}
+	if len(s.Topologies) == 0 {
+		return fmt.Errorf("harness: sweep has no topologies")
+	}
+	if len(s.Bounds) == 0 {
+		return fmt.Errorf("harness: sweep has no bounds")
+	}
+	if len(s.Adversaries) == 0 {
+		return fmt.Errorf("harness: sweep has no adversaries")
+	}
+	names := make(map[string]bool)
+	for _, p := range s.Protocols {
+		if names["p:"+p.Name] {
+			return fmt.Errorf("harness: duplicate protocol name %q", p.Name)
+		}
+		names["p:"+p.Name] = true
+	}
+	for _, t := range s.Topologies {
+		if names["t:"+t.Name] {
+			return fmt.Errorf("harness: duplicate topology name %q", t.Name)
+		}
+		names["t:"+t.Name] = true
+	}
+	for _, a := range s.Adversaries {
+		if names["a:"+a.Name] {
+			return fmt.Errorf("harness: duplicate adversary name %q", a.Name)
+		}
+		names["a:"+a.Name] = true
+	}
+	if len(s.Rounds) == 0 && s.RoundsFor == nil {
+		return fmt.Errorf("harness: sweep needs Rounds or RoundsFor")
+	}
+	if len(s.Rounds) > 0 && s.RoundsFor != nil {
+		return fmt.Errorf("harness: Rounds and RoundsFor are mutually exclusive")
+	}
+	return nil
+}
+
+// Cells expands the grid in row-major order: topology (outermost), then
+// protocol, adversary, bound, seed, rounds. Cells whose horizon comes from
+// RoundsFor carry Rounds == 0 until execution resolves the topology.
+func (s *Sweep) Cells() ([]Cell, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	rounds := s.Rounds
+	if len(rounds) == 0 {
+		rounds = []int{0} // resolved per topology by RoundsFor
+	}
+	cells := make([]Cell, 0, len(s.Topologies)*len(s.Protocols)*len(s.Adversaries)*len(s.Bounds)*len(seeds)*len(rounds))
+	for _, topo := range s.Topologies {
+		for _, proto := range s.Protocols {
+			for _, adv := range s.Adversaries {
+				for _, bound := range s.Bounds {
+					for _, seed := range seeds {
+						for _, r := range rounds {
+							c := Cell{
+								Index:     len(cells),
+								Protocol:  proto.Name,
+								Topology:  topo.Name,
+								Adversary: adv.Name,
+								Bound:     bound,
+								Seed:      seed,
+								Rounds:    r,
+							}
+							c.DerivedSeed = deriveSeed(s.BaseSeed, c)
+							cells = append(cells, c)
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// deriveSeed hashes the sweep base seed and the cell coordinates into the
+// seed handed to the cell's adversary. FNV-1a over the canonical cell label
+// is stable across runs, platforms, and worker counts.
+func deriveSeed(base int64, c Cell) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%s|%v|%d|%d", base, c.Protocol, c.Topology, c.Adversary, c.Bound, c.Seed, c.Rounds)
+	// Clear the sign bit: adversary constructors treat seeds as plain
+	// numbers and negative seeds read poorly in reports.
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// Stream executes the sweep on the worker pool and streams per-cell
+// results in completion order. The channel closes when every cell has been
+// executed or ctx is cancelled; after cancellation the engine stops
+// in-flight runs at the next round boundary and undispatched cells are
+// dropped. Build errors (invalid axes) surface as a single CellResult with
+// Err set.
+//
+// Callers must either drain the channel or cancel ctx: abandoning the
+// range loop with a live context leaves the workers blocked on their next
+// send.
+func (s *Sweep) Stream(ctx context.Context) <-chan CellResult {
+	cells, err := s.Cells()
+	if err != nil {
+		out := make(chan CellResult)
+		go func() {
+			defer close(out)
+			select {
+			case out <- CellResult{Err: err}:
+			case <-ctx.Done():
+			}
+		}()
+		return out
+	}
+	return s.stream(ctx, cells)
+}
+
+// stream fans the pre-expanded cells out to the worker pool.
+func (s *Sweep) stream(ctx context.Context, cells []Cell) <-chan CellResult {
+	out := make(chan CellResult)
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	jobs := make(chan Cell)
+	go func() {
+		defer close(jobs)
+		for _, c := range cells {
+			select {
+			case jobs <- c:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One engine per worker, reused across that worker's cells.
+			var eng *sim.Engine
+			for c := range jobs {
+				res := s.runCell(ctx, &eng, c)
+				select {
+				case out <- res:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// runCell materializes one cell (topology, protocol, adversary, horizon)
+// and executes it, reusing the worker's engine when possible.
+func (s *Sweep) runCell(ctx context.Context, eng **sim.Engine, c Cell) CellResult {
+	proto, topo, adv, err := s.lookup(c)
+	if err != nil {
+		return CellResult{Cell: c, Err: err}
+	}
+	nw, err := topo.New()
+	if err != nil {
+		return CellResult{Cell: c, Err: fmt.Errorf("harness: %v: topology: %w", c, err)}
+	}
+	if s.RoundsFor != nil {
+		c.Rounds = s.RoundsFor(nw)
+	}
+	p, err := proto.New()
+	if err != nil {
+		return CellResult{Cell: c, Err: fmt.Errorf("harness: %v: protocol: %w", c, err)}
+	}
+	a, err := adv.New(nw, c.Bound, c.DerivedSeed, c.Rounds)
+	if err != nil {
+		return CellResult{Cell: c, Err: fmt.Errorf("harness: %v: adversary: %w", c, err)}
+	}
+	opts := make([]sim.Option, 0, 3)
+	if s.VerifyAdversary {
+		opts = append(opts, sim.WithVerifyAdversary())
+	}
+	if s.Observers != nil {
+		opts = append(opts, sim.WithObservers(s.Observers(c, nw)...))
+	}
+	if s.Invariants != nil {
+		opts = append(opts, sim.WithInvariants(s.Invariants(c, nw)...))
+	}
+	spec := sim.NewSpec(nw, p, a, c.Rounds, opts...)
+
+	if *eng == nil {
+		e, err := sim.NewEngine(spec)
+		if err != nil {
+			return CellResult{Cell: c, Err: fmt.Errorf("harness: %v: %w", c, err)}
+		}
+		*eng = e
+	} else if err := (*eng).Reset(spec); err != nil {
+		return CellResult{Cell: c, Err: fmt.Errorf("harness: %v: %w", c, err)}
+	}
+	res, err := (*eng).Run(ctx)
+	if err != nil {
+		return CellResult{Cell: c, Err: fmt.Errorf("harness: %v: %w", c, err)}
+	}
+	return CellResult{Cell: c, Result: res}
+}
+
+// lookup resolves a cell's axis entries by name.
+func (s *Sweep) lookup(c Cell) (ProtocolSpec, TopologySpec, AdversarySpec, error) {
+	var proto ProtocolSpec
+	var topo TopologySpec
+	var adv AdversarySpec
+	found := 0
+	for _, p := range s.Protocols {
+		if p.Name == c.Protocol {
+			proto = p
+			found++
+			break
+		}
+	}
+	for _, t := range s.Topologies {
+		if t.Name == c.Topology {
+			topo = t
+			found++
+			break
+		}
+	}
+	for _, a := range s.Adversaries {
+		if a.Name == c.Adversary {
+			adv = a
+			found++
+			break
+		}
+	}
+	if found != 3 {
+		return proto, topo, adv, fmt.Errorf("harness: cell %v names unknown axis entries", c)
+	}
+	return proto, topo, adv, nil
+}
+
+// SweepResult aggregates a sweep: the per-cell results (sorted by cell
+// index) plus numeric summaries over the cells that ran cleanly.
+type SweepResult struct {
+	// Cells holds one entry per executed cell, ordered by Cell.Index.
+	// Cancelled sweeps carry only the cells that completed.
+	Cells []CellResult
+	// Requested is the grid size; Completed counts cells that ran cleanly;
+	// Failed counts cells whose Err is set.
+	Requested int
+	Completed int
+	Failed    int
+	// Interrupted is true when the sweep was cut short by cancellation.
+	Interrupted bool
+
+	// MaxLoad, AvgLatency, and Delivered summarize the clean cells
+	// (mean/max/percentiles via stats.Summary).
+	MaxLoad    stats.Summary
+	AvgLatency stats.Summary
+	Delivered  stats.Summary
+}
+
+// FirstErr returns the lowest-indexed cell error, or nil.
+func (r *SweepResult) FirstErr() error {
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			return c.Err
+		}
+	}
+	return nil
+}
+
+// Run executes the sweep and aggregates every streamed cell. On
+// cancellation it returns the partial SweepResult together with ctx's
+// error; per-cell failures do not abort the sweep (they are recorded on
+// the cells and counted in Failed).
+func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
+	cells, err := s.Cells()
+	if err != nil {
+		return nil, err
+	}
+	agg := &SweepResult{Requested: len(cells)}
+	for cr := range s.stream(ctx, cells) {
+		agg.Cells = append(agg.Cells, cr)
+		if cr.Err != nil {
+			agg.Failed++
+			continue
+		}
+		agg.Completed++
+		agg.MaxLoad.AddInt(cr.Result.MaxLoad)
+		agg.Delivered.AddInt(cr.Result.Delivered)
+		if avg, ok := cr.Result.AvgLatency(); ok {
+			agg.AvgLatency.Add(avg)
+		}
+	}
+	sort.Slice(agg.Cells, func(i, j int) bool { return agg.Cells[i].Cell.Index < agg.Cells[j].Cell.Index })
+	if err := ctx.Err(); err != nil {
+		agg.Interrupted = true
+		return agg, err
+	}
+	return agg, nil
+}

@@ -1,6 +1,7 @@
 package local
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestNames(t *testing.T) {
 func TestDownhillDeliversStream(t *testing.T) {
 	nw := network.MustPath(16)
 	adv := adversary.NewStream(fullRate(0), 0, 15)
-	res, err := sim.Run(sim.Config{Net: nw, Protocol: NewDownhill(), Adversary: adv, Rounds: 300})
+	res, err := sim.Run(context.Background(), sim.NewSpec(nw, NewDownhill(), adv, 300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestOddEvenRateRegimes(t *testing.T) {
 	nw := network.MustPath(16)
 	run := func(rho rat.Rat, rounds int) sim.Result {
 		adv := adversary.NewStream(adversary.Bound{Rho: rho, Sigma: 1}, 0, 15)
-		res, err := sim.Run(sim.Config{Net: nw, Protocol: NewOddEven(), Adversary: adv, Rounds: rounds})
+		res, err := sim.Run(context.Background(), sim.NewSpec(nw, NewOddEven(), adv, rounds))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func TestOddEvenRateRegimes(t *testing.T) {
 func TestOddEvenDeliversStream(t *testing.T) {
 	nw := network.MustPath(16)
 	adv := adversary.NewStream(adversary.Bound{Rho: rat.New(1, 2), Sigma: 1}, 0, 15)
-	res, err := sim.Run(sim.Config{Net: nw, Protocol: NewOddEven(), Adversary: adv, Rounds: 400})
+	res, err := sim.Run(context.Background(), sim.NewSpec(nw, NewOddEven(), adv, 400))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +111,11 @@ func TestDownhillStaircase(t *testing.T) {
 		mk := func() adversary.Adversary {
 			return adversary.NewStream(fullRate(0), 0, sink)
 		}
-		down, err := sim.Run(sim.Config{Net: nw, Protocol: NewDownhill(), Adversary: mk(), Rounds: rounds})
+		down, err := sim.Run(context.Background(), sim.NewSpec(nw, NewDownhill(), mk(), rounds))
 		if err != nil {
 			t.Fatal(err)
 		}
-		pts, err := sim.Run(sim.Config{Net: nw, Protocol: core.NewPTS(), Adversary: mk(), Rounds: rounds})
+		pts, err := sim.Run(context.Background(), sim.NewSpec(nw, core.NewPTS(), mk(), rounds))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func TestDownhillSlackTradeoff(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sim.Run(sim.Config{Net: nw, Protocol: &Downhill{Slack: slack}, Adversary: adv, Rounds: 400})
+		res, err := sim.Run(context.Background(), sim.NewSpec(nw, &Downhill{Slack: slack}, adv, 400))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func TestDownhillOnTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(sim.Config{Net: tree, Protocol: NewDownhill(), Adversary: adv, Rounds: 400})
+	res, err := sim.Run(context.Background(), sim.NewSpec(tree, NewDownhill(), adv, 400))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,10 +172,7 @@ func TestOddEvenParityStagger(t *testing.T) {
 	adv := adversary.NewSchedule().AtN(0, 3, 0, 5).Build(fullRate(2))
 	var badMoves []string
 	obs := &parityObserver{nw: nw, bad: &badMoves}
-	if _, err := sim.Run(sim.Config{
-		Net: nw, Protocol: NewOddEven(), Adversary: adv, Rounds: 40,
-		Observers: []sim.Observer{obs},
-	}); err != nil {
+	if _, err := sim.Run(context.Background(), sim.NewSpec(nw, NewOddEven(), adv, 40, sim.WithObservers(obs))); err != nil {
 		t.Fatal(err)
 	}
 	if len(badMoves) > 0 {

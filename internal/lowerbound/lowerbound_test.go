@@ -1,6 +1,7 @@
 package lowerbound
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -215,7 +216,7 @@ func TestForcesLoadOnAllProtocols(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := sim.Run(sim.Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: adv.Rounds()})
+			res, err := sim.Run(context.Background(), sim.NewSpec(nw, proto, adv, adv.Rounds()))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -250,10 +251,7 @@ func TestStalenessLemmas(t *testing.T) {
 				t.Fatal(err)
 			}
 			tracker := NewStalenessTracker(adv)
-			_, err = sim.Run(sim.Config{
-				Net: nw, Protocol: proto, Adversary: adv, Rounds: adv.Rounds(),
-				Observers: []sim.Observer{tracker},
-			})
+			_, err = sim.Run(context.Background(), sim.NewSpec(nw, proto, adv, adv.Rounds(), sim.WithObservers(tracker)))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"testing"
 
 	"smallbuffers/internal/adversary"
@@ -112,7 +113,7 @@ func TestOptimumNeverExceedsProtocols(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, proto := range []sim.Protocol{core.NewPPTS(), baseline.NewGreedy(baseline.LIS{})} {
-		simRes, err := sim.Run(sim.Config{Net: nw, Protocol: proto, Adversary: mk(), Rounds: rounds})
+		simRes, err := sim.Run(context.Background(), sim.NewSpec(nw, proto, mk(), rounds))
 		if err != nil {
 			t.Fatal(err)
 		}

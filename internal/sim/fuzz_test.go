@@ -63,7 +63,7 @@ func TestQuickChaosConservation(t *testing.T) {
 			return false
 		}
 		check := NewConservationCheck()
-		_, err = Run(Config{
+		_, err = RunConfig(Config{
 			Net:       nw,
 			Protocol:  &chaosProtocol{rng: rand.New(rand.NewSource(seed + 1))},
 			Adversary: adv,
@@ -84,7 +84,7 @@ func TestConservationWithPhasedAcceptance(t *testing.T) {
 	proto := &phasedGreedy{}
 	proto.phase = 3
 	check := NewConservationCheck()
-	if _, err := Run(Config{
+	if _, err := RunConfig(Config{
 		Net: nw, Protocol: proto, Adversary: adv, Rounds: 50,
 		Observers: []Observer{check},
 	}); err != nil {
@@ -102,7 +102,7 @@ func TestConservationDetectsLoss(t *testing.T) {
 	check := NewConservationCheck()
 	check.OnInject(0, []packet.Packet{{ID: 1, Src: 0, Dst: 3}})
 	// Round ends with no delivery and an empty configuration: loss.
-	eng, err := NewEngine(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adversary.Empty{}, Rounds: 1})
+	eng, err := NewEngine(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adversary.Empty{}, Rounds: 1}.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestConservationDetectsLoss(t *testing.T) {
 func TestAdaptiveAdversaryIsConsulted(t *testing.T) {
 	nw := network.MustPath(6)
 	adv := &probeAdaptive{}
-	if _, err := Run(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 10}); err != nil {
+	if _, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 10}); err != nil {
 		t.Fatal(err)
 	}
 	if adv.adaptiveCalls != 10 {

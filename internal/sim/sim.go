@@ -15,8 +15,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"smallbuffers/internal/adversary"
 	"smallbuffers/internal/buffer"
@@ -111,7 +113,11 @@ func (NopObserver) OnRoundEnd(int, View) {}
 // in tests and experiments.
 type Invariant func(v View) error
 
-// Config describes one simulation run.
+// Config describes one simulation run as a struct literal.
+//
+// Deprecated: Config predates the context-aware API and supports neither
+// cancellation nor engine reuse. Build a Spec with NewSpec and options and
+// call Run(ctx, spec) instead. Config remains as a compatibility shim.
 type Config struct {
 	Net       *network.Network
 	Protocol  Protocol
@@ -164,9 +170,15 @@ func (r Result) AvgLatency() (float64, bool) {
 	return float64(r.TotalLatency) / float64(r.Delivered), true
 }
 
-// Engine executes one run. It implements View.
+// Engine executes runs. It implements View. An engine is reusable: after a
+// run completes (or is cancelled), Reset rebinds it to a new Spec while
+// retaining its buffer allocations, so sweeps can drive thousands of runs
+// without churning the allocator. It can also be single-stepped with Step
+// for incremental driving (debuggers, visualizers, interleaved engines).
+//
+// An Engine is not safe for concurrent use; run one engine per goroutine.
 type Engine struct {
-	cfg      Config
+	spec     Spec
 	buffers  []buffer.Buffer
 	staged   []([]packet.Packet) // per-node staging for phased acceptance
 	stagedN  int
@@ -179,61 +191,93 @@ type Engine struct {
 
 var _ View = (*Engine)(nil)
 
-// NewEngine validates the configuration and prepares a run.
-func NewEngine(cfg Config) (*Engine, error) {
-	if cfg.Net == nil {
-		return nil, fmt.Errorf("sim: nil network")
-	}
-	if cfg.Protocol == nil {
-		return nil, fmt.Errorf("sim: nil protocol")
-	}
-	if cfg.Adversary == nil {
-		return nil, fmt.Errorf("sim: nil adversary")
-	}
-	if cfg.Rounds < 0 {
-		return nil, fmt.Errorf("sim: negative round count %d", cfg.Rounds)
-	}
-	n := cfg.Net.Len()
-	e := &Engine{
-		cfg:     cfg,
-		buffers: make([]buffer.Buffer, n),
-		staged:  make([][]packet.Packet, n),
-		res: Result{
-			Protocol:   cfg.Protocol.Name(),
-			Rounds:     cfg.Rounds,
-			PerNodeMax: make([]int, n),
-		},
-	}
-	if pa, ok := cfg.Protocol.(PhasedAcceptor); ok {
-		e.phaseLen = pa.PhaseLength()
-		if e.phaseLen < 1 {
-			return nil, fmt.Errorf("sim: protocol %q reports phase length %d < 1", cfg.Protocol.Name(), e.phaseLen)
-		}
-	} else {
-		e.phaseLen = 1
-	}
-	var dests []network.NodeID
-	if h, ok := cfg.Adversary.(adversary.DestinationHinter); ok {
-		dests = h.Destinations()
-	}
-	if err := cfg.Protocol.Attach(cfg.Net, cfg.Adversary.Bound(), dests); err != nil {
-		return nil, fmt.Errorf("sim: protocol attach: %w", err)
-	}
-	if cfg.VerifyAdversary {
-		ver, err := adversary.NewVerifier(cfg.Net, cfg.Adversary.Bound())
-		if err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
-		}
-		e.verifier = ver
+// NewEngine validates the spec and prepares a run.
+func NewEngine(spec Spec) (*Engine, error) {
+	e := &Engine{}
+	if err := e.Reset(spec); err != nil {
+		return nil, err
 	}
 	return e, nil
+}
+
+// Reset validates spec and rebinds the engine to it, discarding all state
+// of the previous run. Buffer and staging storage is retained across
+// resets, so repeated runs on same-sized topologies are allocation-light.
+func (e *Engine) Reset(spec Spec) error {
+	if spec.net == nil {
+		return fmt.Errorf("sim: nil network")
+	}
+	if spec.protocol == nil {
+		return fmt.Errorf("sim: nil protocol")
+	}
+	if spec.adversary == nil {
+		return fmt.Errorf("sim: nil adversary")
+	}
+	if spec.rounds < 0 {
+		return fmt.Errorf("sim: negative round count %d", spec.rounds)
+	}
+	phaseLen := 1
+	if pa, ok := spec.protocol.(PhasedAcceptor); ok {
+		phaseLen = pa.PhaseLength()
+		if phaseLen < 1 {
+			return fmt.Errorf("sim: protocol %q reports phase length %d < 1", spec.protocol.Name(), phaseLen)
+		}
+	}
+	var dests []network.NodeID
+	if h, ok := spec.adversary.(adversary.DestinationHinter); ok {
+		dests = h.Destinations()
+	}
+	if err := spec.protocol.Attach(spec.net, spec.adversary.Bound(), dests); err != nil {
+		return fmt.Errorf("sim: protocol attach: %w", err)
+	}
+	var verifier *adversary.Verifier
+	if spec.verifyAdversary {
+		ver, err := adversary.NewVerifier(spec.net, spec.adversary.Bound())
+		if err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		verifier = ver
+	}
+
+	n := spec.net.Len()
+	if cap(e.buffers) >= n {
+		e.buffers = e.buffers[:n]
+		for v := range e.buffers {
+			e.buffers[v].Reset()
+		}
+	} else {
+		e.buffers = make([]buffer.Buffer, n)
+	}
+	if cap(e.staged) >= n {
+		e.staged = e.staged[:n]
+		for v := range e.staged {
+			e.staged[v] = e.staged[v][:0]
+		}
+	} else {
+		e.staged = make([][]packet.Packet, n)
+	}
+
+	e.spec = spec
+	e.phaseLen = phaseLen
+	e.verifier = verifier
+	e.stagedN = 0
+	e.round = 0
+	e.nextID = 0
+	// PerNodeMax is handed out inside the returned Result, so it cannot be
+	// recycled: a fresh slice per run keeps prior results immutable.
+	e.res = Result{
+		Protocol:   spec.protocol.Name(),
+		Rounds:     spec.rounds,
+		PerNodeMax: make([]int, n),
+	}
+	return nil
 }
 
 // Round implements View.
 func (e *Engine) Round() int { return e.round }
 
 // Net implements View.
-func (e *Engine) Net() *network.Network { return e.cfg.Net }
+func (e *Engine) Net() *network.Network { return e.spec.net }
 
 // Packets implements View.
 func (e *Engine) Packets(v network.NodeID) []packet.Packet { return e.buffers[v].Packets() }
@@ -245,29 +289,70 @@ func (e *Engine) Load(v network.NodeID) int { return e.buffers[v].Len() }
 // accepted) at v. Zero for unphased protocols.
 func (e *Engine) Staged(v network.NodeID) int { return len(e.staged[v]) }
 
-// Run executes the configured number of rounds and returns the summary.
-// The engine is single-use.
-func (e *Engine) Run() (Result, error) {
-	for t := 0; t < e.cfg.Rounds; t++ {
-		if err := e.step(t); err != nil {
-			return e.res, fmt.Errorf("round %d: %w", t, err)
+// Step executes the next round and reports whether the run is complete.
+// It is the incremental driving primitive underneath Run: callers that
+// need to interleave engines, inspect state between rounds, or drive a
+// visualizer call Step in their own loop.
+func (e *Engine) Step() (done bool, err error) {
+	if e.round >= e.spec.rounds {
+		return true, nil
+	}
+	t := e.round
+	if err := e.step(t); err != nil {
+		return false, fmt.Errorf("round %d: %w", t, err)
+	}
+	e.round = t + 1
+	return e.round >= e.spec.rounds, nil
+}
+
+// Result returns a snapshot of the run summary accumulated so far. After a
+// completed Run it is the final summary; after a cancelled run it covers
+// the rounds that executed. The snapshot is independent of the engine:
+// resuming the run does not mutate previously returned Results.
+func (e *Engine) Result() Result {
+	res := e.res
+	res.Residual = res.Injected - res.Delivered
+	res.PerNodeMax = append([]int(nil), e.res.PerNodeMax...)
+	return res
+}
+
+// Run executes the remaining rounds and returns the summary. Cancellation
+// is honored between rounds: when ctx is done (or the Spec's deadline
+// expires), Run stops promptly and returns the partial Result together
+// with the context's error.
+func (e *Engine) Run(ctx context.Context) (Result, error) {
+	var deadline time.Time
+	if e.spec.deadline > 0 {
+		deadline = time.Now().Add(e.spec.deadline)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return e.Result(), err
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return e.Result(), fmt.Errorf("sim: run deadline %v exhausted at round %d: %w",
+				e.spec.deadline, e.round, context.DeadlineExceeded)
+		}
+		done, err := e.Step()
+		if err != nil {
+			return e.Result(), err
+		}
+		if done {
+			return e.Result(), nil
 		}
 	}
-	e.res.Residual = e.res.Injected - e.res.Delivered
-	return e.res, nil
 }
 
 // step runs one full round: injection, acceptance, sampling, forwarding.
 func (e *Engine) step(t int) error {
-	e.round = t
 
 	// Injection step. Adaptive adversaries observe the previous round's
 	// post-forwarding occupancies.
 	var injs []packet.Injection
-	if ad, ok := e.cfg.Adversary.(adversary.Adaptive); ok {
+	if ad, ok := e.spec.adversary.(adversary.Adaptive); ok {
 		injs = ad.InjectAdaptive(t, func(v network.NodeID) int { return e.buffers[v].Len() })
 	} else {
-		injs = e.cfg.Adversary.Inject(t)
+		injs = e.spec.adversary.Inject(t)
 	}
 	if e.verifier != nil {
 		if err := e.verifier.Check(t, injs); err != nil {
@@ -276,7 +361,7 @@ func (e *Engine) step(t int) error {
 	}
 	newPkts := make([]packet.Packet, 0, len(injs))
 	for _, in := range injs {
-		if err := in.Validate(e.cfg.Net); err != nil {
+		if err := in.Validate(e.spec.net); err != nil {
 			return err
 		}
 		p := packet.Packet{ID: e.nextID, Src: in.Src, Dst: in.Dst, Inject: t, Arrived: t}
@@ -284,7 +369,7 @@ func (e *Engine) step(t int) error {
 		newPkts = append(newPkts, p)
 	}
 	e.res.Injected += len(newPkts)
-	for _, ob := range e.cfg.Observers {
+	for _, ob := range e.spec.observers {
 		ob.OnInject(t, newPkts)
 	}
 
@@ -312,7 +397,7 @@ func (e *Engine) step(t int) error {
 		e.buffers[p.Src].Add(p)
 	}
 	if len(accepted) > 0 {
-		for _, ob := range e.cfg.Observers {
+		for _, ob := range e.spec.observers {
 			ob.OnAccept(t, accepted)
 		}
 	}
@@ -321,15 +406,15 @@ func (e *Engine) step(t int) error {
 	e.sampleLoads(t)
 
 	// Forwarding step.
-	decisions, err := e.cfg.Protocol.Decide(e)
+	decisions, err := e.spec.protocol.Decide(e)
 	if err != nil {
-		return fmt.Errorf("protocol %q: %w", e.cfg.Protocol.Name(), err)
+		return fmt.Errorf("protocol %q: %w", e.spec.protocol.Name(), err)
 	}
 	moves, err := e.apply(t, decisions)
 	if err != nil {
 		return err
 	}
-	for _, ob := range e.cfg.Observers {
+	for _, ob := range e.spec.observers {
 		ob.OnForward(t, moves)
 	}
 
@@ -337,12 +422,12 @@ func (e *Engine) step(t int) error {
 	// can peak here).
 	e.sampleLoads(t)
 
-	for _, inv := range e.cfg.Invariants {
+	for _, inv := range e.spec.invariants {
 		if err := inv(e); err != nil {
 			return fmt.Errorf("invariant: %w", err)
 		}
 	}
-	for _, ob := range e.cfg.Observers {
+	for _, ob := range e.spec.observers {
 		ob.OnRoundEnd(t, e)
 	}
 	return nil
@@ -355,14 +440,14 @@ func (e *Engine) apply(t int, decisions []Forward) ([]Move, error) {
 	// Remove phase: validate and detach all forwarded packets first so the
 	// moves are simultaneous.
 	for _, d := range decisions {
-		if !e.cfg.Net.Valid(d.From) {
+		if !e.spec.net.Valid(d.From) {
 			return nil, fmt.Errorf("sim: decision from invalid node %d", d.From)
 		}
 		if seen[d.From] {
 			return nil, fmt.Errorf("sim: node %d forwards twice in one round (link capacity is 1)", d.From)
 		}
 		seen[d.From] = true
-		to := e.cfg.Net.Next(d.From)
+		to := e.spec.net.Next(d.From)
 		if to == network.None {
 			return nil, fmt.Errorf("sim: sink node %d cannot forward", d.From)
 		}
@@ -416,11 +501,21 @@ func (e *Engine) sampleLoads(t int) {
 	}
 }
 
-// Run is a convenience wrapper: build an engine from cfg and execute it.
-func Run(cfg Config) (Result, error) {
-	e, err := NewEngine(cfg)
+// Run is the primary execution entry point: build an engine from spec and
+// execute it under ctx. Cancellation is honored between rounds; on
+// cancellation the partial Result is returned with the context's error.
+func Run(ctx context.Context, spec Spec) (Result, error) {
+	e, err := NewEngine(spec)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.Run()
+	return e.Run(ctx)
+}
+
+// RunConfig executes one run described by the legacy struct-literal Config.
+//
+// Deprecated: use Run with a Spec; RunConfig supports neither cancellation
+// nor engine reuse.
+func RunConfig(cfg Config) (Result, error) {
+	return Run(context.Background(), cfg.Spec())
 }

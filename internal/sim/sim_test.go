@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -80,7 +81,7 @@ func TestNewEngineValidation(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if _, err := NewEngine(tt.cfg); err == nil {
+			if _, err := NewEngine(tt.cfg.Spec()); err == nil {
 				t.Error("NewEngine succeeded, want error")
 			}
 		})
@@ -90,7 +91,7 @@ func TestNewEngineValidation(t *testing.T) {
 func TestStreamDelivery(t *testing.T) {
 	nw := network.MustPath(5)
 	adv := adversary.NewStream(fullRate(1), 0, 4)
-	res, err := Run(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 30})
+	res, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestCapacityViolationDetected(t *testing.T) {
 		}
 		return []Forward{{From: 0, Pkt: pkts[0].ID}, {From: 0, Pkt: pkts[1].ID}}, nil
 	}}
-	_, err := Run(Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 1})
+	_, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 1})
 	if err == nil || !containsStr(err.Error(), "forwards twice") {
 		t.Errorf("err = %v, want capacity violation", err)
 	}
@@ -152,7 +153,7 @@ func TestSinkCannotForward(t *testing.T) {
 	proto := &badProtocol{decide: func(v View) ([]Forward, error) {
 		return []Forward{{From: 2, Pkt: 0}}, nil
 	}}
-	_, err := Run(Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 1})
+	_, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 1})
 	if err == nil || !containsStr(err.Error(), "sink") {
 		t.Errorf("err = %v, want sink error", err)
 	}
@@ -163,7 +164,7 @@ func TestForwardMissingPacket(t *testing.T) {
 	proto := &badProtocol{decide: func(v View) ([]Forward, error) {
 		return []Forward{{From: 0, Pkt: 99}}, nil
 	}}
-	_, err := Run(Config{Net: nw, Protocol: proto, Adversary: adversary.Empty{}, Rounds: 1})
+	_, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adversary.Empty{}, Rounds: 1})
 	if err == nil || !containsStr(err.Error(), "not present") {
 		t.Errorf("err = %v, want missing packet error", err)
 	}
@@ -174,7 +175,7 @@ func TestForwardFromInvalidNode(t *testing.T) {
 	proto := &badProtocol{decide: func(v View) ([]Forward, error) {
 		return []Forward{{From: 77, Pkt: 0}}, nil
 	}}
-	_, err := Run(Config{Net: nw, Protocol: proto, Adversary: adversary.Empty{}, Rounds: 1})
+	_, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adversary.Empty{}, Rounds: 1})
 	if err == nil || !containsStr(err.Error(), "invalid node") {
 		t.Errorf("err = %v, want invalid node error", err)
 	}
@@ -184,7 +185,7 @@ func TestProtocolDecideErrorPropagates(t *testing.T) {
 	nw := network.MustPath(3)
 	wantErr := errors.New("boom")
 	proto := &badProtocol{decide: func(v View) ([]Forward, error) { return nil, wantErr }}
-	_, err := Run(Config{Net: nw, Protocol: proto, Adversary: adversary.Empty{}, Rounds: 1})
+	_, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adversary.Empty{}, Rounds: 1})
 	if !errors.Is(err, wantErr) {
 		t.Errorf("err = %v, want wrapped boom", err)
 	}
@@ -195,7 +196,7 @@ func TestInvalidInjectionAborts(t *testing.T) {
 	adv := adversary.NewReplay(fullRate(0), map[int][]packet.Injection{
 		0: {{Src: 2, Dst: 0}}, // backward
 	})
-	_, err := Run(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 1})
+	_, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 1})
 	if err == nil {
 		t.Error("backward injection accepted")
 	}
@@ -207,7 +208,7 @@ func TestVerifyAdversaryCatchesViolation(t *testing.T) {
 	adv := adversary.NewReplay(fullRate(0), map[int][]packet.Injection{
 		0: {{Src: 0, Dst: 3}, {Src: 0, Dst: 3}},
 	})
-	_, err := Run(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 1, VerifyAdversary: true})
+	_, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 1, VerifyAdversary: true})
 	if err == nil {
 		t.Error("bound violation not caught")
 	}
@@ -215,7 +216,7 @@ func TestVerifyAdversaryCatchesViolation(t *testing.T) {
 	adv2 := adversary.NewReplay(fullRate(0), map[int][]packet.Injection{
 		0: {{Src: 0, Dst: 3}, {Src: 0, Dst: 3}},
 	})
-	if _, err := Run(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv2, Rounds: 1}); err != nil {
+	if _, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv2, Rounds: 1}); err != nil {
 		t.Errorf("unverified run failed: %v", err)
 	}
 }
@@ -235,11 +236,11 @@ func TestPhasedAcceptanceStaging(t *testing.T) {
 			acceptCounts = append(acceptCounts, len(pkts))
 		},
 	}
-	eng, err := NewEngine(Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 7, Observers: []Observer{obs}})
+	eng, err := NewEngine(Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 7, Observers: []Observer{obs}}.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Acceptance at rounds 0 (packet 0), 3 (packets 1,2,3), 6 (packets 4,5,6).
@@ -256,7 +257,7 @@ func TestPhasedPhysicalLoadCountsStaged(t *testing.T) {
 	adv := adversary.NewStream(fullRate(1), 0, 3)
 	proto := &phasedGreedy{}
 	proto.phase = 4
-	res, err := Run(Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 4})
+	res, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestBadPhaseLengthRejected(t *testing.T) {
 	nw := network.MustPath(4)
 	proto := &phasedGreedy{}
 	proto.phase = 0
-	if _, err := NewEngine(Config{Net: nw, Protocol: proto, Adversary: adversary.Empty{}, Rounds: 1}); err == nil {
+	if _, err := NewEngine(Config{Net: nw, Protocol: proto, Adversary: adversary.Empty{}, Rounds: 1}.Spec()); err == nil {
 		t.Error("phase length 0 accepted")
 	}
 }
@@ -288,7 +289,7 @@ func TestInvariantAborts(t *testing.T) {
 		}
 		return nil
 	}
-	_, err := Run(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 5, Invariants: []Invariant{inv}})
+	_, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 5, Invariants: []Invariant{inv}})
 	if err == nil || !containsStr(err.Error(), "invariant") {
 		t.Errorf("err = %v, want invariant failure", err)
 	}
@@ -315,7 +316,7 @@ func TestObserverHooks(t *testing.T) {
 	nw := network.MustPath(4)
 	adv := adversary.NewStream(fullRate(1), 0, 3)
 	obs := &recordingObserver{}
-	res, err := Run(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 10, Observers: []Observer{obs}})
+	res, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 10, Observers: []Observer{obs}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +338,7 @@ func TestDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 100})
+		res, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 100})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -361,7 +362,7 @@ func TestTreeMultipleReceivers(t *testing.T) {
 	adv := adversary.NewReplay(fullRate(1), map[int][]packet.Injection{
 		0: {{Src: 0, Dst: 2}, {Src: 1, Dst: 2}},
 	})
-	res, err := Run(Config{Net: tree, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 3})
+	res, err := RunConfig(Config{Net: tree, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +376,7 @@ func TestPerNodeMax(t *testing.T) {
 	adv := adversary.NewReplay(fullRate(2), map[int][]packet.Injection{
 		0: {{Src: 1, Dst: 3}, {Src: 1, Dst: 3}, {Src: 1, Dst: 3}},
 	})
-	res, err := Run(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 6})
+	res, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 6})
 	if err != nil {
 		t.Fatal(err)
 	}

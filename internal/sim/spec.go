@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"time"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/network"
+)
+
+// Spec describes one simulation run for the context-aware execution API.
+// The required parameters (topology, protocol, adversary, horizon) are
+// positional in NewSpec; everything else is a functional option. A Spec is
+// a value: it can be copied, stored in tables, and replayed — the same Spec
+// always produces the same Result (protocols and adversaries carry their
+// own seeds, so "same Spec" means rebuilding those from the same seeds).
+type Spec struct {
+	net       *network.Network
+	protocol  Protocol
+	adversary adversary.Adversary
+	rounds    int
+
+	observers       []Observer
+	invariants      []Invariant
+	verifyAdversary bool
+	deadline        time.Duration
+}
+
+// Option customizes a Spec.
+type Option func(*Spec)
+
+// NewSpec assembles a run description: execute protocol against adversary
+// on nw for the given number of rounds.
+func NewSpec(nw *network.Network, p Protocol, adv adversary.Adversary, rounds int, opts ...Option) Spec {
+	s := Spec{net: nw, protocol: p, adversary: adv, rounds: rounds}
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// WithObservers registers observers that receive the run's events.
+func WithObservers(obs ...Observer) Option {
+	return func(s *Spec) { s.observers = append(s.observers, obs...) }
+}
+
+// WithInvariants registers per-round predicates; a violation aborts the
+// run. Invariants power the bound assertions in tests and experiments.
+func WithInvariants(invs ...Invariant) Option {
+	return func(s *Spec) { s.invariants = append(s.invariants, invs...) }
+}
+
+// WithVerifyAdversary re-checks every injection against the adversary's
+// declared (ρ,σ) bound; a violation aborts the run. Crafted adversaries are
+// pre-verified, so this is off by default.
+func WithVerifyAdversary() Option {
+	return func(s *Spec) { s.verifyAdversary = true }
+}
+
+// WithDeadline sets a wall-clock budget for the run. Engine.Run stops
+// between rounds once the budget is exhausted and returns the partial
+// Result together with context.DeadlineExceeded.
+func WithDeadline(d time.Duration) Option {
+	return func(s *Spec) { s.deadline = d }
+}
+
+// Net returns the topology the run executes on.
+func (s Spec) Net() *network.Network { return s.net }
+
+// Protocol returns the forwarding protocol under test.
+func (s Spec) Protocol() Protocol { return s.protocol }
+
+// Adversary returns the injection pattern.
+func (s Spec) Adversary() adversary.Adversary { return s.adversary }
+
+// Rounds returns the run horizon.
+func (s Spec) Rounds() int { return s.rounds }
+
+// Spec converts the legacy struct-literal Config into a Spec.
+//
+// Deprecated: build a Spec directly with NewSpec and options.
+func (c Config) Spec() Spec {
+	s := Spec{
+		net:             c.Net,
+		protocol:        c.Protocol,
+		adversary:       c.Adversary,
+		rounds:          c.Rounds,
+		verifyAdversary: c.VerifyAdversary,
+	}
+	s.observers = append(s.observers, c.Observers...)
+	s.invariants = append(s.invariants, c.Invariants...)
+	return s
+}

@@ -14,7 +14,7 @@ func TestLatencyRecorder(t *testing.T) {
 	nw := network.MustPath(6)
 	adv := adversary.NewStream(adversary.Bound{Rho: rat.One, Sigma: 0}, 0, 5)
 	lat := NewLatencyRecorder()
-	res, err := sim.Run(sim.Config{
+	res, err := sim.RunConfig(sim.Config{
 		Net: nw, Protocol: baseline.NewGreedy(baseline.FIFO{}), Adversary: adv,
 		Rounds: 50, Observers: []sim.Observer{lat},
 	})

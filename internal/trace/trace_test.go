@@ -19,7 +19,7 @@ func recordRun(t *testing.T, rounds int) *Recorder {
 	nw := network.MustPath(8)
 	adv := adversary.NewStream(adversary.Bound{Rho: rat.One, Sigma: 0}, 0, 7)
 	rec := NewRecorder()
-	_, err := sim.Run(sim.Config{
+	_, err := sim.RunConfig(sim.Config{
 		Net: nw, Protocol: baseline.NewGreedy(baseline.FIFO{}), Adversary: adv,
 		Rounds: rounds, Observers: []sim.Observer{rec},
 	})
@@ -53,7 +53,7 @@ func TestRecorderEventsOptional(t *testing.T) {
 	nw := network.MustPath(4)
 	adv := adversary.NewStream(adversary.Bound{Rho: rat.One, Sigma: 0}, 0, 3)
 	rec := &Recorder{CaptureEvents: false}
-	if _, err := sim.Run(sim.Config{
+	if _, err := sim.RunConfig(sim.Config{
 		Net: nw, Protocol: baseline.NewGreedy(baseline.FIFO{}), Adversary: adv,
 		Rounds: 10, Observers: []sim.Observer{rec},
 	}); err != nil {

@@ -21,24 +21,50 @@
 //
 // # Quick start
 //
+// Execution is a two-tier API. Tier 1 runs one scenario through the
+// context-aware engine: describe the run with NewSpec and functional
+// options, then execute it with RunContext (cancellation is honored
+// between rounds):
+//
 //	nw, _ := smallbuffers.NewPath(64)
 //	adv, _ := smallbuffers.NewRandomAdversary(nw, smallbuffers.Bound{
 //		Rho: smallbuffers.NewRat(1, 1), Sigma: 2,
 //	}, nil, 42)
-//	res, _ := smallbuffers.Run(smallbuffers.Config{
-//		Net: nw, Protocol: smallbuffers.NewPPTS(), Adversary: adv, Rounds: 1000,
-//	})
+//	res, _ := smallbuffers.RunContext(context.Background(),
+//		smallbuffers.NewSpec(nw, smallbuffers.NewPPTS(), adv, 1000))
 //	fmt.Println(res.MaxLoad) // ≤ 1 + d + σ per Proposition 3.2
+//
+// Tier 2 runs whole families of scenarios: a Sweep names the axes of a
+// cartesian grid (protocols × topologies × bounds × adversaries × seeds ×
+// rounds) and executes it on a bounded worker pool with deterministic
+// per-cell seeds, streaming per-cell results and aggregating summaries:
+//
+//	sweep := &smallbuffers.Sweep{
+//		Protocols:   []smallbuffers.SweepProtocol{smallbuffers.NewSweepProtocol("PPTS", func() smallbuffers.Protocol { return smallbuffers.NewPPTS() })},
+//		Topologies:  []smallbuffers.SweepTopology{smallbuffers.SweepPath(64), smallbuffers.SweepPath(256)},
+//		Bounds:      []smallbuffers.Bound{{Rho: smallbuffers.NewRat(1, 1), Sigma: 2}},
+//		Adversaries: []smallbuffers.SweepAdversary{smallbuffers.SweepRandomAdversary(nil)},
+//		Seeds:       []int64{1, 2, 3, 4},
+//		Rounds:      []int{2000},
+//	}
+//	agg, _ := sweep.Run(ctx)
+//	fmt.Println(agg.MaxLoad.Mean, agg.MaxLoad.Max)
+//
+// The struct-literal Config form, Run(Config), still works but is
+// deprecated; new code should use NewSpec/RunContext and Sweep.
 package smallbuffers
 
 import (
+	"context"
 	"io"
 	"math/rand"
+	"time"
 
 	"smallbuffers/internal/adversary"
 	"smallbuffers/internal/baseline"
 	"smallbuffers/internal/core"
 	"smallbuffers/internal/experiments"
+	"smallbuffers/internal/harness"
 	"smallbuffers/internal/local"
 	"smallbuffers/internal/lowerbound"
 	"smallbuffers/internal/network"
@@ -46,6 +72,7 @@ import (
 	"smallbuffers/internal/packet"
 	"smallbuffers/internal/rat"
 	"smallbuffers/internal/sim"
+	"smallbuffers/internal/stats"
 	"smallbuffers/internal/trace"
 )
 
@@ -67,10 +94,40 @@ type (
 	Adversary = adversary.Adversary
 	// Protocol is a centralized online forwarding algorithm.
 	Protocol = sim.Protocol
-	// Config describes one simulation run.
+	// Config describes one simulation run as a struct literal.
+	//
+	// Deprecated: build a Spec with NewSpec and options and call
+	// RunContext; Config supports neither cancellation nor engine reuse.
 	Config = sim.Config
+	// Spec describes one simulation run for the context-aware API; build
+	// it with NewSpec and the With* options.
+	Spec = sim.Spec
+	// RunOption customizes a Spec (WithObservers, WithInvariants,
+	// WithVerifyAdversary, WithDeadline).
+	RunOption = sim.Option
+	// Engine is the reusable simulation engine: Run(ctx) for whole runs,
+	// Step/Reset for incremental driving and allocation-light reuse.
+	Engine = sim.Engine
 	// Result summarizes a run.
 	Result = sim.Result
+	// Summary aggregates a numeric sample (mean/max/percentiles); sweep
+	// results report their per-cell metrics through it.
+	Summary = stats.Summary
+	// Sweep is a declarative cartesian grid of runs executed on a bounded
+	// worker pool (Tier 2 of the execution API).
+	Sweep = harness.Sweep
+	// SweepResult aggregates an executed sweep.
+	SweepResult = harness.SweepResult
+	// SweepCell identifies one point of a sweep grid.
+	SweepCell = harness.Cell
+	// SweepCellResult pairs a cell with its run outcome.
+	SweepCellResult = harness.CellResult
+	// SweepProtocol is one point on a sweep's protocol axis.
+	SweepProtocol = harness.ProtocolSpec
+	// SweepTopology is one point on a sweep's topology axis.
+	SweepTopology = harness.TopologySpec
+	// SweepAdversary is one point on a sweep's adversary axis.
+	SweepAdversary = harness.AdversarySpec
 	// View is the read-only configuration protocols observe.
 	View = sim.View
 	// Forward is one forwarding decision.
@@ -296,10 +353,64 @@ func VerifyAdversary(nw *Network, adv Adversary, rounds int) error {
 	return adversary.VerifyPrefix(nw, adv, rounds)
 }
 
-// --- Execution ---
+// --- Execution (Tier 1: one run) ---
+
+// NewSpec assembles a run description: execute protocol p against
+// adversary adv on nw for the given number of rounds. Options attach
+// observers, invariants, adversary verification, and a wall-clock
+// deadline.
+func NewSpec(nw *Network, p Protocol, adv Adversary, rounds int, opts ...RunOption) Spec {
+	return sim.NewSpec(nw, p, adv, rounds, opts...)
+}
+
+// WithObservers registers observers that receive the run's events.
+func WithObservers(obs ...Observer) RunOption { return sim.WithObservers(obs...) }
+
+// WithInvariants registers per-round predicates; a violation aborts the
+// run.
+func WithInvariants(invs ...Invariant) RunOption { return sim.WithInvariants(invs...) }
+
+// WithVerifyAdversary re-checks every injection against the adversary's
+// declared (ρ,σ) bound.
+func WithVerifyAdversary() RunOption { return sim.WithVerifyAdversary() }
+
+// WithDeadline sets a wall-clock budget for the run; when it expires the
+// run stops between rounds with context.DeadlineExceeded.
+func WithDeadline(d time.Duration) RunOption { return sim.WithDeadline(d) }
+
+// RunContext executes one simulation under ctx. Cancellation is honored
+// between rounds; on cancellation the partial Result is returned together
+// with the context's error.
+func RunContext(ctx context.Context, spec Spec) (Result, error) { return sim.Run(ctx, spec) }
+
+// NewEngine validates spec and prepares a reusable engine: Run(ctx)
+// executes it, Step drives it one round at a time, and Reset rebinds it to
+// another Spec while keeping its buffer allocations.
+func NewEngine(spec Spec) (*Engine, error) { return sim.NewEngine(spec) }
 
 // Run executes one simulation.
-func Run(cfg Config) (Result, error) { return sim.Run(cfg) }
+//
+// Deprecated: use RunContext with a Spec built by NewSpec; Run supports
+// neither cancellation nor engine reuse.
+func Run(cfg Config) (Result, error) { return sim.RunConfig(cfg) }
+
+// --- Execution (Tier 2: sweeps) ---
+
+// NewSweepProtocol wraps a protocol constructor as a sweep axis entry;
+// every cell gets a fresh instance.
+func NewSweepProtocol(name string, mk func() Protocol) SweepProtocol {
+	return harness.Protocol(name, mk)
+}
+
+// SweepPath is the path-topology axis entry on n nodes.
+func SweepPath(n int) SweepTopology { return harness.Path(n) }
+
+// SweepRandomAdversary is the adversary axis entry for the shaped random
+// pattern injecting toward dests (the sinks if nil); each cell draws its
+// own deterministically derived seed.
+func SweepRandomAdversary(dests []NodeID) SweepAdversary {
+	return harness.RandomAdversary(dests)
+}
 
 // MaxLoadInvariant returns an Invariant asserting every buffer stays at or
 // below `bound` packets — the executable form of the space theorems.
@@ -348,6 +459,9 @@ func Experiments() []Experiment { return experiments.All() }
 // ExperimentByID finds one experiment ("E1" … "E9", "F1").
 func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
 
-// RunAllExperiments executes the suite, writing tables to w; it reports
-// whether every bound assertion held.
-func RunAllExperiments(w io.Writer) (bool, error) { return experiments.RunAll(w) }
+// RunAllExperiments executes the suite under ctx, writing tables to w; it
+// reports whether every bound assertion held. Cancelling ctx aborts the
+// suite between simulation rounds.
+func RunAllExperiments(ctx context.Context, w io.Writer) (bool, error) {
+	return experiments.RunAll(ctx, w)
+}

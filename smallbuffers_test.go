@@ -2,6 +2,7 @@ package smallbuffers_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -215,7 +216,7 @@ func TestPublicAPIExperiments(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	out, err := e.Run(&buf)
+	out, err := e.Run(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
