@@ -1,0 +1,190 @@
+package smallbuffers_test
+
+// Tests for the bandwidth axis through the public API: capacitated
+// topology construction, the Sweep Bandwidths axis, monotonicity of the
+// paper protocols' max load in B, per-link utilization reporting, and
+// super-unit demand admissibility.
+
+import (
+	"context"
+	"testing"
+
+	sb "smallbuffers"
+)
+
+func TestNetworkBandwidthAccessors(t *testing.T) {
+	nw, err := sb.NewPath(8, sb.WithUniformBandwidth(4), sb.WithLinkBandwidth(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Bandwidth(0); got != 4 {
+		t.Errorf("Bandwidth(0) = %d, want 4", got)
+	}
+	if got := nw.Bandwidth(3); got != 2 {
+		t.Errorf("Bandwidth(3) = %d, want 2 (per-link override)", got)
+	}
+	if got := nw.BottleneckBandwidth(); got != 2 {
+		t.Errorf("BottleneckBandwidth = %d, want 2", got)
+	}
+	if b, uniform := nw.UniformBandwidth(); uniform {
+		t.Errorf("UniformBandwidth = (%d, true), want non-uniform", b)
+	}
+	plain, err := sb.NewPath(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, uniform := plain.UniformBandwidth(); !uniform || b != 1 {
+		t.Errorf("default UniformBandwidth = (%d, %t), want (1, true)", b, uniform)
+	}
+}
+
+func TestSweepBandwidthAxisMonotone(t *testing.T) {
+	// The acceptance shape of the redesign: a Bandwidths sweep through the
+	// public Sweep API, max load non-increasing in B for PTS and PPTS on
+	// paths. Super-unit demand (ρ=2) makes the decrease strict territory;
+	// the axis replays identical injections per B.
+	dests := func(n int) []sb.NodeID {
+		var out []sb.NodeID
+		for k := 0; k < 4; k++ {
+			out = append(out, sb.NodeID(n-4+k))
+		}
+		return out
+	}
+	cases := []struct {
+		name  string
+		proto func() sb.Protocol
+		dests []sb.NodeID
+	}{
+		{"PTS", func() sb.Protocol { return sb.NewPTS() }, nil},
+		{"PPTS", func() sb.Protocol { return sb.NewPPTS() }, dests(48)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sweep := &sb.Sweep{
+				Protocols:  []sb.SweepProtocol{sb.NewSweepProtocol(tc.name, tc.proto)},
+				Topologies: []sb.SweepTopology{sb.SweepPath(48)},
+				Bounds:     []sb.Bound{{Rho: sb.NewRat(2, 1), Sigma: 3}},
+				Adversaries: []sb.SweepAdversary{
+					sb.SweepRandomAdversary(tc.dests),
+				},
+				Bandwidths:      []int{2, 4, 8},
+				Rounds:          []int{600},
+				VerifyAdversary: true,
+			}
+			res, err := sweep.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.FirstErr(); err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed != 3 {
+				t.Fatalf("completed %d cells, want 3", res.Completed)
+			}
+			prevLoad, prevInjected := -1, -1
+			for _, cr := range res.Cells {
+				if prevLoad >= 0 && cr.Result.MaxLoad > prevLoad {
+					t.Errorf("%s: max load increased with bandwidth: B=%d → %d packets (previous %d)",
+						tc.name, cr.Cell.Bandwidth, cr.Result.MaxLoad, prevLoad)
+				}
+				if prevInjected >= 0 && cr.Result.Injected != prevInjected {
+					t.Errorf("%s: B=%d replayed %d injections, want %d (bandwidth must not change the derived seed)",
+						tc.name, cr.Cell.Bandwidth, cr.Result.Injected, prevInjected)
+				}
+				prevLoad, prevInjected = cr.Result.MaxLoad, cr.Result.Injected
+			}
+		})
+	}
+}
+
+func TestSweepBandwidthAxisValidation(t *testing.T) {
+	sweep := &sb.Sweep{
+		Protocols:   []sb.SweepProtocol{sb.NewSweepProtocol("PTS", func() sb.Protocol { return sb.NewPTS() })},
+		Topologies:  []sb.SweepTopology{sb.SweepPath(8)},
+		Bounds:      []sb.Bound{{Rho: sb.NewRat(1, 1), Sigma: 1}},
+		Adversaries: []sb.SweepAdversary{sb.SweepRandomAdversary(nil)},
+		Bandwidths:  []int{0},
+		Rounds:      []int{10},
+	}
+	if _, err := sweep.Run(context.Background()); err == nil {
+		t.Error("sweep accepted bandwidth axis entry 0")
+	}
+}
+
+func TestSuperUnitRateAdmissibility(t *testing.T) {
+	fast, err := sb.NewPath(16, sb.WithUniformBandwidth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := sb.NewPath(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := sb.Bound{Rho: sb.NewRat(3, 1), Sigma: 2}
+	if _, err := sb.NewRandomAdversary(fast, bound, nil, 1); err != nil {
+		t.Errorf("ρ=3 rejected on a B=4 network: %v", err)
+	}
+	if _, err := sb.NewRandomAdversary(slow, bound, nil, 1); err == nil {
+		t.Error("ρ=3 accepted on a unit-capacity network")
+	}
+	// A super-unit pattern must still verify against its declared bound.
+	adv, err := sb.NewRandomAdversary(fast, bound, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.VerifyAdversary(fast, adv, 400); err != nil {
+		t.Errorf("shaped super-unit pattern violated its own bound: %v", err)
+	}
+}
+
+func TestLinkUtilizationReported(t *testing.T) {
+	nw, err := sb.NewPath(8, sb.WithUniformBandwidth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := sb.NewStream(sb.Bound{Rho: sb.NewRat(1, 1), Sigma: 1}, 0, 7)
+	res, err := sb.RunContext(context.Background(),
+		sb.NewSpec(nw, sb.NewPTS(sb.PTSWithDrain()), adv, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.LinkUtilization(7); ok {
+		t.Error("sink reported a link utilization")
+	}
+	util, ok := res.LinkUtilization(0)
+	if !ok {
+		t.Fatal("no utilization for link 0")
+	}
+	// A rate-1 stream over B=2 links uses about half the budget.
+	if util <= 0.2 || util >= 0.8 {
+		t.Errorf("link 0 utilization = %.2f, want ≈ 0.5 for a rate-1 stream on B=2", util)
+	}
+	if link, peak, ok := res.MaxLinkUtilization(); !ok || peak < util {
+		t.Errorf("MaxLinkUtilization = (%d, %.2f, %t), want ≥ link-0 utilization", link, peak, ok)
+	}
+}
+
+func TestEngineDeliversEverythingFasterWithBandwidth(t *testing.T) {
+	// Sanity on throughput: the same demand leaves fewer packets in flight
+	// at the horizon when links are faster.
+	residualAt := func(b int) int {
+		nw, err := sb.NewPath(32, sb.WithUniformBandwidth(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv, err := sb.NewRandomAdversary(nw, sb.Bound{Rho: sb.NewRat(2, 1), Sigma: 2}, nil, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sb.RunContext(context.Background(),
+			sb.NewSpec(nw, sb.NewPTS(sb.PTSWithDrain()), adv, 400))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Residual
+	}
+	if r2, r8 := residualAt(2), residualAt(8); r8 > r2 {
+		t.Errorf("residual grew with bandwidth: B=2 → %d, B=8 → %d", r2, r8)
+	}
+}

@@ -3,8 +3,9 @@
 //
 // Examples:
 //
-//	aqtbench                      # run the full suite (F1, E1–E11)
+//	aqtbench                      # run the full suite (F1, E1–E12)
 //	aqtbench -run E4              # one experiment
+//	aqtbench -run E12 -bandwidths 1,2,4,8,16   # custom link-bandwidth axis
 //	aqtbench -o report.txt        # write to a file
 //	aqtbench -json -o bench.json  # machine-readable outcomes (BENCH_*.json trajectory)
 //	aqtbench -list                # list experiments
@@ -21,10 +22,25 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	sb "smallbuffers"
 )
+
+// parseBandwidths parses the -bandwidths axis ("1,2,4,8").
+func parseBandwidths(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || b < 1 {
+			return nil, fmt.Errorf("bad -bandwidths entry %q (want integers ≥ 1)", part)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -37,10 +53,11 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("aqtbench", flag.ContinueOnError)
-	id := fs.String("run", "", "experiment to run (E1…E11, F1); empty = all")
+	id := fs.String("run", "", "experiment to run (E1…E12, F1); empty = all")
 	out := fs.String("o", "", "output file (default stdout)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON outcomes instead of text tables")
+	bandwidths := fs.String("bandwidths", "", "comma-separated link-bandwidth axis for E12 (default 1,2,4,8)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,12 +86,29 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	exps := sb.Experiments()
-	if *id != "" {
-		e, err := sb.ExperimentByID(*id)
+	if *bandwidths != "" {
+		bs, err := parseBandwidths(*bandwidths)
 		if err != nil {
 			return err
 		}
-		exps = []sb.Experiment{e}
+		for i, e := range exps {
+			if e.ID == "E12" {
+				exps[i] = sb.BandwidthExperiment(bs...)
+			}
+		}
+	}
+	if *id != "" {
+		found := false
+		for _, e := range exps {
+			if e.ID == *id {
+				exps = []sb.Experiment{e}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown experiment %q", *id)
+		}
 	}
 
 	if *asJSON {

@@ -5,6 +5,7 @@
 // Examples:
 //
 //	aqtsim -n 64 -protocol ppts -adversary random -rho 1 -sigma 2 -d 8 -rounds 2000
+//	aqtsim -n 64 -protocol pts -d 1 -bandwidth 4 -adversary random -rho 2 -sigma 3
 //	aqtsim -n 256 -protocol hpts -ell 2 -adversary random -rho 1/2 -rounds 4000 -heatmap
 //	aqtsim -protocol ppts -adversary lowerbound -m 8 -ell 2 -rho 3/4
 //	aqtsim -topology spider -arms 4 -len 4 -protocol tree-ppts -adversary random -rho 1 -sigma 1
@@ -33,13 +34,14 @@ func main() {
 }
 
 type options struct {
-	topology string
-	n        int
-	spine    int
-	legs     int
-	arms     int
-	armLen   int
-	height   int
+	topology  string
+	n         int
+	spine     int
+	legs      int
+	arms      int
+	armLen    int
+	height    int
+	bandwidth int
 
 	protocol string
 	ell      int
@@ -68,6 +70,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs.IntVar(&o.arms, "arms", 4, "spider arm count")
 	fs.IntVar(&o.armLen, "len", 4, "spider arm length")
 	fs.IntVar(&o.height, "height", 4, "binary tree height")
+	fs.IntVar(&o.bandwidth, "bandwidth", 1, "uniform link bandwidth B ≥ 1 (packets per link per round)")
 	fs.StringVar(&o.protocol, "protocol", "ppts", "pts | ppts | tree-pts | tree-ppts | hpts | downhill | oddeven | greedy-fifo|lifo|lis|sis|ntg|ftg")
 	fs.IntVar(&o.ell, "ell", 2, "HPTS levels ℓ (and lowerbound ℓ)")
 	fs.BoolVar(&o.drain, "drain", false, "enable drain-when-idle (pts/ppts/tree-pts)")
@@ -142,13 +145,16 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return rec.WriteJSON(w)
 	}
 	fmt.Fprintf(w, "protocol:   %s\n", res.Protocol)
-	fmt.Fprintf(w, "topology:   %s (%d nodes)\n", o.topology, nw.Len())
+	fmt.Fprintf(w, "topology:   %s (%d nodes, link bandwidth %d)\n", o.topology, nw.Len(), nw.BottleneckBandwidth())
 	fmt.Fprintf(w, "demand:     %v over %d rounds (%d injected, %d delivered, %d residual)\n",
 		bound, res.Rounds, res.Injected, res.Delivered, res.Residual)
 	fmt.Fprintf(w, "max load:   %d (buffer %d, round %d); physical %d\n",
 		res.MaxLoad, res.MaxLoadNode, res.MaxLoadRound, res.MaxPhysicalLoad)
 	if avg, okAvg := res.AvgLatency(); okAvg {
 		fmt.Fprintf(w, "latency:    avg %.1f, max %d\n", avg, res.MaxLatency)
+	}
+	if link, util, okUtil := res.MaxLinkUtilization(); okUtil {
+		fmt.Fprintf(w, "links:      busiest %d at %.0f%% of rounds×bandwidth\n", link, 100*util)
 	}
 	if predicted != "" {
 		fmt.Fprintf(w, "paper:      %s\n", predicted)
@@ -163,15 +169,16 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 }
 
 func buildTopology(o options) (*sb.Network, error) {
+	bw := sb.WithUniformBandwidth(o.bandwidth)
 	switch o.topology {
 	case "path":
-		return sb.NewPath(o.n)
+		return sb.NewPath(o.n, bw)
 	case "caterpillar":
-		return sb.CaterpillarTree(o.spine, o.legs)
+		return sb.CaterpillarTree(o.spine, o.legs, bw)
 	case "binary":
-		return sb.BinaryTree(o.height)
+		return sb.BinaryTree(o.height, bw)
 	case "spider":
-		return sb.SpiderTree(o.arms, o.armLen)
+		return sb.SpiderTree(o.arms, o.armLen, bw)
 	default:
 		return nil, fmt.Errorf("unknown -topology %q", o.topology)
 	}

@@ -39,12 +39,13 @@ func run(ctx context.Context, args []string) error {
 	n := fs.Int("n", 64, "demo path length")
 	d := fs.Int("d", 8, "demo destination count")
 	rounds := fs.Int("rounds", 600, "demo rounds")
+	bandwidth := fs.Int("bandwidth", 1, "demo uniform link bandwidth B ≥ 1")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *demo {
-		return runDemo(ctx, *n, *d, *rounds)
+		return runDemo(ctx, *n, *d, *rounds, *bandwidth)
 	}
 
 	h, err := sb.NewHierarchy(*m, *ell)
@@ -54,8 +55,8 @@ func run(ctx context.Context, args []string) error {
 	return sb.RenderFigure1(os.Stdout, h, *src, *dst)
 }
 
-func runDemo(ctx context.Context, n, d, rounds int) error {
-	nw, err := sb.NewPath(n)
+func runDemo(ctx context.Context, n, d, rounds, bandwidth int) error {
+	nw, err := sb.NewPath(n, sb.WithUniformBandwidth(bandwidth))
 	if err != nil {
 		return err
 	}
@@ -71,8 +72,8 @@ func runDemo(ctx context.Context, n, d, rounds int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("PPTS under a d=%d burst workload on %d nodes: max load %d (bound %d)\n\n",
-		d, n, res.MaxLoad, 1+d+bound.Sigma)
+	fmt.Printf("PPTS under a d=%d burst workload on %d nodes (link bandwidth %d): max load %d (B=1 bound %d)\n\n",
+		d, n, bandwidth, res.MaxLoad, 1+d+bound.Sigma)
 	if err := rec.RenderHeatmap(os.Stdout, 40); err != nil {
 		return err
 	}

@@ -46,7 +46,7 @@ var _ DestinationHinter = (*HotSpot)(nil)
 // NewHotSpot returns a hot-spot adversary injecting toward the given
 // destinations (the sinks if none). Deterministic given the seed.
 func NewHotSpot(nw *network.Network, bound Bound, dests []network.NodeID, seed int64) (*HotSpot, error) {
-	if err := bound.Validate(); err != nil {
+	if err := bound.ValidateFor(nw); err != nil {
 		return nil, err
 	}
 	if len(dests) == 0 {
@@ -60,7 +60,7 @@ func NewHotSpot(nw *network.Network, bound Bound, dests []network.NodeID, seed i
 		rng:      rand.New(rand.NewSource(seed)),
 		dests:    dests,
 		excess:   NewExcess(nw, bound.Rho),
-		attempts: 4*bound.Sigma + 4,
+		attempts: defaultAttempts(bound),
 		perRound: make([]int, nw.Len()),
 	}, nil
 }

@@ -12,6 +12,7 @@
 package adversary
 
 import (
+	"errors"
 	"fmt"
 
 	"smallbuffers/internal/network"
@@ -29,10 +30,32 @@ type Bound struct {
 // String renders "(ρ,σ)=(1/2,3)".
 func (b Bound) String() string { return fmt.Sprintf("(ρ,σ)=(%v,%d)", b.Rho, b.Sigma) }
 
-// Validate rejects bounds outside 0 ≤ ρ ≤ 1, σ ≥ 0.
+// Validate rejects bounds outside 0 ≤ ρ ≤ 1, σ ≥ 0: the admissible demand
+// of the paper's unit-capacity model. On capacitated networks use
+// ValidateFor, which lets ρ range up to the bottleneck bandwidth.
 func (b Bound) Validate() error {
-	if b.Rho.Sign() < 0 || rat.One.Less(b.Rho) {
-		return fmt.Errorf("adversary: rate ρ=%v outside [0,1]", b.Rho)
+	return b.validateAgainst(1)
+}
+
+// ValidateFor rejects bounds that no protocol could serve on nw: ρ must
+// satisfy 0 ≤ ρ ≤ B_min where B_min is the bottleneck link bandwidth (a
+// sustained per-buffer rate above the slowest link is undeliverable), and
+// σ must be non-negative. On unit-capacity networks this is Validate.
+func (b Bound) ValidateFor(nw *network.Network) error {
+	return b.validateAgainst(nw.BottleneckBandwidth())
+}
+
+// ErrRateInadmissible marks bounds whose rate exceeds what the network's
+// links can carry; callers distinguish "this demand needs faster links"
+// from other construction errors with errors.Is.
+var ErrRateInadmissible = errors.New("rate above the bottleneck bandwidth")
+
+func (b Bound) validateAgainst(bmin int) error {
+	if b.Rho.Sign() < 0 {
+		return fmt.Errorf("adversary: rate ρ=%v negative", b.Rho)
+	}
+	if rat.FromInt(int64(bmin)).Less(b.Rho) {
+		return fmt.Errorf("adversary: %w: ρ=%v outside [0,%d]", ErrRateInadmissible, b.Rho, bmin)
 	}
 	if b.Sigma < 0 {
 		return fmt.Errorf("adversary: burst σ=%d negative", b.Sigma)

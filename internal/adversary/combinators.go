@@ -32,9 +32,10 @@ func NewUnion(parts ...Adversary) *Union {
 		rho = rho.Add(b.Rho)
 		sigma += b.Sigma
 	}
-	if rat.One.Less(rho) {
-		rho = rat.One // the model caps usable rate at link capacity
-	}
+	// The sum is declared even past 1: on capacitated networks rates up to
+	// the bottleneck bandwidth are admissible, and on unit links the
+	// verifier's ValidateFor rejects the over-rate union with a clear error
+	// instead of silently under-declaring it.
 	u.bound = Bound{Rho: rho, Sigma: sigma}
 	return u
 }

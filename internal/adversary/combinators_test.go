@@ -19,11 +19,17 @@ func TestUnionSumsBounds(t *testing.T) {
 	}
 }
 
-func TestUnionCapsRateAtOne(t *testing.T) {
+func TestUnionSumsRatePastOne(t *testing.T) {
+	// Rates past 1 stay declared honestly: capacitated networks admit them
+	// (ρ up to the bottleneck bandwidth), and on unit links the verifier
+	// rejects the bound loudly rather than the union under-declaring it.
 	a := NewStream(Bound{Rho: rat.New(3, 4), Sigma: 0}, 0, 3)
 	b := NewStream(Bound{Rho: rat.New(3, 4), Sigma: 0}, 4, 7)
-	if got := NewUnion(a, b).Bound(); !got.Rho.Equal(rat.One) {
-		t.Errorf("ρ = %v, want capped at 1", got.Rho)
+	if got := NewUnion(a, b).Bound(); !got.Rho.Equal(rat.New(3, 2)) {
+		t.Errorf("ρ = %v, want the honest sum 3/2", got.Rho)
+	}
+	if _, err := NewVerifier(network.MustPath(4), Bound{Rho: rat.New(3, 2)}); err == nil {
+		t.Error("verifier accepted ρ=3/2 on a unit-capacity path")
 	}
 }
 

@@ -60,7 +60,7 @@ func PTSBurst(nw *network.Network, bound Bound, horizon int) (*Replay, error) {
 	if !nw.IsPath() {
 		return nil, fmt.Errorf("adversary: PTSBurst needs a path")
 	}
-	if err := bound.Validate(); err != nil {
+	if err := bound.ValidateFor(nw); err != nil {
 		return nil, err
 	}
 	n := nw.Len()
@@ -97,7 +97,7 @@ func PPTSBurst(nw *network.Network, bound Bound, d, horizon int) (*Replay, error
 	if !nw.IsPath() {
 		return nil, fmt.Errorf("adversary: PPTSBurst needs a path")
 	}
-	if err := bound.Validate(); err != nil {
+	if err := bound.ValidateFor(nw); err != nil {
 		return nil, err
 	}
 	n := nw.Len()
@@ -134,7 +134,7 @@ func PPTSBurst(nw *network.Network, bound Bound, d, horizon int) (*Replay, error
 // that reaches all of them, and a burst of ⌊ρ+σ⌋ packets fires mid-run from
 // that leaf toward the last destination.
 func TreeBurst(nw *network.Network, bound Bound, dests []network.NodeID, horizon int) (*Replay, error) {
-	if err := bound.Validate(); err != nil {
+	if err := bound.ValidateFor(nw); err != nil {
 		return nil, err
 	}
 	if len(dests) == 0 {
@@ -193,7 +193,7 @@ func GreedyKiller(nw *network.Network, bound Bound, d, horizon int) (*Replay, er
 	if !nw.IsPath() {
 		return nil, fmt.Errorf("adversary: GreedyKiller needs a path")
 	}
-	if err := bound.Validate(); err != nil {
+	if err := bound.ValidateFor(nw); err != nil {
 		return nil, err
 	}
 	n := nw.Len()

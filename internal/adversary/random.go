@@ -32,12 +32,25 @@ type Random struct {
 var _ Adversary = (*Random)(nil)
 var _ DestinationHinter = (*Random)(nil)
 
+// defaultAttempts sizes the per-round candidate pool. At ρ ≤ 1 it is the
+// historical 4σ+4 (kept bit-for-bit so fixed seeds replay identically);
+// super-unit rates draw proportionally more candidates, since a round must
+// be able to admit ~ρ packets just to track the rate term.
+func defaultAttempts(b Bound) int {
+	n := 4*b.Sigma + 4
+	if extra := int(b.Rho.Ceil()) - 1; extra > 0 {
+		n += 4 * extra
+	}
+	return n
+}
+
 // RandomOption configures a Random adversary.
 type RandomOption func(*Random)
 
 // WithAttempts sets how many candidate injections are drawn per round
-// (default: 4·σ + 4). More attempts saturate the bound more tightly at the
-// cost of simulation time.
+// (default: 4·σ + 4, plus 4·(⌈ρ⌉−1) at super-unit rates so the generator
+// can keep pace with capacitated links). More attempts saturate the bound
+// more tightly at the cost of simulation time.
 func WithAttempts(n int) RandomOption {
 	return func(r *Random) {
 		if n > 0 {
@@ -50,7 +63,7 @@ func WithAttempts(n int) RandomOption {
 // destinations (all sinks if none are provided). The generator is
 // deterministic given the seed.
 func NewRandom(nw *network.Network, bound Bound, dests []network.NodeID, seed int64, opts ...RandomOption) (*Random, error) {
-	if err := bound.Validate(); err != nil {
+	if err := bound.ValidateFor(nw); err != nil {
 		return nil, err
 	}
 	if len(dests) == 0 {
@@ -74,7 +87,7 @@ func NewRandom(nw *network.Network, bound Bound, dests []network.NodeID, seed in
 		dests:    dests,
 		sources:  sources,
 		excess:   NewExcess(nw, bound.Rho),
-		attempts: 4*bound.Sigma + 4,
+		attempts: defaultAttempts(bound),
 		perRound: make([]int, nw.Len()),
 	}
 	for _, o := range opts {

@@ -31,9 +31,10 @@ type Verifier struct {
 	round  int
 }
 
-// NewVerifier returns a verifier with zeroed history.
+// NewVerifier returns a verifier with zeroed history. The bound is
+// admitted against nw's bottleneck bandwidth: ρ may range up to B_min.
 func NewVerifier(nw *network.Network, bound Bound) (*Verifier, error) {
-	if err := bound.Validate(); err != nil {
+	if err := bound.ValidateFor(nw); err != nil {
 		return nil, err
 	}
 	return &Verifier{nw: nw, bound: bound, excess: NewExcess(nw, bound.Rho)}, nil

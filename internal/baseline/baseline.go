@@ -29,8 +29,9 @@ type Policy interface {
 }
 
 // Greedy is the work-conserving protocol driven by a Policy: every
-// non-empty non-sink buffer forwards its policy-preferred packet each
-// round.
+// non-empty non-sink buffer forwards its policy-preferred packets each
+// round — up to B(v) of them on capacitated links (exactly one in the
+// paper's unit-capacity model).
 type Greedy struct {
 	policy Policy
 	nw     *network.Network
@@ -53,9 +54,12 @@ func (g *Greedy) Attach(nw *network.Network, _ adversary.Bound, _ []network.Node
 	return nil
 }
 
-// Decide implements sim.Protocol.
+// Decide implements sim.Protocol: each non-sink buffer forwards its
+// min(B(v), load) policy-preferred packets, selected greedily so that at
+// B = 1 the choice coincides with the classical single-packet rule.
 func (g *Greedy) Decide(v sim.View) ([]sim.Forward, error) {
 	var out []sim.Forward
+	var scratch []packet.Packet
 	for i := 0; i < g.nw.Len(); i++ {
 		node := network.NodeID(i)
 		if g.nw.Next(node) == network.None {
@@ -65,14 +69,25 @@ func (g *Greedy) Decide(v sim.View) ([]sim.Forward, error) {
 		if len(pkts) == 0 {
 			continue
 		}
-		best := pkts[0]
-		for _, p := range pkts[1:] {
-			if g.policy.Less(g.nw, node, p, best) ||
-				(!g.policy.Less(g.nw, node, best, p) && p.ID < best.ID) {
-				best = p
-			}
+		b := v.Bandwidth(node)
+		if b > len(pkts) {
+			b = len(pkts)
 		}
-		out = append(out, sim.Forward{From: node, Pkt: best.ID})
+		scratch = append(scratch[:0], pkts...)
+		// Partial selection: repeatedly extract the policy minimum (ID
+		// tiebreak). b is tiny relative to buffer sizes, so the O(b·load)
+		// scan beats sorting the whole buffer.
+		for k := 0; k < b; k++ {
+			bi := k
+			for j := k + 1; j < len(scratch); j++ {
+				if g.policy.Less(g.nw, node, scratch[j], scratch[bi]) ||
+					(!g.policy.Less(g.nw, node, scratch[bi], scratch[j]) && scratch[j].ID < scratch[bi].ID) {
+					bi = j
+				}
+			}
+			scratch[k], scratch[bi] = scratch[bi], scratch[k]
+			out = append(out, sim.Forward{From: node, Pkt: scratch[k].ID})
+		}
 	}
 	return out, nil
 }

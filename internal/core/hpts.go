@@ -23,6 +23,12 @@ import (
 // adversary (Definition 2.4).
 //
 // Theorem 4.1: the maximum buffer occupancy is at most ℓ·n^(1/ℓ) + σ + 1.
+//
+// The theorem is stated for unit links. On capacitated links HPTS keeps
+// its activation structure and lets each activated pseudo-buffer forward
+// up to B(v) packets; B = 1 recovers the analyzed algorithm exactly, while
+// B > 1 is a best-effort generalization (the phase-badness invariant of
+// Lemma 4.8 is only proven at B = 1).
 type HPTS struct {
 	ell          int
 	ablatePreBad bool
@@ -136,17 +142,28 @@ func (p *HPTS) Decide(v sim.View) ([]sim.Forward, error) {
 			p.activatePreBad(hv, j)
 		}
 	}
-	// Line 12: every non-empty activated pseudo-buffer forwards.
+	// Line 12: every non-empty activated pseudo-buffer forwards. On
+	// capacitated links rates follow the cascaded-rate discipline, computed
+	// right to left: node i sends min(B(i), max(1, sent(i+1))), and the full
+	// B(i) only when i+1 is the pseudo-buffer's own intermediate destination
+	// (where its packets leave this pseudo-buffer system). B = 1 is the
+	// paper's one-packet rule exactly; B > 1 is best-effort (see type doc).
 	var out []sim.Forward
-	for i := 0; i < p.h.N(); i++ {
+	sent := make([]int, p.h.N()+1)
+	for i := p.h.N() - 1; i >= 0; i-- {
 		if p.actLevel[i] < 0 {
 			continue
 		}
-		ps := hv.pseudo(i, p.actLevel[i], p.actK[i])
-		if len(ps) == 0 {
-			continue
+		j, k := p.actLevel[i], p.actK[i]
+		ps := hv.pseudo(i, j, k)
+		limit := v.Bandwidth(network.NodeID(i))
+		ri, _, _ := p.h.IntervalOf(j, i)
+		if wk := p.h.IntermediateDests(j, ri)[k]; i+1 != wk {
+			limit = min(limit, max(1, sent[i+1]))
 		}
-		out = append(out, sim.Forward{From: network.NodeID(i), Pkt: lifoTop(ps)})
+		n0 := len(out)
+		out = appendLIFOTop(out, network.NodeID(i), ps, limit)
+		sent[i] = len(out) - n0
 	}
 	return out, nil
 }

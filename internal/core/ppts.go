@@ -30,6 +30,10 @@ import (
 // *non-empty* pseudo-buffers, additionally ending each interval only where
 // the receiving pseudo-buffer is empty (or the destination), which keeps
 // the configuration badness-free, preserving the bound.
+//
+// On capacitated links the scan is unchanged; each activated pseudo-buffer
+// forwards up to B(v) packets (B = 1 recovers Algorithm 2 exactly, and the
+// 1 + d + σ bound scales down as bandwidth buys faster drains — see E12).
 type PPTS struct {
 	drainWhenIdle bool
 	nw            *network.Network
@@ -78,12 +82,14 @@ type pptsState struct {
 	// byDest[w][i] = packets at node i destined for w, arrival order.
 	byDest map[network.NodeID][][]packet.Packet
 	dests  []network.NodeID // sorted ascending
+	bw     []int            // bw[i] = link bandwidth of node i
 }
 
 func newPPTSState(v sim.View) *pptsState {
 	n := v.Net().Len()
-	st := &pptsState{n: n, byDest: make(map[network.NodeID][][]packet.Packet)}
+	st := &pptsState{n: n, byDest: make(map[network.NodeID][][]packet.Packet), bw: make([]int, n)}
 	for i := 0; i < n; i++ {
+		st.bw[i] = v.Bandwidth(network.NodeID(i))
 		for _, pk := range v.Packets(network.NodeID(i)) {
 			per := st.byDest[pk.Dst]
 			if per == nil {
@@ -120,11 +126,19 @@ func (p *PPTS) Decide(v sim.View) ([]sim.Forward, error) {
 // scan performs the right-to-left destination sweep. With bad=true it is
 // Algorithm 2 verbatim: intervals begin at the left-most bad pseudo-buffer.
 // With bad=false (drain mode) intervals begin at the left-most non-empty
-// pseudo-buffer and are additionally truncated so that the packet leaving
-// the interval's right end lands in an empty pseudo-buffer (or its
+// pseudo-buffer and are additionally truncated so that the packets leaving
+// the interval's right end land in an empty pseudo-buffer (or their
 // destination), preserving zero badness.
+//
+// On capacitated links each activated pseudo-buffer forwards under the
+// cascaded-rate discipline: node i sends min(B(i), max(1, sent(i+1)))
+// packets, full B(i) only into the destination itself. The node order of
+// the sweep is right-to-left overall (higher destinations first, intervals
+// right-to-left), so every receiver's rate is known before its sender's.
+// At B = 1 every limit degenerates to one packet — Algorithm 2 exactly.
 func (p *PPTS) scan(st *pptsState, bad bool) []sim.Forward {
 	frontier := st.n // sentinel "w_d"
+	sent := make([]int, st.n+1)
 	var out []sim.Forward
 	for kk := len(st.dests) - 1; kk >= 0; kk-- {
 		w := st.dests[kk]
@@ -158,12 +172,22 @@ func (p *PPTS) scan(st *pptsState, bad bool) []sim.Forward {
 				continue
 			}
 		}
-		for i := ik; i <= hi; i++ {
-			ps := st.pseudo(w, i)
-			if len(ps) == 0 {
-				continue
+		for i := hi; i >= ik; i-- {
+			// The intervals are disjoint (Lemma B.1), so node i forwards
+			// from this one pseudo-buffer only.
+			limit := st.bw[i]
+			if i+1 != int(w) {
+				limit = min(limit, max(1, sent[i+1]))
+				if !bad && i == hi {
+					// Drain mode truncated the interval so its emission
+					// lands in an empty pseudo-buffer; more than one packet
+					// would create badness there.
+					limit = 1
+				}
 			}
-			out = append(out, sim.Forward{From: network.NodeID(i), Pkt: lifoTop(ps)})
+			n0 := len(out)
+			out = appendLIFOTop(out, network.NodeID(i), st.pseudo(w, i), limit)
+			sent[i] = len(out) - n0
 		}
 		frontier = ik
 	}

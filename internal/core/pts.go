@@ -16,6 +16,17 @@ import (
 // (ρ,σ)-bounded adversary with ρ ≤ 1, every buffer holds at most 2 + σ
 // packets.
 //
+// On capacitated links (B ≥ 1) the activation rule is unchanged — badness
+// still means load ≥ 2 — and forwarding generalizes by the cascaded-rate
+// discipline: rates are computed sink-side first, each
+// activated buffer sends at most one packet more than its receiver passes
+// onward, and only the buffer feeding the destination uses the full B. At
+// B = 1 this is the paper's algorithm round for round; at larger B loaded
+// suffixes drain from the destination end at up to B per round without
+// ever piling packets onto a downstream buffer faster than the B = 1 wave
+// would, which keeps the max load non-increasing in B (experiment E12
+// plots the curve).
+//
 // The paper's PTS forwards nothing when no buffer is bad, which preserves
 // space but not liveness. The DrainWhenIdle option additionally activates
 // the suffix from the left-most *non-empty* buffer on rounds with no bad
@@ -97,15 +108,18 @@ func (p *PTS) Decide(v sim.View) ([]sim.Forward, error) {
 	if start < 0 {
 		return nil, nil
 	}
-	// Activate [start, dest−1]; every non-empty activated buffer forwards
-	// its LIFO top.
+	// Activate [start, dest−1]; forwarding rates cascade from the
+	// destination end (receivers are resolved before their senders).
 	var out []sim.Forward
-	for i := start; i < p.dest; i++ {
-		pkts := v.Packets(i)
-		if len(pkts) == 0 {
-			continue
+	prevSent := 0
+	for i := p.dest - 1; i >= start; i-- {
+		limit := v.Bandwidth(i)
+		if i != p.dest-1 {
+			limit = min(limit, max(1, prevSent))
 		}
-		out = append(out, sim.Forward{From: i, Pkt: pkts[len(pkts)-1].ID})
+		n0 := len(out)
+		out = appendLIFOTop(out, i, v.Packets(i), limit)
+		prevSent = len(out) - n0
 	}
 	return out, nil
 }
@@ -114,4 +128,15 @@ func (p *PTS) Decide(v sim.View) ([]sim.Forward, error) {
 // (the slice is in arrival order).
 func lifoTop(pkts []packet.Packet) packet.ID {
 	return pkts[len(pkts)-1].ID
+}
+
+// appendLIFOTop appends forwarding decisions for the min(len(pkts), b)
+// most recently arrived packets of node from. It is the capacitated
+// generalization of "forward the LIFO top": at b = 1 it emits exactly the
+// paper's single decision.
+func appendLIFOTop(out []sim.Forward, from network.NodeID, pkts []packet.Packet, b int) []sim.Forward {
+	for k := 0; k < b && k < len(pkts); k++ {
+		out = append(out, sim.Forward{From: from, Pkt: pkts[len(pkts)-1-k].ID})
+	}
+	return out
 }

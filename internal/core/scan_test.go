@@ -30,6 +30,7 @@ func (f *fakeView) Round() int                               { return f.round }
 func (f *fakeView) Net() *network.Network                    { return f.nw }
 func (f *fakeView) Packets(v network.NodeID) []packet.Packet { return f.pkts[v] }
 func (f *fakeView) Load(v network.NodeID) int                { return len(f.pkts[v]) }
+func (f *fakeView) Bandwidth(v network.NodeID) int           { return f.nw.Bandwidth(v) }
 
 // randomConfig populates a fake view with random packets on a path,
 // destinations strictly beyond their node.

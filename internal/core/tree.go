@@ -14,7 +14,8 @@ import (
 // Proposition B.3): all packets are destined for their component's root;
 // the protocol activates every buffer that is an ancestor-or-self of a bad
 // buffer, i.e. the union of root-paths of the minimal bad antichain. Max
-// load ≤ 2 + σ.
+// load ≤ 2 + σ. On capacitated links each activated buffer forwards up to
+// B(v) packets (B = 1 is the paper's rule exactly).
 //
 // Forests are supported (the paper's §1 notes the union-of-trees case as
 // the output of many routing algorithms): components never share links, so
@@ -84,16 +85,24 @@ func (p *TreePTS) Decide(v sim.View) ([]sim.Forward, error) {
 		threshold = 1
 	}
 	_ = threshold
+	// Cascaded rates on capacitated links: walk roots-first (reverse
+	// topological order) so each sender sees its parent's rate; full B only
+	// into the root, where packets are absorbed. B = 1 degenerates to the
+	// paper's one-packet rule.
 	var out []sim.Forward
-	for _, node := range p.topo {
+	sent := make([]int, p.nw.Len())
+	for idx := len(p.topo) - 1; idx >= 0; idx-- {
+		node := p.topo[idx]
 		if !active[node] || p.roots[node] {
 			continue
 		}
-		pkts := v.Packets(node)
-		if len(pkts) == 0 {
-			continue
+		limit := v.Bandwidth(node)
+		if up := p.nw.Next(node); !p.roots[up] {
+			limit = min(limit, max(1, sent[up]))
 		}
-		out = append(out, sim.Forward{From: node, Pkt: lifoTop(pkts)})
+		n0 := len(out)
+		out = appendLIFOTop(out, node, v.Packets(node), limit)
+		sent[node] = len(out) - n0
 	}
 	return out, nil
 }
@@ -227,17 +236,23 @@ func (p *TreePPTS) Decide(v sim.View) ([]sim.Forward, error) {
 		}
 	}
 
+	// Cascaded rates on capacitated links, roots-first so parents resolve
+	// before children; full B only into the pseudo-buffer's destination.
 	var out []sim.Forward
-	for _, node := range p.topo {
+	sent := make([]int, n)
+	for idx := len(p.topo) - 1; idx >= 0; idx-- {
+		node := p.topo[idx]
 		w := activeFor[node]
 		if w == network.None {
 			continue
 		}
-		ps := byDest[w][node]
-		if len(ps) == 0 {
-			continue
+		limit := v.Bandwidth(node)
+		if up := p.nw.Next(node); up != w {
+			limit = min(limit, max(1, sent[up]))
 		}
-		out = append(out, sim.Forward{From: node, Pkt: lifoTop(ps)})
+		n0 := len(out)
+		out = appendLIFOTop(out, node, byDest[w][node], limit)
+		sent[node] = len(out) - n0
 	}
 	return out, nil
 }

@@ -18,6 +18,7 @@
 //	E9  Thm 5.1 (exact) exhaustive offline optimum on tiny instances
 //	E10 §1 ([9],[17])   the price of locality: PTS vs downhill protocols
 //	E11 complement      the latency price of space-optimal forwarding
+//	E12 title/§1        space vs link bandwidth B on capacitated links
 package experiments
 
 import (
@@ -63,10 +64,11 @@ func All() []Experiment {
 		E9Exact(),
 		E10Locality(),
 		E11Latency(),
+		E12Bandwidth(),
 	}
 }
 
-// ByID finds an experiment by its identifier ("E1" … "E9", "F1").
+// ByID finds an experiment by its identifier ("E1" … "E12", "F1").
 func ByID(id string) (Experiment, error) {
 	for _, e := range All() {
 		if e.ID == id {

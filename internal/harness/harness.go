@@ -5,7 +5,7 @@
 // (ρ,σ)-bounded adversary, every level count ℓ, every topology — so the
 // natural workload shape is a grid of scenarios, not a single run. A Sweep
 // names the axes of that grid (protocols × topologies × bounds ×
-// adversaries × seeds × rounds), and the harness executes the cartesian
+// adversaries × bandwidths × seeds × rounds), and the harness executes the cartesian
 // product on a bounded worker pool, streaming per-cell results over a
 // channel and folding them into an aggregated SweepResult.
 //
@@ -82,6 +82,9 @@ type Cell struct {
 	Topology  string
 	Adversary string
 	Bound     adversary.Bound
+	// Bandwidth is the uniform link bandwidth imposed on the cell's
+	// topology; 0 means "as built" (the topology's own bandwidths).
+	Bandwidth int
 	// Seed is the grid seed; DerivedSeed is what the adversary factory
 	// receives — a deterministic hash of BaseSeed and the cell coordinates,
 	// so distinct cells never share an RNG stream even at equal grid seeds.
@@ -92,6 +95,9 @@ type Cell struct {
 
 // String renders a compact cell label for tables and errors.
 func (c Cell) String() string {
+	if c.Bandwidth > 0 {
+		return fmt.Sprintf("%s/%s/%s/%v/B=%d/seed=%d/T=%d", c.Protocol, c.Topology, c.Adversary, c.Bound, c.Bandwidth, c.Seed, c.Rounds)
+	}
 	return fmt.Sprintf("%s/%s/%s/%v/seed=%d/T=%d", c.Protocol, c.Topology, c.Adversary, c.Bound, c.Seed, c.Rounds)
 }
 
@@ -114,6 +120,15 @@ type Sweep struct {
 	Adversaries []AdversarySpec
 	Seeds       []int64
 	Rounds      []int
+
+	// Bandwidths is the optional link-capacity axis: each entry B ≥ 1 runs
+	// the cell's topology with every link's bandwidth set to B. Empty means
+	// "as built" (the topologies' own bandwidths, i.e. the paper's B = 1
+	// unless a topology spec configured otherwise). The bandwidth is NOT
+	// folded into the derived adversary seed: cells differing only in B
+	// replay identical traffic, so a bandwidth sweep is a paired comparison
+	// of the same demand under different link speeds.
+	Bandwidths []int
 
 	// RoundsFor derives the horizon from the cell's topology (e.g. 6·n);
 	// it replaces the Rounds axis.
@@ -177,6 +192,11 @@ func (s *Sweep) validate() error {
 	if len(s.Rounds) > 0 && s.RoundsFor != nil {
 		return fmt.Errorf("harness: Rounds and RoundsFor are mutually exclusive")
 	}
+	for _, b := range s.Bandwidths {
+		if b < 1 {
+			return fmt.Errorf("harness: bandwidth axis entries must be ≥ 1, got %d", b)
+		}
+	}
 	return nil
 }
 
@@ -195,24 +215,31 @@ func (s *Sweep) Cells() ([]Cell, error) {
 	if len(rounds) == 0 {
 		rounds = []int{0} // resolved per topology by RoundsFor
 	}
-	cells := make([]Cell, 0, len(s.Topologies)*len(s.Protocols)*len(s.Adversaries)*len(s.Bounds)*len(seeds)*len(rounds))
+	bandwidths := s.Bandwidths
+	if len(bandwidths) == 0 {
+		bandwidths = []int{0} // as built
+	}
+	cells := make([]Cell, 0, len(s.Topologies)*len(s.Protocols)*len(s.Adversaries)*len(s.Bounds)*len(bandwidths)*len(seeds)*len(rounds))
 	for _, topo := range s.Topologies {
 		for _, proto := range s.Protocols {
 			for _, adv := range s.Adversaries {
 				for _, bound := range s.Bounds {
-					for _, seed := range seeds {
-						for _, r := range rounds {
-							c := Cell{
-								Index:     len(cells),
-								Protocol:  proto.Name,
-								Topology:  topo.Name,
-								Adversary: adv.Name,
-								Bound:     bound,
-								Seed:      seed,
-								Rounds:    r,
+					for _, bw := range bandwidths {
+						for _, seed := range seeds {
+							for _, r := range rounds {
+								c := Cell{
+									Index:     len(cells),
+									Protocol:  proto.Name,
+									Topology:  topo.Name,
+									Adversary: adv.Name,
+									Bound:     bound,
+									Bandwidth: bw,
+									Seed:      seed,
+									Rounds:    r,
+								}
+								c.DerivedSeed = deriveSeed(s.BaseSeed, c)
+								cells = append(cells, c)
 							}
-							c.DerivedSeed = deriveSeed(s.BaseSeed, c)
-							cells = append(cells, c)
 						}
 					}
 				}
@@ -224,7 +251,9 @@ func (s *Sweep) Cells() ([]Cell, error) {
 
 // deriveSeed hashes the sweep base seed and the cell coordinates into the
 // seed handed to the cell's adversary. FNV-1a over the canonical cell label
-// is stable across runs, platforms, and worker counts.
+// is stable across runs, platforms, and worker counts. Bandwidth is
+// deliberately excluded: demand is a property of the adversary, not the
+// links, so cells along the bandwidth axis replay the same injections.
 func deriveSeed(base int64, c Cell) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s|%s|%s|%v|%d|%d", base, c.Protocol, c.Topology, c.Adversary, c.Bound, c.Seed, c.Rounds)
@@ -316,6 +345,12 @@ func (s *Sweep) runCell(ctx context.Context, eng **sim.Engine, c Cell) CellResul
 	nw, err := topo.New()
 	if err != nil {
 		return CellResult{Cell: c, Err: fmt.Errorf("harness: %v: topology: %w", c, err)}
+	}
+	if c.Bandwidth > 0 {
+		nw, err = nw.WithBandwidths(network.WithUniformBandwidth(c.Bandwidth))
+		if err != nil {
+			return CellResult{Cell: c, Err: fmt.Errorf("harness: %v: bandwidth: %w", c, err)}
+		}
 	}
 	if s.RoundsFor != nil {
 		c.Rounds = s.RoundsFor(nw)

@@ -69,8 +69,10 @@ func (p *Downhill) Attach(nw *network.Network, _ adversary.Bound, dests []networ
 	return nil
 }
 
-// Decide implements sim.Protocol: node v forwards its LIFO top when
-// |L(v)| > |L(next(v))| + Slack. The comparison uses the pre-forwarding
+// Decide implements sim.Protocol: node v forwards from its LIFO top while
+// |L(v)| > |L(next(v))| + Slack, up to B(v) packets — the capacitated
+// downhill rule sends min(B(v), gradient) packets, so at B = 1 it is the
+// classic single-packet rule. The comparison uses the pre-forwarding
 // configuration at both endpoints, which is exactly the locality-1
 // information model of [9, 17].
 func (p *Downhill) Decide(v sim.View) ([]sim.Forward, error) {
@@ -87,8 +89,12 @@ func (p *Downhill) Decide(v sim.View) ([]sim.Forward, error) {
 		}
 		// Note: the sink's load is always 0 (the engine absorbs packets on
 		// arrival), so the gradient test is uniform across the line.
-		if len(pkts) > v.Load(next)+p.Slack {
-			out = append(out, sim.Forward{From: node, Pkt: pkts[len(pkts)-1].ID})
+		k := len(pkts) - v.Load(next) - p.Slack
+		if b := v.Bandwidth(node); k > b {
+			k = b
+		}
+		for j := 0; j < k; j++ {
+			out = append(out, sim.Forward{From: node, Pkt: pkts[len(pkts)-1-j].ID})
 		}
 	}
 	return out, nil
@@ -140,8 +146,13 @@ func (p *OddEven) Decide(v sim.View) ([]sim.Forward, error) {
 		if len(pkts) == 0 {
 			continue
 		}
-		if len(pkts) > v.Load(next) {
-			out = append(out, sim.Forward{From: node, Pkt: pkts[len(pkts)-1].ID})
+		// Capacitated gradient rule, as in Downhill (slack 0).
+		k := len(pkts) - v.Load(next)
+		if b := v.Bandwidth(node); k > b {
+			k = b
+		}
+		for j := 0; j < k; j++ {
+			out = append(out, sim.Forward{From: node, Pkt: pkts[len(pkts)-1-j].ID})
 		}
 	}
 	return out, nil

@@ -38,10 +38,11 @@ func (b *Builder) Edge(u, v NodeID) error {
 	return nil
 }
 
-// Build validates and returns the network. The builder may not be reused
-// after a successful Build.
-func (b *Builder) Build() (*Network, error) {
-	return NewForest(b.parent)
+// Build validates and returns the network; options (e.g. bandwidths) are
+// forwarded to construction. The builder may not be reused after a
+// successful Build.
+func (b *Builder) Build(opts ...Option) (*Network, error) {
+	return NewForest(b.parent, opts...)
 }
 
 // RandomTree returns a uniformly random-ish in-tree on n nodes rooted at
@@ -49,7 +50,7 @@ func (b *Builder) Build() (*Network, error) {
 // This yields trees whose leaf-root paths shrink logarithmically in
 // expectation, exercising the d′ bound of Proposition 3.5 on non-degenerate
 // shapes. The generator is deterministic given rng.
-func RandomTree(n int, rng *rand.Rand) (*Network, error) {
+func RandomTree(n int, rng *rand.Rand, opts ...Option) (*Network, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("network: random tree needs ≥ 2 nodes, got %d", n)
 	}
@@ -58,14 +59,14 @@ func RandomTree(n int, rng *rand.Rand) (*Network, error) {
 		parent[v] = NodeID(v + 1 + rng.Intn(n-1-v))
 	}
 	parent[n-1] = None
-	return NewTree(parent)
+	return NewTree(parent, opts...)
 }
 
 // CaterpillarTree returns a path 0→1→…→(spine−1) with `legs` extra leaves
 // attached to each spine node. Total nodes: spine·(1+legs). The spine
 // carries long routes while the legs inject cross traffic — a worst-case
 // shape for per-node buffer pressure on trees.
-func CaterpillarTree(spine, legs int) (*Network, error) {
+func CaterpillarTree(spine, legs int, opts ...Option) (*Network, error) {
 	if spine < 2 || legs < 0 {
 		return nil, fmt.Errorf("network: caterpillar needs spine ≥ 2 and legs ≥ 0, got %d, %d", spine, legs)
 	}
@@ -81,14 +82,14 @@ func CaterpillarTree(spine, legs int) (*Network, error) {
 			parent[leaf] = NodeID(s)
 		}
 	}
-	return NewTree(parent)
+	return NewTree(parent, opts...)
 }
 
 // BinaryTree returns a complete binary in-tree of the given height (height 0
 // is a single root — rejected, since networks need ≥ 2 nodes). Node 0 is the
 // root in heap order internally, but IDs are re-labeled so the root is the
 // last node, keeping the "sink has the largest ID" convention of paths.
-func BinaryTree(height int) (*Network, error) {
+func BinaryTree(height int, opts ...Option) (*Network, error) {
 	if height < 1 {
 		return nil, fmt.Errorf("network: binary tree needs height ≥ 1, got %d", height)
 	}
@@ -100,14 +101,14 @@ func BinaryTree(height int) (*Network, error) {
 		parent[n-1-i] = NodeID(n - 1 - (i-1)/2)
 	}
 	parent[n-1] = None
-	return NewTree(parent)
+	return NewTree(parent, opts...)
 }
 
 // SpiderTree returns `arms` disjoint directed paths of the given length all
 // merging into a single root: a star of paths. It models the "union of
 // single-destination trees" case the paper highlights as the output of many
 // routing algorithms. Total nodes: arms·length + 1; the root is the last ID.
-func SpiderTree(arms, length int) (*Network, error) {
+func SpiderTree(arms, length int, opts ...Option) (*Network, error) {
 	if arms < 1 || length < 1 {
 		return nil, fmt.Errorf("network: spider needs arms ≥ 1 and length ≥ 1, got %d, %d", arms, length)
 	}
@@ -125,5 +126,5 @@ func SpiderTree(arms, length int) (*Network, error) {
 			}
 		}
 	}
-	return NewTree(parent)
+	return NewTree(parent, opts...)
 }

@@ -4,7 +4,13 @@
 // directed path (§2) and directed trees with all edges oriented toward the
 // root (§3.3, Appendix B.2) — are in-forests, and the one-outgoing-edge
 // property is what makes a forwarding round expressible as "each node
-// forwards at most one packet", matching the unit link capacity of the model.
+// forwards at most B(v) packets", where B(v) is the bandwidth of v's unique
+// outgoing link.
+//
+// Links default to the paper's unit capacity (B ≡ 1); the constructors
+// accept WithUniformBandwidth and WithLinkBandwidth options to build
+// capacitated topologies for the bandwidth half of the space-bandwidth
+// tradeoff.
 package network
 
 import (
@@ -20,20 +26,81 @@ type NodeID int
 // None is the sentinel "no node" value (e.g. the next hop of a sink).
 const None NodeID = -1
 
-// Network is an immutable directed in-forest. Construct one with NewPath,
-// NewTree, or via Builder; the constructors validate shape so that methods
-// never fail at simulation time.
+// Network is an immutable directed in-forest with per-link bandwidths.
+// Construct one with NewPath, NewTree, or via Builder; the constructors
+// validate shape so that methods never fail at simulation time.
 type Network struct {
-	next     []NodeID   // next[v] = unique out-neighbor, None for sinks
-	children [][]NodeID // reverse adjacency, sorted
-	depth    []int      // hop count to the sink of v's component
-	sinks    []NodeID
-	isPath   bool
+	next      []NodeID   // next[v] = unique out-neighbor, None for sinks
+	children  [][]NodeID // reverse adjacency, sorted
+	depth     []int      // hop count to the sink of v's component
+	sinks     []NodeID
+	isPath    bool
+	bandwidth []int // bandwidth[v] = capacity of the link out of v (sinks: 1, unused)
+}
+
+// Option configures a Network under construction (today: link bandwidths).
+// Options are applied in order, so a WithLinkBandwidth override may follow a
+// WithUniformBandwidth base.
+type Option func(*netConfig)
+
+// netConfig accumulates options until the node count is known.
+type netConfig struct {
+	uniform   int
+	perNodeIn []struct {
+		v NodeID
+		b int
+	}
+}
+
+// WithUniformBandwidth sets every link's bandwidth to b ≥ 1. The paper's
+// model is b = 1 (the default); larger b lets each node forward up to b
+// packets per round, which is the bandwidth axis of the space-bandwidth
+// tradeoff.
+func WithUniformBandwidth(b int) Option {
+	return func(c *netConfig) { c.uniform = b }
+}
+
+// WithLinkBandwidth sets the bandwidth of the link out of node v to b ≥ 1,
+// overriding the uniform default for that link. Construction fails if v is
+// out of range.
+func WithLinkBandwidth(v NodeID, b int) Option {
+	return func(c *netConfig) {
+		c.perNodeIn = append(c.perNodeIn, struct {
+			v NodeID
+			b int
+		}{v, b})
+	}
+}
+
+// resolveBandwidth validates the accumulated options against the node count
+// and produces the per-node bandwidth vector.
+func resolveBandwidth(n int, opts []Option) ([]int, error) {
+	c := netConfig{uniform: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.uniform < 1 {
+		return nil, fmt.Errorf("network: uniform bandwidth must be ≥ 1, got %d", c.uniform)
+	}
+	bw := make([]int, n)
+	for i := range bw {
+		bw[i] = c.uniform
+	}
+	for _, e := range c.perNodeIn {
+		if e.v < 0 || int(e.v) >= n {
+			return nil, fmt.Errorf("network: bandwidth for out-of-range node %d (network has %d nodes)", e.v, n)
+		}
+		if e.b < 1 {
+			return nil, fmt.Errorf("network: link bandwidth of node %d must be ≥ 1, got %d", e.v, e.b)
+		}
+		bw[e.v] = e.b
+	}
+	return bw, nil
 }
 
 // NewPath returns the directed path on n nodes: 0 → 1 → … → n−1.
 // It returns an error if n < 2.
-func NewPath(n int) (*Network, error) {
+func NewPath(n int, opts ...Option) (*Network, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("network: path needs ≥ 2 nodes, got %d", n)
 	}
@@ -42,13 +109,13 @@ func NewPath(n int) (*Network, error) {
 		next[i] = NodeID(i + 1)
 	}
 	next[n-1] = None
-	return fromNext(next, true)
+	return fromNext(next, true, opts)
 }
 
 // MustPath is NewPath but panics on error; intended for tests and examples
 // with constant sizes.
-func MustPath(n int) *Network {
-	nw, err := NewPath(n)
+func MustPath(n int, opts ...Option) *Network {
+	nw, err := NewPath(n, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -59,8 +126,8 @@ func MustPath(n int) *Network {
 // parent[v] is v's next hop toward the root, and exactly one node (the root)
 // has parent[v] == None. It returns an error if the vector does not describe
 // a single rooted tree.
-func NewTree(parent []NodeID) (*Network, error) {
-	nw, err := fromNext(append([]NodeID(nil), parent...), false)
+func NewTree(parent []NodeID, opts ...Option) (*Network, error) {
+	nw, err := fromNext(append([]NodeID(nil), parent...), false, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -72,12 +139,12 @@ func NewTree(parent []NodeID) (*Network, error) {
 
 // NewForest builds an in-forest (a disjoint union of in-trees) from a parent
 // vector; multiple roots are allowed.
-func NewForest(parent []NodeID) (*Network, error) {
-	return fromNext(append([]NodeID(nil), parent...), false)
+func NewForest(parent []NodeID, opts ...Option) (*Network, error) {
+	return fromNext(append([]NodeID(nil), parent...), false, opts)
 }
 
 // fromNext validates the next-hop vector: in range, acyclic, ≥ 1 sink.
-func fromNext(next []NodeID, isPath bool) (*Network, error) {
+func fromNext(next []NodeID, isPath bool, opts []Option) (*Network, error) {
 	n := len(next)
 	if n == 0 {
 		return nil, fmt.Errorf("network: empty node set")
@@ -126,7 +193,11 @@ func fromNext(next []NodeID, isPath bool) (*Network, error) {
 			return nil, fmt.Errorf("network: node %d is on a directed cycle", v)
 		}
 	}
-	return &Network{next: next, children: children, depth: depth, sinks: sinks, isPath: isPath}, nil
+	bw, err := resolveBandwidth(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{next: next, children: children, depth: depth, sinks: sinks, isPath: isPath, bandwidth: bw}, nil
 }
 
 // Len returns the number of nodes.
@@ -149,6 +220,66 @@ func (nw *Network) Sinks() []NodeID { return nw.sinks }
 // IsPath reports whether the network was built as a directed path, in which
 // case NodeID coincides with line position.
 func (nw *Network) IsPath() bool { return nw.isPath }
+
+// Bandwidth returns B(v), the capacity of the link out of v: the maximum
+// number of packets v may forward in one round. For sinks (which have no
+// outgoing link) it returns the configured default; the engine never lets a
+// sink forward regardless.
+func (nw *Network) Bandwidth(v NodeID) int { return nw.bandwidth[v] }
+
+// BottleneckBandwidth returns the minimum link bandwidth over all non-sink
+// nodes. It caps the usable injection rate: a sustained per-buffer rate
+// above the bottleneck is undeliverable no matter the protocol, so demand
+// bounds are admissible only for ρ ≤ BottleneckBandwidth.
+func (nw *Network) BottleneckBandwidth() int {
+	best := 0
+	for v, next := range nw.next {
+		if next == None {
+			continue
+		}
+		if best == 0 || nw.bandwidth[v] < best {
+			best = nw.bandwidth[v]
+		}
+	}
+	if best == 0 {
+		best = 1 // unreachable: every valid network has ≥ 1 edge
+	}
+	return best
+}
+
+// UniformBandwidth returns (B, true) when every non-sink link has the same
+// bandwidth B, and (0, false) otherwise.
+func (nw *Network) UniformBandwidth() (int, bool) {
+	b := 0
+	for v, next := range nw.next {
+		if next == None {
+			continue
+		}
+		if b == 0 {
+			b = nw.bandwidth[v]
+		} else if nw.bandwidth[v] != b {
+			return 0, false
+		}
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b, true
+}
+
+// WithBandwidths returns a copy of the network with its link bandwidths
+// replaced by the given options (the topology is shared; only the bandwidth
+// vector is rebuilt). It is how sweep axes impose a bandwidth on an
+// existing topology without reconstructing it.
+func (nw *Network) WithBandwidths(opts ...Option) (*Network, error) {
+	bw, err := resolveBandwidth(len(nw.next), opts)
+	if err != nil {
+		return nil, err
+	}
+	out := *nw
+	out.bandwidth = bw
+	return &out, nil
+}
 
 // Valid reports whether v names a node of the network.
 func (nw *Network) Valid(v NodeID) bool { return v >= 0 && int(v) < len(nw.next) }

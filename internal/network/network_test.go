@@ -351,3 +351,131 @@ func TestQuickRandomTreeInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestNewForestRejectsCycles(t *testing.T) {
+	cases := [][]NodeID{
+		{1, 0, None},       // 2-cycle off to the side of a root
+		{1, 2, 0, None},    // 3-cycle
+		{None, 2, 3, 4, 2}, // cycle 2→3→4→2 reachable from nothing
+	}
+	for _, parent := range cases {
+		if nw, err := NewForest(parent); err == nil {
+			t.Errorf("NewForest(%v) accepted a cyclic parent vector (%d nodes)", parent, nw.Len())
+		}
+	}
+	// A long chain into a far cycle must also be caught (BFS from sinks
+	// never reaches it).
+	parent := make([]NodeID, 10)
+	for i := 0; i < 8; i++ {
+		parent[i] = NodeID(i + 1)
+	}
+	parent[8] = 9
+	parent[9] = 8 // 8 ⇄ 9
+	parent[0] = None
+	if _, err := NewForest(parent); err == nil {
+		t.Error("NewForest accepted a chain feeding a 2-cycle")
+	}
+}
+
+func TestSpiderTreeDegenerateArms(t *testing.T) {
+	if _, err := SpiderTree(0, 3); err == nil {
+		t.Error("SpiderTree(0, 3) accepted zero arms")
+	}
+	if _, err := SpiderTree(3, 0); err == nil {
+		t.Error("SpiderTree(3, 0) accepted zero-length arms")
+	}
+	// The minimal spider is a path of 2.
+	nw, err := SpiderTree(1, 1)
+	if err != nil {
+		t.Fatalf("SpiderTree(1, 1): %v", err)
+	}
+	if nw.Len() != 2 || len(nw.Sinks()) != 1 {
+		t.Errorf("SpiderTree(1,1): %d nodes, %d sinks; want 2 nodes, 1 sink", nw.Len(), len(nw.Sinks()))
+	}
+}
+
+func TestCaterpillarTreeZeroLegs(t *testing.T) {
+	// Zero legs degenerates to the spine path; it must build, not error.
+	nw, err := CaterpillarTree(5, 0)
+	if err != nil {
+		t.Fatalf("CaterpillarTree(5, 0): %v", err)
+	}
+	if nw.Len() != 5 {
+		t.Errorf("CaterpillarTree(5,0) has %d nodes, want 5", nw.Len())
+	}
+	for v := 0; v < 4; v++ {
+		if nw.Next(NodeID(v)) != NodeID(v+1) {
+			t.Errorf("CaterpillarTree(5,0): next(%d) = %d, want %d", v, nw.Next(NodeID(v)), v+1)
+		}
+	}
+	if _, err := CaterpillarTree(5, -1); err == nil {
+		t.Error("CaterpillarTree(5, -1) accepted negative legs")
+	}
+	if _, err := CaterpillarTree(1, 2); err == nil {
+		t.Error("CaterpillarTree(1, 2) accepted a single-node spine")
+	}
+}
+
+func TestBandwidthOptionValidation(t *testing.T) {
+	if _, err := NewPath(4, WithUniformBandwidth(0)); err == nil {
+		t.Error("NewPath accepted uniform bandwidth 0")
+	}
+	if _, err := NewPath(4, WithUniformBandwidth(-3)); err == nil {
+		t.Error("NewPath accepted negative uniform bandwidth")
+	}
+	if _, err := NewPath(4, WithLinkBandwidth(4, 2)); err == nil {
+		t.Error("NewPath accepted a bandwidth for out-of-range node 4")
+	}
+	if _, err := NewPath(4, WithLinkBandwidth(-1, 2)); err == nil {
+		t.Error("NewPath accepted a bandwidth for node -1")
+	}
+	if _, err := NewPath(4, WithLinkBandwidth(1, 0)); err == nil {
+		t.Error("NewPath accepted per-link bandwidth 0")
+	}
+	// Options apply in order: a per-link override may follow the uniform
+	// base, regardless of argument position.
+	nw, err := NewPath(4, WithLinkBandwidth(1, 5), WithUniformBandwidth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Bandwidth(1) != 5 || nw.Bandwidth(0) != 2 {
+		t.Errorf("bandwidths = [%d %d], want override 5 at node 1 over uniform 2", nw.Bandwidth(0), nw.Bandwidth(1))
+	}
+}
+
+func TestWithBandwidthsDerivesCopy(t *testing.T) {
+	base := MustPath(6)
+	fast, err := base.WithBandwidths(WithUniformBandwidth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Bandwidth(0) != 1 {
+		t.Errorf("base network mutated: Bandwidth(0) = %d", base.Bandwidth(0))
+	}
+	if fast.Bandwidth(0) != 3 {
+		t.Errorf("derived network Bandwidth(0) = %d, want 3", fast.Bandwidth(0))
+	}
+	if fast.Len() != base.Len() || fast.Next(0) != base.Next(0) {
+		t.Error("derived network changed topology")
+	}
+	if _, err := base.WithBandwidths(WithUniformBandwidth(0)); err == nil {
+		t.Error("WithBandwidths accepted bandwidth 0")
+	}
+}
+
+func TestBuilderForwardsBandwidthOptions(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.Edge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Edge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	nw, err := b.Build(WithUniformBandwidth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Bandwidth(0) != 4 {
+		t.Errorf("Builder.Build dropped bandwidth options: B(0) = %d", nw.Bandwidth(0))
+	}
+}

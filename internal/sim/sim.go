@@ -1,11 +1,13 @@
 // Package sim implements the synchronous execution model of §2: rounds
 // consisting of an injection step followed by a forwarding step, with at
-// most one packet forwarded over each link per round.
+// most B(v) packets forwarded over each link per round, where B(v) is the
+// link's configured bandwidth (the paper's model is B ≡ 1, the topology
+// default).
 //
 // The engine owns all buffers; protocols are centralized deciders that
 // observe the full configuration through the read-only View and return a
 // set of forwarding decisions. The engine validates each decision set
-// against the capacity constraint (at most one packet leaves each node per
+// against the capacity constraint (at most B(v) packets leave node v per
 // round — on in-forests each node has one outgoing link), applies all moves
 // simultaneously, and delivers packets that reach their destination.
 //
@@ -39,6 +41,9 @@ type View interface {
 	Packets(v network.NodeID) []packet.Packet
 	// Load returns |L(v)|, the number of packets buffered at v.
 	Load(v network.NodeID) int
+	// Bandwidth returns B(v), the number of packets v may forward this
+	// round (the capacity of its outgoing link).
+	Bandwidth(v network.NodeID) int
 }
 
 // Forward is one forwarding decision: node From sends the identified packet
@@ -159,6 +164,38 @@ type Result struct {
 	// − injection round) over delivered packets.
 	MaxLatency   int
 	TotalLatency int
+
+	// PerLinkForwards[v] counts packets forwarded over the link out of v
+	// during the run; with the run's bandwidths it yields per-link
+	// utilization (see LinkUtilization).
+	PerLinkForwards []int
+	// linkCapacity[v] = Rounds · B(v), the link's total transmission budget,
+	// captured at Reset so utilization survives the Result being detached
+	// from its engine.
+	linkCapacity []int
+}
+
+// LinkUtilization returns the fraction of link v's total transmission
+// budget (rounds × bandwidth) actually used, in [0, 1]. ok is false for
+// sinks, zero-round runs, and Results not produced by the engine (the
+// deprecated zero-value path).
+func (r Result) LinkUtilization(v network.NodeID) (float64, bool) {
+	if int(v) >= len(r.PerLinkForwards) || int(v) >= len(r.linkCapacity) || r.linkCapacity[v] == 0 {
+		return 0, false
+	}
+	return float64(r.PerLinkForwards[v]) / float64(r.linkCapacity[v]), true
+}
+
+// MaxLinkUtilization returns the busiest link and its utilization, or
+// ok=false when no link transmitted.
+func (r Result) MaxLinkUtilization() (network.NodeID, float64, bool) {
+	best, arg, ok := 0.0, network.NodeID(0), false
+	for v := range r.PerLinkForwards {
+		if u, valid := r.LinkUtilization(network.NodeID(v)); valid && (!ok || u > best) {
+			best, arg, ok = u, network.NodeID(v), true
+		}
+	}
+	return arg, best, ok
 }
 
 // AvgLatency returns the mean delivery latency, or 0 with ok=false if
@@ -263,12 +300,20 @@ func (e *Engine) Reset(spec Spec) error {
 	e.stagedN = 0
 	e.round = 0
 	e.nextID = 0
-	// PerNodeMax is handed out inside the returned Result, so it cannot be
-	// recycled: a fresh slice per run keeps prior results immutable.
+	// PerNodeMax and the link counters are handed out inside the returned
+	// Result, so they cannot be recycled: fresh slices per run keep prior
+	// results immutable.
 	e.res = Result{
-		Protocol:   spec.protocol.Name(),
-		Rounds:     spec.rounds,
-		PerNodeMax: make([]int, n),
+		Protocol:        spec.protocol.Name(),
+		Rounds:          spec.rounds,
+		PerNodeMax:      make([]int, n),
+		PerLinkForwards: make([]int, n),
+		linkCapacity:    make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		if spec.net.Next(network.NodeID(v)) != network.None {
+			e.res.linkCapacity[v] = spec.rounds * spec.net.Bandwidth(network.NodeID(v))
+		}
 	}
 	return nil
 }
@@ -284,6 +329,9 @@ func (e *Engine) Packets(v network.NodeID) []packet.Packet { return e.buffers[v]
 
 // Load implements View.
 func (e *Engine) Load(v network.NodeID) int { return e.buffers[v].Len() }
+
+// Bandwidth implements View.
+func (e *Engine) Bandwidth(v network.NodeID) int { return e.spec.net.Bandwidth(v) }
 
 // Staged returns the number of packets staged (injected but not yet
 // accepted) at v. Zero for unphased protocols.
@@ -313,6 +361,7 @@ func (e *Engine) Result() Result {
 	res := e.res
 	res.Residual = res.Injected - res.Delivered
 	res.PerNodeMax = append([]int(nil), e.res.PerNodeMax...)
+	res.PerLinkForwards = append([]int(nil), e.res.PerLinkForwards...)
 	return res
 }
 
@@ -435,7 +484,7 @@ func (e *Engine) step(t int) error {
 
 // apply validates and executes a decision set simultaneously.
 func (e *Engine) apply(t int, decisions []Forward) ([]Move, error) {
-	seen := make(map[network.NodeID]bool, len(decisions))
+	sent := make(map[network.NodeID]int, len(decisions))
 	moves := make([]Move, 0, len(decisions))
 	// Remove phase: validate and detach all forwarded packets first so the
 	// moves are simultaneous.
@@ -443,10 +492,11 @@ func (e *Engine) apply(t int, decisions []Forward) ([]Move, error) {
 		if !e.spec.net.Valid(d.From) {
 			return nil, fmt.Errorf("sim: decision from invalid node %d", d.From)
 		}
-		if seen[d.From] {
-			return nil, fmt.Errorf("sim: node %d forwards twice in one round (link capacity is 1)", d.From)
+		if b := e.spec.net.Bandwidth(d.From); sent[d.From] >= b {
+			return nil, fmt.Errorf("sim: round %d: node %d forwards %d packets but its link bandwidth is %d",
+				t, d.From, sent[d.From]+1, b)
 		}
-		seen[d.From] = true
+		sent[d.From]++
 		to := e.spec.net.Next(d.From)
 		if to == network.None {
 			return nil, fmt.Errorf("sim: sink node %d cannot forward", d.From)
@@ -467,6 +517,7 @@ func (e *Engine) apply(t int, decisions []Forward) ([]Move, error) {
 	// Insert phase.
 	for i := range moves {
 		m := &moves[i]
+		e.res.PerLinkForwards[m.From]++
 		if m.Delivered {
 			e.res.Delivered++
 			lat := t - m.Pkt.Inject

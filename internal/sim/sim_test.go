@@ -142,8 +142,43 @@ func TestCapacityViolationDetected(t *testing.T) {
 		return []Forward{{From: 0, Pkt: pkts[0].ID}, {From: 0, Pkt: pkts[1].ID}}, nil
 	}}
 	_, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 1})
-	if err == nil || !containsStr(err.Error(), "forwards twice") {
-		t.Errorf("err = %v, want capacity violation", err)
+	if err == nil || !containsStr(err.Error(), "link bandwidth is 1") {
+		t.Errorf("err = %v, want capacity violation naming the bandwidth", err)
+	}
+	// The violation must locate the offending round.
+	if err == nil || !containsStr(err.Error(), "round 0") {
+		t.Errorf("err = %v, want the round number in the violation", err)
+	}
+}
+
+func TestCapacityRespectsBandwidth(t *testing.T) {
+	// With B = 2 the same two-packet decision is legal; a third forward is
+	// rejected with the actual capacity in the message.
+	nw := network.MustPath(3, network.WithUniformBandwidth(2))
+	adv := adversary.NewReplay(fullRate(1), map[int][]packet.Injection{
+		0: {{Src: 0, Dst: 2}, {Src: 0, Dst: 2}, {Src: 0, Dst: 2}},
+	})
+	forwardK := func(k int) *badProtocol {
+		return &badProtocol{decide: func(v View) ([]Forward, error) {
+			var out []Forward
+			for _, p := range v.Packets(0) {
+				if len(out) == k {
+					break
+				}
+				out = append(out, Forward{From: 0, Pkt: p.ID})
+			}
+			return out, nil
+		}}
+	}
+	if _, err := RunConfig(Config{Net: nw, Protocol: forwardK(2), Adversary: adv, Rounds: 1}); err != nil {
+		t.Errorf("two forwards at B=2: unexpected error %v", err)
+	}
+	adv2 := adversary.NewReplay(fullRate(1), map[int][]packet.Injection{
+		0: {{Src: 0, Dst: 2}, {Src: 0, Dst: 2}, {Src: 0, Dst: 2}},
+	})
+	_, err := RunConfig(Config{Net: nw, Protocol: forwardK(3), Adversary: adv2, Rounds: 1})
+	if err == nil || !containsStr(err.Error(), "link bandwidth is 2") {
+		t.Errorf("err = %v, want capacity violation naming bandwidth 2", err)
 	}
 }
 

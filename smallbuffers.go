@@ -6,7 +6,11 @@
 //
 //   - the adversarial-queuing model of the paper: synchronous store-and-
 //     forward rounds on directed paths and in-trees, with (ρ,σ)-bounded
-//     packet injections (Definition 2.1) and unit link capacities;
+//     packet injections (Definition 2.1) and capacitated links — every
+//     link has a bandwidth B ≥ 1 (the paper's unit capacity is the
+//     default; WithUniformBandwidth/WithLinkBandwidth configure more), the
+//     engine enforces "at most B(v) packets leave v per round", and demand
+//     rates ρ are admissible up to the bottleneck bandwidth;
 //   - the paper's forwarding algorithms: PTS (Alg. 1, ≤ 2+σ), PPTS
 //     (Alg. 2, ≤ 1+d+σ), their directed-tree variants (App. B.2), and the
 //     hierarchical HPTS (Algs. 3–5, ≤ ℓ·n^(1/ℓ)+σ+1 at rate ρ ≤ 1/ℓ);
@@ -169,33 +173,58 @@ func ParseRat(s string) (Rat, error) { return rat.Parse(s) }
 
 // --- Topologies ---
 
+// NetworkOption configures a topology under construction; today's options
+// set link bandwidths (WithUniformBandwidth, WithLinkBandwidth).
+type NetworkOption = network.Option
+
+// WithUniformBandwidth sets every link's bandwidth to b ≥ 1. The paper's
+// unit-capacity model is b = 1, the default.
+func WithUniformBandwidth(b int) NetworkOption { return network.WithUniformBandwidth(b) }
+
+// WithLinkBandwidth sets the bandwidth of the link out of node v,
+// overriding the uniform default for that link.
+func WithLinkBandwidth(v NodeID, b int) NetworkOption { return network.WithLinkBandwidth(v, b) }
+
 // NewPath returns the directed path 0 → 1 → … → n−1.
-func NewPath(n int) (*Network, error) { return network.NewPath(n) }
+func NewPath(n int, opts ...NetworkOption) (*Network, error) { return network.NewPath(n, opts...) }
 
 // NewTree builds an in-tree from a parent vector (exactly one root).
-func NewTree(parent []NodeID) (*Network, error) { return network.NewTree(parent) }
+func NewTree(parent []NodeID, opts ...NetworkOption) (*Network, error) {
+	return network.NewTree(parent, opts...)
+}
 
 // NewForest builds an in-forest from a parent vector (≥ 1 roots).
-func NewForest(parent []NodeID) (*Network, error) { return network.NewForest(parent) }
+func NewForest(parent []NodeID, opts ...NetworkOption) (*Network, error) {
+	return network.NewForest(parent, opts...)
+}
 
 // RandomTree returns a random in-tree on n nodes rooted at n−1.
-func RandomTree(n int, rng *rand.Rand) (*Network, error) { return network.RandomTree(n, rng) }
+func RandomTree(n int, rng *rand.Rand, opts ...NetworkOption) (*Network, error) {
+	return network.RandomTree(n, rng, opts...)
+}
 
 // CaterpillarTree returns a spine path with `legs` leaves per spine node.
-func CaterpillarTree(spine, legs int) (*Network, error) {
-	return network.CaterpillarTree(spine, legs)
+func CaterpillarTree(spine, legs int, opts ...NetworkOption) (*Network, error) {
+	return network.CaterpillarTree(spine, legs, opts...)
 }
 
 // BinaryTree returns a complete binary in-tree of the given height.
-func BinaryTree(height int) (*Network, error) { return network.BinaryTree(height) }
+func BinaryTree(height int, opts ...NetworkOption) (*Network, error) {
+	return network.BinaryTree(height, opts...)
+}
 
 // SpiderTree returns `arms` directed paths merging into one root.
-func SpiderTree(arms, length int) (*Network, error) { return network.SpiderTree(arms, length) }
+func SpiderTree(arms, length int, opts ...NetworkOption) (*Network, error) {
+	return network.SpiderTree(arms, length, opts...)
+}
 
 // --- Protocols (the paper's algorithms) ---
 
 // NewPTS returns Peak-to-Sink (Algorithm 1): single destination on a path,
-// max load ≤ 2 + σ (Proposition 3.1).
+// max load ≤ 2 + σ (Proposition 3.1, stated at unit capacity). On links of
+// bandwidth B the activation rule is unchanged and forwarding follows the
+// cascaded-rate discipline: drains accelerate up to B per round from the
+// destination end, so the measured max load is non-increasing in B (E12).
 func NewPTS(opts ...core.PTSOption) *core.PTS { return core.NewPTS(opts...) }
 
 // PTSWithDrain enables forwarding on rounds with no bad buffer (liveness
@@ -203,25 +232,33 @@ func NewPTS(opts ...core.PTSOption) *core.PTS { return core.NewPTS(opts...) }
 func PTSWithDrain() core.PTSOption { return core.WithDrain() }
 
 // NewPPTS returns Parallel Peak-to-Sink (Algorithm 2): d destinations on a
-// path, max load ≤ 1 + d + σ (Proposition 3.2).
+// path, max load ≤ 1 + d + σ (Proposition 3.2, at unit capacity). On
+// bandwidth-B links each activated pseudo-buffer drains at up to B per
+// round under the cascaded-rate discipline; the d pseudo-buffer term is
+// structural (one interval per node) and does not shrink with B, but the
+// backlog term does, so max load is non-increasing in B (E12).
 func NewPPTS(opts ...core.PPTSOption) *core.PPTS { return core.NewPPTS(opts...) }
 
 // PPTSWithDrain enables the drain-when-idle liveness extension.
 func PPTSWithDrain() core.PPTSOption { return core.PPTSWithDrain() }
 
-// NewTreePTS returns the directed-tree PTS (Proposition B.3: ≤ 2 + σ).
+// NewTreePTS returns the directed-tree PTS (Proposition B.3: ≤ 2 + σ at
+// unit capacity; on bandwidth-B links drains cascade root-ward at up to B).
 func NewTreePTS(opts ...core.TreePTSOption) *core.TreePTS { return core.NewTreePTS(opts...) }
 
 // TreePTSWithDrain enables drain-when-idle for TreePTS.
 func TreePTSWithDrain() core.TreePTSOption { return core.TreePTSWithDrain() }
 
 // NewTreePPTS returns the directed-tree PPTS (Proposition 3.5:
-// ≤ 1 + d′ + σ, d′ = max destinations on a leaf-root path).
+// ≤ 1 + d′ + σ, d′ = max destinations on a leaf-root path, at unit
+// capacity; on bandwidth-B links drains cascade root-ward at up to B).
 func NewTreePPTS() *core.TreePPTS { return core.NewTreePPTS() }
 
 // NewHPTS returns Hierarchical Peak-to-Sink (Algorithms 3–5) with ℓ
 // levels on a path of n = m^ℓ nodes: max load ≤ ℓ·n^(1/ℓ) + σ + 1 whenever
-// ρ·ℓ ≤ 1 (Theorem 4.1).
+// ρ·ℓ ≤ 1 (Theorem 4.1, proven at unit capacity; B > 1 runs a best-effort
+// capacitated generalization that recovers the theorem's algorithm at
+// B = 1).
 func NewHPTS(ell int, opts ...core.HPTSOption) *core.HPTS { return core.NewHPTS(ell, opts...) }
 
 // HPTSAblatePreBad disables Algorithm 5 (ablation knob for experiments).
@@ -257,10 +294,12 @@ func AllGreedy() []*baseline.Greedy { return baseline.All() }
 
 // --- Local protocols (the §1 locality context, [9]/[17]) ---
 
-// NewDownhill returns the naive locality-1 protocol: a node forwards when
-// its buffer is strictly larger than its next hop's. Single destination
-// (the sink). Under sustained full-rate traffic its steady state is the
-// Θ(n) staircase — the gap experiment E10 measures against PTS's O(1+σ).
+// NewDownhill returns the naive locality-1 protocol: a node forwards while
+// its buffer is strictly larger than its next hop's, moving up to
+// min(B(v), gradient) packets per round on capacitated links. Single
+// destination (the sink). Under sustained full-rate traffic its steady
+// state is the Θ(n) staircase — the gap experiment E10 measures against
+// PTS's O(1+σ).
 func NewDownhill() *local.Downhill { return local.NewDownhill() }
 
 // NewOddEvenDownhill returns the parity-staggered downhill variant (in the
@@ -347,7 +386,8 @@ func NewStalenessTracker(adv *LowerBoundAdversary) *StalenessTracker {
 }
 
 // VerifyAdversary replays an adversary for `rounds` rounds through the
-// exact (ρ,σ) verifier, returning the first violation if any. The
+// exact (ρ,σ) verifier, returning the first violation if any. The bound is
+// admitted against the network's bottleneck bandwidth (ρ ≤ B_min). The
 // adversary is consumed.
 func VerifyAdversary(nw *Network, adv Adversary, rounds int) error {
 	return adversary.VerifyPrefix(nw, adv, rounds)
@@ -453,11 +493,17 @@ type OptResult = opt.Result
 
 // --- Reproduction suite ---
 
-// Experiments returns the full reproduction suite (F1, E1–E9).
+// Experiments returns the full reproduction suite (F1, E1–E12).
 func Experiments() []Experiment { return experiments.All() }
 
-// ExperimentByID finds one experiment ("E1" … "E9", "F1").
+// ExperimentByID finds one experiment ("E1" … "E12", "F1").
 func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// BandwidthExperiment returns the E12 space-vs-bandwidth experiment with a
+// custom link-bandwidth axis; the suite default is {1, 2, 4, 8}.
+func BandwidthExperiment(bandwidths ...int) Experiment {
+	return experiments.E12Bandwidth(bandwidths...)
+}
 
 // RunAllExperiments executes the suite under ctx, writing tables to w; it
 // reports whether every bound assertion held. Cancelling ctx aborts the
