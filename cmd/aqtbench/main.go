@@ -1,5 +1,6 @@
 // Command aqtbench regenerates the paper's evaluation: every theorem and
-// figure as a measured table (see DESIGN.md §4 for the experiment index).
+// figure as a measured table (see DESIGN.md §4 for the experiment index),
+// and runs scenario-file workloads (see testdata/scenarios/).
 //
 // Examples:
 //
@@ -9,6 +10,8 @@
 //	aqtbench -o report.txt        # write to a file
 //	aqtbench -json -o bench.json  # machine-readable outcomes (BENCH_*.json trajectory)
 //	aqtbench -list                # list experiments
+//	aqtbench -scenarios testdata/scenarios    # run every scenario file in a directory
+//	aqtbench -scenarios e7.json -validate     # validate without running
 //
 // Interrupting the process (SIGINT/SIGTERM) cancels the suite between
 // simulation rounds.
@@ -22,6 +25,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -58,6 +63,8 @@ func run(ctx context.Context, args []string) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON outcomes instead of text tables")
 	bandwidths := fs.String("bandwidths", "", "comma-separated link-bandwidth axis for E12 (default 1,2,4,8)")
+	scenarios := fs.String("scenarios", "", "run scenario files instead of experiments (a .json file or a directory of them)")
+	validate := fs.Bool("validate", false, "with -scenarios: validate and round-trip the files without running them")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +81,16 @@ func run(ctx context.Context, args []string) error {
 			}
 		}()
 		w = f
+	}
+
+	if *scenarios != "" {
+		if *asJSON || *list || *id != "" || *bandwidths != "" {
+			return fmt.Errorf("-scenarios cannot be combined with -json, -list, -run, or -bandwidths")
+		}
+		return runScenarios(ctx, w, *scenarios, *validate)
+	}
+	if *validate {
+		return fmt.Errorf("-validate needs -scenarios")
 	}
 
 	if *list {
@@ -130,6 +147,111 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("some experiments report violated bounds")
 	}
 	_, err := fmt.Fprintln(w, "\nall experiments passed")
+	return err
+}
+
+// scenarioFiles expands the -scenarios operand: a .json file stands
+// alone, a directory contributes its *.json entries, sorted.
+func scenarioFiles(path string) ([]string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{path}, nil
+	}
+	files, err := filepath.Glob(filepath.Join(path, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no *.json scenario files under %s", path)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// runScenarios validates (and, unless validateOnly, executes) every
+// scenario file, reporting one block per file. Validation includes the
+// canonical round-trip: the marshaled form must load and re-marshal to
+// the same bytes.
+func runScenarios(ctx context.Context, w io.Writer, path string, validateOnly bool) error {
+	files, err := scenarioFiles(path)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, f := range files {
+		if err := runScenarioFile(ctx, w, f, validateOnly); err != nil {
+			failed++
+			fmt.Fprintf(w, "%s: FAIL: %v\n", f, err)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenario files failed", failed, len(files))
+	}
+	verb := "ran"
+	if validateOnly {
+		verb = "validated"
+	}
+	_, err = fmt.Fprintf(w, "\n%s all %d scenario files\n", verb, len(files))
+	return err
+}
+
+func runScenarioFile(ctx context.Context, w io.Writer, path string, validateOnly bool) error {
+	sc, err := sb.LoadScenarioFile(path)
+	if err != nil {
+		return err
+	}
+	// Canonical round-trip gate: Marshal∘Load must be a fixed point.
+	first, err := sc.Marshal()
+	if err != nil {
+		return err
+	}
+	reloaded, err := sb.ParseScenario(first)
+	if err != nil {
+		return fmt.Errorf("canonical form does not load: %w", err)
+	}
+	second, err := reloaded.Marshal()
+	if err != nil {
+		return err
+	}
+	if string(first) != string(second) {
+		return fmt.Errorf("canonical form is not a marshal fixed point")
+	}
+
+	title := sc.Name
+	if title == "" {
+		title = filepath.Base(path)
+	}
+	if validateOnly {
+		_, err := fmt.Fprintf(w, "%-28s valid\n", title)
+		return err
+	}
+
+	agg, err := sc.Run(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%s — %s\n", title, path)
+	if sc.Doc != "" {
+		fmt.Fprintf(w, "%s\n", sc.Doc)
+	}
+	fmt.Fprintln(w)
+	for _, cr := range agg.Cells {
+		if cr.Err != nil {
+			fmt.Fprintf(w, "  %-70s error: %v\n", cr.Cell, cr.Err)
+			continue
+		}
+		fmt.Fprintf(w, "  %-70s max load %3d, delivered %6d\n", cr.Cell, cr.Result.MaxLoad, cr.Result.Delivered)
+	}
+	if agg.Failed > 0 {
+		return fmt.Errorf("%d of %d cells failed: %v", agg.Failed, agg.Requested, agg.FirstErr())
+	}
+	_, err = fmt.Fprintf(w, "  ok (%d cells)\n", agg.Completed)
 	return err
 }
 

@@ -83,6 +83,56 @@ func TestJSONReport(t *testing.T) {
 	}
 }
 
+func TestScenarioCorpusValidates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := run(context.Background(), []string{"-scenarios", "../../testdata/scenarios", "-validate", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "validated all") {
+		t.Errorf("corpus validation incomplete:\n%s", data)
+	}
+}
+
+func TestScenarioFileRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := run(context.Background(), []string{"-scenarios", "../../testdata/scenarios/e1-pts-burst.json", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"e1-pts-burst", "max load", "ok (1 cells)"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("scenario report missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestScenarioBadPath(t *testing.T) {
+	if err := run(context.Background(), []string{"-scenarios", "/nonexistent"}); err == nil {
+		t.Error("bad scenarios path accepted")
+	}
+}
+
+func TestScenarioFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenarios", "../../testdata/scenarios", "-json"},
+		{"-scenarios", "../../testdata/scenarios", "-list"},
+		{"-scenarios", "../../testdata/scenarios", "-run", "E1"},
+		{"-scenarios", "../../testdata/scenarios", "-bandwidths", "9"},
+		{"-validate"},
+	} {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("%v accepted, want flag-conflict error", args)
+		}
+	}
+}
+
 func TestJSONCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

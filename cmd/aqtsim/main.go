@@ -1,10 +1,19 @@
-// Command aqtsim runs one adversarial-queuing simulation: a topology, a
+// Command aqtsim runs adversarial-queuing simulations: a topology, a
 // forwarding protocol, and a (ρ,σ)-bounded adversary, reporting the maximum
 // buffer occupancy against the paper's bound.
 //
-// Examples:
+// Workloads are scenarios — named components from the registry plus a
+// bound, horizon, bandwidths, and seeds — and can come from flags or from
+// a JSON file (see testdata/scenarios/):
 //
 //	aqtsim -n 64 -protocol ppts -adversary random -rho 1 -sigma 2 -d 8 -rounds 2000
+//	aqtsim -scenario testdata/scenarios/lowerbound.json
+//	aqtsim -scenario -                  # read the scenario from stdin
+//	aqtsim -protocol pts -adversary burst -dump-scenario   # print flags as JSON
+//
+// A scenario whose axes are lists (e.g. "seeds": [1,2,3]) runs as a
+// parallel sweep and reports one row per cell. Flags describe one run:
+//
 //	aqtsim -n 64 -protocol pts -d 1 -bandwidth 4 -adversary random -rho 2 -sigma 3
 //	aqtsim -n 256 -protocol hpts -ell 2 -adversary random -rho 1/2 -rounds 4000 -heatmap
 //	aqtsim -protocol ppts -adversary lowerbound -m 8 -ell 2 -rho 3/4
@@ -34,6 +43,9 @@ func main() {
 }
 
 type options struct {
+	scenario     string
+	dumpScenario bool
+
 	topology  string
 	n         int
 	spine     int
@@ -63,7 +75,9 @@ type options struct {
 func run(ctx context.Context, args []string, w io.Writer) error {
 	var o options
 	fs := flag.NewFlagSet("aqtsim", flag.ContinueOnError)
-	fs.StringVar(&o.topology, "topology", "path", "path | caterpillar | binary | spider")
+	fs.StringVar(&o.scenario, "scenario", "", "run a scenario file instead of flags (\"-\" reads stdin)")
+	fs.BoolVar(&o.dumpScenario, "dump-scenario", false, "print the scenario as canonical JSON and exit")
+	fs.StringVar(&o.topology, "topology", "path", "registered topology name (see -dump-scenario)")
 	fs.IntVar(&o.n, "n", 64, "path length (path topology)")
 	fs.IntVar(&o.spine, "spine", 8, "caterpillar spine length")
 	fs.IntVar(&o.legs, "legs", 2, "caterpillar legs per spine node")
@@ -71,10 +85,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs.IntVar(&o.armLen, "len", 4, "spider arm length")
 	fs.IntVar(&o.height, "height", 4, "binary tree height")
 	fs.IntVar(&o.bandwidth, "bandwidth", 1, "uniform link bandwidth B ≥ 1 (packets per link per round)")
-	fs.StringVar(&o.protocol, "protocol", "ppts", "pts | ppts | tree-pts | tree-ppts | hpts | downhill | oddeven | greedy-fifo|lifo|lis|sis|ntg|ftg")
+	fs.StringVar(&o.protocol, "protocol", "ppts", "registered protocol name")
 	fs.IntVar(&o.ell, "ell", 2, "HPTS levels ℓ (and lowerbound ℓ)")
 	fs.BoolVar(&o.drain, "drain", false, "enable drain-when-idle (pts/ppts/tree-pts)")
-	fs.StringVar(&o.adversary, "adversary", "random", "random | hotspot | stream | roundrobin | burst | greedykiller | lowerbound")
+	fs.StringVar(&o.adversary, "adversary", "random", "registered adversary name")
 	fs.StringVar(&o.rho, "rho", "1", "injection rate ρ (rational, e.g. 1/2)")
 	fs.IntVar(&o.sigma, "sigma", 2, "burst σ")
 	fs.IntVar(&o.d, "d", 4, "destination count (random/burst/greedykiller)")
@@ -82,61 +96,83 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs.IntVar(&o.m, "m", 4, "lowerbound base m")
 	fs.IntVar(&o.rounds, "rounds", 2000, "rounds to simulate (lowerbound: pattern length)")
 	fs.BoolVar(&o.verify, "verify", true, "re-check the adversary against its declared (ρ,σ) bound")
-	fs.BoolVar(&o.heatmap, "heatmap", false, "render an occupancy heatmap")
-	fs.BoolVar(&o.json, "json", false, "dump the trace as JSON instead of text output")
+	fs.BoolVar(&o.heatmap, "heatmap", false, "render an occupancy heatmap (single runs)")
+	fs.BoolVar(&o.json, "json", false, "dump the trace as JSON instead of text output (single runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	rho, err := sb.ParseRat(o.rho)
-	if err != nil {
-		return fmt.Errorf("bad -rho: %w", err)
-	}
-	bound := sb.Bound{Rho: rho, Sigma: o.sigma}
-
-	// The lower-bound adversary dictates its own topology.
-	var nw *sb.Network
-	var adv sb.Adversary
-	var predicted string
-	if o.adversary == "lowerbound" {
-		lb, err := sb.NewLowerBoundAdversary(o.m, o.ell, rho)
-		if err != nil {
-			return err
-		}
-		nw, err = lb.Network()
-		if err != nil {
-			return err
-		}
-		o.rounds = lb.Rounds()
-		adv = lb
-		bound = lb.Bound() // the construction is (ρ,1)-bounded regardless of -sigma
-		predicted = fmt.Sprintf("Theorem 5.1 floor: max load ≥ ~%v", lb.PredictedBound())
-	} else {
-		nw, err = buildTopology(o)
-		if err != nil {
-			return err
-		}
-		adv, err = buildAdversary(o, nw, bound)
-		if err != nil {
-			return err
+	if o.scenario != "" {
+		// Workload flags would be silently overridden by the file; reject
+		// the combination instead of running something the user did not ask
+		// for. Output flags (-json, -heatmap, -dump-scenario) still apply.
+		outputFlags := map[string]bool{"scenario": true, "dump-scenario": true, "json": true, "heatmap": true}
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			if !outputFlags[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-scenario runs the file's workload; drop the conflicting %s", strings.Join(conflict, ", "))
 		}
 	}
 
-	proto, boundNote, err := buildProtocol(o, nw, bound)
+	sc, err := buildScenario(o)
 	if err != nil {
 		return err
 	}
-	if predicted == "" {
-		predicted = boundNote
+	if o.dumpScenario {
+		data, err := sc.Marshal()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(data)
+		return err
 	}
+	if sc.IsSingle() {
+		return runSingle(ctx, o, sc, w)
+	}
+	if o.json || o.heatmap {
+		return fmt.Errorf("-json and -heatmap need a one-point scenario; %q is a sweep grid", o.scenario)
+	}
+	return runSweep(ctx, sc, w)
+}
 
+// buildScenario resolves the workload: a scenario file when -scenario is
+// set, otherwise the flags assembled through the registry (the scenario
+// constructor — no per-component switches live here).
+func buildScenario(o options) (*sb.Scenario, error) {
+	if o.scenario != "" {
+		return sb.LoadScenarioFile(o.scenario)
+	}
+	return sb.ScenarioFromFlags(sb.ScenarioFlags{
+		Topology:  o.topology,
+		Protocol:  o.protocol,
+		Adversary: o.adversary,
+		Params: map[string]any{
+			"n": o.n, "spine": o.spine, "legs": o.legs, "arms": o.arms,
+			"len": o.armLen, "height": o.height,
+			"ell": o.ell, "drain": o.drain,
+			"d": o.d, "m": o.m,
+		},
+		Rho:       o.rho,
+		Sigma:     o.sigma,
+		Rounds:    o.rounds,
+		Bandwidth: o.bandwidth,
+		Seed:      o.seed,
+		Verify:    o.verify,
+	})
+}
+
+// runSingle executes a one-point scenario and prints the classic report.
+func runSingle(ctx context.Context, o options, sc *sb.Scenario, w io.Writer) error {
+	single, err := sc.CompileSingle()
+	if err != nil {
+		return err
+	}
 	rec := sb.NewTraceRecorder()
 	rec.CaptureEvents = o.json
-	opts := []sb.RunOption{sb.WithObservers(rec)}
-	if o.verify {
-		opts = append(opts, sb.WithVerifyAdversary())
-	}
-	res, err := sb.RunContext(ctx, sb.NewSpec(nw, proto, adv, o.rounds, opts...))
+	res, err := sb.RunContext(ctx, single.Spec(sb.WithObservers(rec)))
 	if err != nil {
 		return err
 	}
@@ -145,9 +181,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return rec.WriteJSON(w)
 	}
 	fmt.Fprintf(w, "protocol:   %s\n", res.Protocol)
-	fmt.Fprintf(w, "topology:   %s (%d nodes, link bandwidth %d)\n", o.topology, nw.Len(), nw.BottleneckBandwidth())
+	fmt.Fprintf(w, "topology:   %s (%d nodes, link bandwidth %d)\n",
+		single.TopologyLabel, single.Net.Len(), single.Net.BottleneckBandwidth())
 	fmt.Fprintf(w, "demand:     %v over %d rounds (%d injected, %d delivered, %d residual)\n",
-		bound, res.Rounds, res.Injected, res.Delivered, res.Residual)
+		single.Bound, res.Rounds, res.Injected, res.Delivered, res.Residual)
 	fmt.Fprintf(w, "max load:   %d (buffer %d, round %d); physical %d\n",
 		res.MaxLoad, res.MaxLoadNode, res.MaxLoadRound, res.MaxPhysicalLoad)
 	if avg, okAvg := res.AvgLatency(); okAvg {
@@ -156,8 +193,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if link, util, okUtil := res.MaxLinkUtilization(); okUtil {
 		fmt.Fprintf(w, "links:      busiest %d at %.0f%% of rounds×bandwidth\n", link, 100*util)
 	}
-	if predicted != "" {
-		fmt.Fprintf(w, "paper:      %s\n", predicted)
+	if single.Note != "" {
+		fmt.Fprintf(w, "paper:      %s\n", single.Note)
 	}
 	if o.heatmap {
 		fmt.Fprintln(w)
@@ -168,134 +205,34 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	return nil
 }
 
-func buildTopology(o options) (*sb.Network, error) {
-	bw := sb.WithUniformBandwidth(o.bandwidth)
-	switch o.topology {
-	case "path":
-		return sb.NewPath(o.n, bw)
-	case "caterpillar":
-		return sb.CaterpillarTree(o.spine, o.legs, bw)
-	case "binary":
-		return sb.BinaryTree(o.height, bw)
-	case "spider":
-		return sb.SpiderTree(o.arms, o.armLen, bw)
-	default:
-		return nil, fmt.Errorf("unknown -topology %q", o.topology)
+// runSweep executes a grid scenario on the parallel harness, one row per
+// cell.
+func runSweep(ctx context.Context, sc *sb.Scenario, w io.Writer) error {
+	agg, err := sc.Run(ctx)
+	if agg == nil {
+		return err
 	}
-}
-
-func buildAdversary(o options, nw *sb.Network, bound sb.Bound) (sb.Adversary, error) {
-	sink := nw.Sinks()[0]
-	switch o.adversary {
-	case "random":
-		dests := destinations(o, nw)
-		return sb.NewRandomAdversary(nw, bound, dests, o.seed)
-	case "hotspot":
-		dests := destinations(o, nw)
-		return sb.NewHotSpotAdversary(nw, bound, dests, o.seed)
-	case "stream":
-		return sb.NewStream(bound, 0, sink), nil
-	case "roundrobin":
-		return sb.NewRoundRobin(bound, 0, destinations(o, nw)), nil
-	case "burst":
-		if nw.IsPath() {
-			if o.d <= 1 {
-				return sb.PTSBurstAdversary(nw, bound, o.rounds)
-			}
-			return sb.PPTSBurstAdversary(nw, bound, o.d, o.rounds)
+	fmt.Fprintf(w, "%-64s %9s %9s %11s\n", "cell", "max load", "delivered", "avg latency")
+	for _, cr := range agg.Cells {
+		if cr.Err != nil {
+			fmt.Fprintf(w, "%-64s error: %v\n", cr.Cell, cr.Err)
+			continue
 		}
-		return sb.TreeBurstAdversary(nw, bound, nil, o.rounds)
-	case "greedykiller":
-		return sb.GreedyKillerAdversary(nw, bound, o.d, o.rounds)
-	default:
-		return nil, fmt.Errorf("unknown -adversary %q", o.adversary)
+		lat := "-"
+		if avg, ok := cr.Result.AvgLatency(); ok {
+			lat = fmt.Sprintf("%.1f", avg)
+		}
+		fmt.Fprintf(w, "%-64s %9d %9d %11s\n", cr.Cell, cr.Result.MaxLoad, cr.Result.Delivered, lat)
 	}
-}
-
-// destinations picks d spread-out destinations (for trees: ancestors of the
-// deepest leaf plus the root).
-func destinations(o options, nw *sb.Network) []sb.NodeID {
-	if nw.IsPath() {
-		n := nw.Len()
-		d := o.d
-		if d < 1 {
-			d = 1
-		}
-		if d >= n {
-			d = n - 1
-		}
-		out := make([]sb.NodeID, d)
-		for k := 0; k < d; k++ {
-			out[k] = sb.NodeID(n - d + k)
-		}
-		return out
+	fmt.Fprintf(w, "\ncells:      %d completed, %d failed of %d\n", agg.Completed, agg.Failed, agg.Requested)
+	if agg.Completed > 0 {
+		fmt.Fprintf(w, "max load:   mean %.1f, max %d\n", agg.MaxLoad.Mean, int(agg.MaxLoad.Max))
 	}
-	// Tree: a chain of destinations up the deepest path.
-	deepest := nw.Leaves()[0]
-	for _, l := range nw.Leaves() {
-		if nw.Depth(l) > nw.Depth(deepest) {
-			deepest = l
-		}
+	if err != nil {
+		return err
 	}
-	var out []sb.NodeID
-	for v := nw.Next(deepest); v != sb.None; v = nw.Next(v) {
-		out = append(out, v)
+	if agg.Failed > 0 {
+		return fmt.Errorf("%d of %d cells failed: %v", agg.Failed, agg.Requested, agg.FirstErr())
 	}
-	if len(out) > o.d && o.d > 0 {
-		out = out[len(out)-o.d:]
-	}
-	return out
-}
-
-func buildProtocol(o options, nw *sb.Network, bound sb.Bound) (sb.Protocol, string, error) {
-	switch {
-	case o.protocol == "pts":
-		note := fmt.Sprintf("Proposition 3.1: max load ≤ 2+σ = %d", 2+o.sigma)
-		if o.drain {
-			return sb.NewPTS(sb.PTSWithDrain()), note, nil
-		}
-		return sb.NewPTS(), note, nil
-	case o.protocol == "ppts":
-		note := "Proposition 3.2: max load ≤ 1+d+σ (d = distinct destinations observed)"
-		if o.drain {
-			return sb.NewPPTS(sb.PPTSWithDrain()), note, nil
-		}
-		return sb.NewPPTS(), note, nil
-	case o.protocol == "tree-pts":
-		note := fmt.Sprintf("Proposition B.3: max load ≤ 2+σ = %d", 2+o.sigma)
-		if o.drain {
-			return sb.NewTreePTS(sb.TreePTSWithDrain()), note, nil
-		}
-		return sb.NewTreePTS(), note, nil
-	case o.protocol == "tree-ppts":
-		return sb.NewTreePPTS(), "Proposition 3.5: max load ≤ 1+d′+σ", nil
-	case o.protocol == "hpts":
-		note := fmt.Sprintf("Theorem 4.1: max load ≤ ℓ·n^(1/ℓ)+σ+1 (requires ρ ≤ 1/%d and n = m^%d)", o.ell, o.ell)
-		return sb.NewHPTS(o.ell), note, nil
-	case o.protocol == "downhill":
-		return sb.NewDownhill(), "naive local rule: Θ(n) staircase under full pressure (E10)", nil
-	case o.protocol == "oddeven":
-		return sb.NewOddEvenDownhill(), "parity-staggered local rule: sustains ρ ≤ 1/2 (E10)", nil
-	case strings.HasPrefix(o.protocol, "greedy-"):
-		var p sb.GreedyPolicy
-		switch strings.TrimPrefix(o.protocol, "greedy-") {
-		case "fifo":
-			p = sb.FIFO
-		case "lifo":
-			p = sb.LIFO
-		case "lis":
-			p = sb.LIS
-		case "sis":
-			p = sb.SIS
-		case "ntg":
-			p = sb.NTG
-		case "ftg":
-			p = sb.FTG
-		default:
-			return nil, "", fmt.Errorf("unknown greedy policy in %q", o.protocol)
-		}
-		return sb.NewGreedy(p), "greedy baseline (no space guarantee; see E7)", nil
-	default:
-		return nil, "", fmt.Errorf("unknown -protocol %q", o.protocol)
-	}
+	return nil
 }

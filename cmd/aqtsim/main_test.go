@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -77,6 +79,8 @@ func TestErrors(t *testing.T) {
 		{"-protocol", "greedy-bogus"},
 		{"-protocol", "hpts", "-ell", "3", "-n", "10"},          // 10 is not m³
 		{"-protocol", "pts", "-adversary", "random", "-d", "3"}, // PTS with 3 dests
+		{"-bandwidth", "0"},
+		{"-bandwidth", "-3"},
 	}
 	for _, args := range cases {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
@@ -90,5 +94,140 @@ func TestErrors(t *testing.T) {
 func TestVerifyFlagCatchesNothingOnGoodPatterns(t *testing.T) {
 	if _, err := runCLI(t, "-verify=true", "-rounds", "150"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestScenarioReproducesFlags is the digest gate: for each flag
+// invocation, -dump-scenario followed by -scenario must replay the exact
+// same run, compared on the full JSON trace.
+func TestScenarioReproducesFlags(t *testing.T) {
+	cases := [][]string{
+		{"-rounds", "150"},
+		{"-protocol", "pts", "-adversary", "stream", "-d", "1", "-rounds", "100"},
+		{"-protocol", "hpts", "-ell", "2", "-rho", "1/2", "-rounds", "150"},
+		{"-protocol", "greedy-ntg", "-adversary", "greedykiller", "-d", "4", "-rounds", "150"},
+		{"-topology", "spider", "-protocol", "tree-ppts", "-rounds", "100"},
+		{"-adversary", "lowerbound", "-m", "4", "-ell", "2", "-rho", "3/4"},
+		{"-adversary", "hotspot", "-seed", "9", "-rounds", "120"},
+		{"-bandwidth", "4", "-rho", "2", "-rounds", "120"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			direct, err := runCLI(t, append(args, "-json")...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dump, err := runCLI(t, append(args, "-dump-scenario")...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "s.json")
+			if err := os.WriteFile(path, []byte(dump), 0o600); err != nil {
+				t.Fatal(err)
+			}
+			viaFile, err := runCLI(t, "-scenario", path, "-json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if direct != viaFile {
+				t.Errorf("flag run and scenario run diverge:\n--- flags\n%s\n--- scenario\n%s", direct, viaFile)
+			}
+		})
+	}
+}
+
+// TestDumpScenarioFixedPoint gates -dump-scenario | -scenario -
+// -dump-scenario: loading a dumped scenario and dumping again is
+// byte-identical.
+func TestDumpScenarioFixedPoint(t *testing.T) {
+	first, err := runCLI(t, "-rounds", "200", "-dump-scenario")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(path, []byte(first), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	second, err := runCLI(t, "-scenario", path, "-dump-scenario")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("dump is not a fixed point:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+func TestScenarioSweepReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	src := `{
+		"topology": {"name": "path", "params": {"n": 16}},
+		"protocols": [{"name": "ppts"}, {"name": "greedy-fifo"}],
+		"adversary": {"name": "random", "params": {"d": 2}},
+		"bound": {"rho": "1/2", "sigma": 2},
+		"rounds": 100,
+		"seeds": [1, 2]
+	}`
+	if err := os.WriteFile(path, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-scenario", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cells:      4 completed", "max load:", "greedy-fifo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep report missing %q:\n%s", want, out)
+		}
+	}
+	// Trace output needs a single run.
+	if _, err := runCLI(t, "-scenario", path, "-json"); err == nil {
+		t.Error("-json on a sweep grid must fail")
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	if _, err := runCLI(t, "-scenario", "/nonexistent/s.json"); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	bad := `{
+		"topology": {"name": "path"}, "protocol": {"name": "ptss"},
+		"adversary": {"name": "stream"}, "bound": {"rho": "1", "sigma": 1}, "rounds": 10
+	}`
+	if err := os.WriteFile(path, []byte(bad), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, err := runCLI(t, "-scenario", path)
+	if err == nil || !strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("want a did-you-mean error, got %v", err)
+	}
+}
+
+// Workload flags alongside -scenario would be silently overridden by the
+// file; the CLI rejects the combination (output flags still compose).
+func TestScenarioRejectsConflictingWorkloadFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	dump, err := runCLI(t, "-rounds", "50", "-dump-scenario")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(dump), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{
+		{"-rho", "2"},
+		{"-rounds", "7"},
+		{"-protocol", "pts"},
+		{"-seed", "9"},
+	} {
+		args := append([]string{"-scenario", path}, extra...)
+		_, err := runCLI(t, args...)
+		if err == nil || !strings.Contains(err.Error(), "conflicting") {
+			t.Errorf("%v: want conflicting-flag error, got %v", args, err)
+		}
+	}
+	// Output flags remain compatible.
+	if _, err := runCLI(t, "-scenario", path, "-json"); err != nil {
+		t.Errorf("-json with -scenario: %v", err)
 	}
 }

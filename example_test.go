@@ -5,6 +5,7 @@ package smallbuffers_test
 // deterministic, so `go test` verifies them.
 
 import (
+	"context"
 	"fmt"
 
 	sb "smallbuffers"
@@ -22,7 +23,7 @@ func ExampleRun() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := sb.Run(sb.Config{Net: nw, Protocol: sb.NewPPTS(), Adversary: adv, Rounds: 256})
+	res, err := sb.RunContext(context.Background(), sb.NewSpec(nw, sb.NewPPTS(), adv, 256))
 	if err != nil {
 		panic(err)
 	}

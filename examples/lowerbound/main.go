@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,10 +47,8 @@ func main() {
 			log.Fatal(err)
 		}
 		tracker := sb.NewStalenessTracker(adv)
-		res, err := sb.Run(sb.Config{
-			Net: nw, Protocol: proto, Adversary: adv, Rounds: adv.Rounds(),
-			Observers: []sb.Observer{tracker},
-		})
+		res, err := sb.RunContext(context.Background(), sb.NewSpec(nw, proto, adv, adv.Rounds(),
+			sb.WithObservers(tracker)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -49,9 +50,7 @@ func main() {
 			upper = k*m + sigma + 1
 		}
 
-		res, err := sb.Run(sb.Config{
-			Net: nw, Protocol: proto, Adversary: adv, Rounds: 8 * k * n,
-		})
+		res, err := sb.RunContext(context.Background(), sb.NewSpec(nw, proto, adv, 8*k*n))
 		if err != nil {
 			log.Fatal(err)
 		}

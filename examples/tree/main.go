@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,13 +35,8 @@ func main() {
 	}
 
 	limit := 1 + dprime + bound.Sigma
-	res, err := sb.Run(sb.Config{
-		Net:        tree,
-		Protocol:   sb.NewTreePPTS(),
-		Adversary:  adv,
-		Rounds:     600,
-		Invariants: []sb.Invariant{sb.MaxLoadInvariant(tree, limit)},
-	})
+	res, err := sb.RunContext(context.Background(), sb.NewSpec(tree, sb.NewTreePPTS(), adv, 600,
+		sb.WithInvariants(sb.MaxLoadInvariant(tree, limit))))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res2, err := sb.Run(sb.Config{Net: tree, Protocol: sb.NewTreePTS(), Adversary: adv2, Rounds: 600})
+	res2, err := sb.RunContext(context.Background(), sb.NewSpec(tree, sb.NewTreePTS(), adv2, 600))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -35,10 +36,8 @@ func main() {
 	}
 	rec := sb.NewTraceRecorder()
 	rec.CaptureEvents = false
-	res, err := sb.Run(sb.Config{
-		Net: nw, Protocol: sb.NewHPTS(4), Adversary: adv, Rounds: 1200,
-		Observers: []sb.Observer{rec},
-	})
+	res, err := sb.RunContext(context.Background(), sb.NewSpec(nw, sb.NewHPTS(4), adv, 1200,
+		sb.WithObservers(rec)))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,7 +2,9 @@ package smallbuffers_test
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
+	"strings"
 	"testing"
 
 	sb "smallbuffers"
@@ -39,9 +41,8 @@ func TestFacadeSurface(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sb.Run(sb.Config{
-			Net: nw, Protocol: sb.NewPPTS(sb.PPTSWithDrain()), Adversary: adv, Rounds: 120,
-		})
+		res, err := sb.RunContext(context.Background(),
+			sb.NewSpec(nw, sb.NewPPTS(sb.PPTSWithDrain()), adv, 120))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,9 +58,8 @@ func TestFacadeSurface(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sb.Run(sb.Config{
-			Net: tree, Protocol: sb.NewTreePTS(sb.TreePTSWithDrain()), Adversary: tadv, Rounds: 100,
-		}); err != nil {
+		if _, err := sb.RunContext(context.Background(),
+			sb.NewSpec(tree, sb.NewTreePTS(sb.TreePTSWithDrain()), tadv, 100)); err != nil {
 			t.Fatal(err)
 		}
 
@@ -71,9 +71,8 @@ func TestFacadeSurface(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sb.Run(sb.Config{
-			Net: nw64, Protocol: sb.NewHPTS(2, sb.HPTSAblatePreBad()), Adversary: radv, Rounds: 200,
-		}); err != nil {
+		if _, err := sb.RunContext(context.Background(),
+			sb.NewSpec(nw64, sb.NewHPTS(2, sb.HPTSAblatePreBad()), radv, 200)); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -85,9 +84,8 @@ func TestFacadeSurface(t *testing.T) {
 		}
 		bound := sb.Bound{Rho: sb.NewRat(1, 2), Sigma: 1}
 		for _, p := range []sb.Protocol{sb.NewDownhill(), sb.NewOddEvenDownhill()} {
-			res, err := sb.Run(sb.Config{
-				Net: nw, Protocol: p, Adversary: sb.NewStream(bound, 0, 7), Rounds: 200,
-			})
+			res, err := sb.RunContext(context.Background(),
+				sb.NewSpec(nw, p, sb.NewStream(bound, 0, 7), 200))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -108,10 +106,8 @@ func TestFacadeSurface(t *testing.T) {
 			t.Fatal(err)
 		}
 		cons := sb.NewConservationCheck()
-		if _, err := sb.Run(sb.Config{
-			Net: nw, Protocol: sb.NewPTS(), Adversary: hot, Rounds: 150,
-			Observers: []sb.Observer{cons},
-		}); err != nil {
+		if _, err := sb.RunContext(context.Background(),
+			sb.NewSpec(nw, sb.NewPTS(), hot, 150, sb.WithObservers(cons))); err != nil {
 			t.Fatal(err)
 		}
 		if cons.Err != nil {
@@ -132,6 +128,67 @@ func TestFacadeSurface(t *testing.T) {
 		}
 		if err := sb.VerifyAdversary(nw, gk, 120); err != nil {
 			t.Error(err)
+		}
+	})
+
+	t.Run("scenarios and registry", func(t *testing.T) {
+		if len(sb.RegisteredProtocols()) < 10 || len(sb.RegisteredTopologies()) < 4 ||
+			len(sb.RegisteredAdversaries()) < 7 || len(sb.RegisteredInvariants()) < 1 {
+			t.Errorf("registry enumeration too small: %v / %v / %v / %v",
+				sb.RegisteredProtocols(), sb.RegisteredTopologies(),
+				sb.RegisteredAdversaries(), sb.RegisteredInvariants())
+		}
+		sc, err := sb.ParseScenario([]byte(`{
+			"topology": {"name": "path", "params": {"n": 16}},
+			"protocol": {"name": "ppts"},
+			"adversary": {"name": "random", "params": {"d": 2}},
+			"bound": {"rho": "1/2", "sigma": 2},
+			"rounds": 50
+		}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.Marshal(); err != nil {
+			t.Fatal(err)
+		}
+		agg, err := sc.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg.Completed != 1 {
+			t.Errorf("scenario run: %+v (first err: %v)", agg, agg.FirstErr())
+		}
+
+		// The extension hooks: a custom protocol registered under a new name
+		// is immediately constructible from scenario JSON.
+		err = sb.RegisterProtocol(sb.RegistryProtocol{
+			Name: "facade-test-greedy",
+			Doc:  "registered through the facade in a test",
+			Build: func(sb.RegistryParams) (sb.Protocol, error) {
+				return sb.NewGreedy(sb.FIFO), nil
+			},
+		})
+		// The registry is process-global: under -count>1 the name survives
+		// from the previous run, which is fine for this test.
+		if err != nil && !strings.Contains(err.Error(), "duplicate") {
+			t.Fatal(err)
+		}
+		sc2, err := sb.ParseScenario([]byte(`{
+			"topology": {"name": "path", "params": {"n": 8}},
+			"protocol": {"name": "facade-test-greedy"},
+			"adversary": {"name": "stream"},
+			"bound": {"rho": "1/2", "sigma": 1},
+			"rounds": 20
+		}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg2, err := sc2.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg2.Completed != 1 {
+			t.Errorf("custom-protocol scenario: %+v (first err: %v)", agg2, agg2.FirstErr())
 		}
 	})
 

@@ -101,7 +101,7 @@ func TestGreedyDeterministicTieBreak(t *testing.T) {
 	g := NewGreedy(FIFO{})
 	var firstMove packet.ID
 	obs := &moveRecorder{first: &firstMove}
-	if _, err := sim.RunConfig(sim.Config{Net: nw, Protocol: g, Adversary: adv, Rounds: 2, Observers: []sim.Observer{obs}}); err != nil {
+	if _, err := sim.Run(context.Background(), sim.NewSpec(nw, g, adv, 2, sim.WithObservers(obs))); err != nil {
 		t.Fatal(err)
 	}
 	if firstMove != 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -29,12 +30,10 @@ func TestPPTSBoundAgainstAdaptiveHotSpot(t *testing.T) {
 				limit := 1 + len(dests) + sigma
 				cons := sim.NewConservationCheck()
 				check := NewPathBoundCheck(nw, rat.One)
-				res, err := sim.RunConfig(sim.Config{
-					Net: nw, Protocol: NewPPTS(), Adversary: adv, Rounds: 500,
-					VerifyAdversary: true,
-					Observers:       []sim.Observer{cons, check.Observer()},
-					Invariants:      []sim.Invariant{MaxLoadInvariant(nw, limit), check.Invariant()},
-				})
+				res, err := sim.Run(context.Background(), sim.NewSpec(nw, NewPPTS(), adv, 500,
+					sim.WithVerifyAdversary(),
+					sim.WithObservers(cons, check.Observer()),
+					sim.WithInvariants(MaxLoadInvariant(nw, limit), check.Invariant())))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -57,11 +56,9 @@ func TestPTSBoundAgainstAdaptiveHotSpot(t *testing.T) {
 		t.Fatal(err)
 	}
 	cons := sim.NewConservationCheck()
-	res, err := sim.RunConfig(sim.Config{
-		Net: nw, Protocol: NewPTS(), Adversary: adv, Rounds: 600,
-		VerifyAdversary: true,
-		Observers:       []sim.Observer{cons},
-	})
+	res, err := sim.Run(context.Background(), sim.NewSpec(nw, NewPTS(), adv, 600,
+		sim.WithVerifyAdversary(),
+		sim.WithObservers(cons)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,12 +86,10 @@ func TestHPTSBoundAgainstAdaptiveHotSpot(t *testing.T) {
 	check := NewHPTSBoundCheck(nw, h, rho)
 	cons := sim.NewConservationCheck()
 	limit := HPTSSpaceBound(h, 2)
-	res, err := sim.RunConfig(sim.Config{
-		Net: nw, Protocol: NewHPTS(2), Adversary: adv, Rounds: 2000,
-		VerifyAdversary: true,
-		Observers:       []sim.Observer{cons, check.Observer()},
-		Invariants:      []sim.Invariant{MaxLoadInvariant(nw, limit), check.Invariant()},
-	})
+	res, err := sim.Run(context.Background(), sim.NewSpec(nw, NewHPTS(2), adv, 2000,
+		sim.WithVerifyAdversary(),
+		sim.WithObservers(cons, check.Observer()),
+		sim.WithInvariants(MaxLoadInvariant(nw, limit), check.Invariant())))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +115,9 @@ func TestTreePPTSBoundAgainstAdaptiveHotSpot(t *testing.T) {
 	}
 	cons := sim.NewConservationCheck()
 	limit := 1 + dprime + 2
-	res, err := sim.RunConfig(sim.Config{
-		Net: tree, Protocol: NewTreePPTS(), Adversary: adv, Rounds: 500,
-		VerifyAdversary: true,
-		Observers:       []sim.Observer{cons},
-	})
+	res, err := sim.Run(context.Background(), sim.NewSpec(tree, NewTreePPTS(), adv, 500,
+		sim.WithVerifyAdversary(),
+		sim.WithObservers(cons)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -62,11 +63,9 @@ func TestHPTSLevelScheduleRegression(t *testing.T) {
 		t.Fatal(err)
 	}
 	check := NewHPTSBoundCheck(nw, h, rho)
-	_, err = sim.RunConfig(sim.Config{
-		Net: nw, Protocol: NewHPTS(2), Adversary: adv, Rounds: 2000,
-		Observers:  []sim.Observer{check.Observer()},
-		Invariants: []sim.Invariant{check.Invariant(), MaxLoadInvariant(nw, HPTSSpaceBound(h, 2))},
-	})
+	_, err = sim.Run(context.Background(), sim.NewSpec(nw, NewHPTS(2), adv, 2000,
+		sim.WithObservers(check.Observer()),
+		sim.WithInvariants(check.Invariant(), MaxLoadInvariant(nw, HPTSSpaceBound(h, 2)))))
 	if err != nil {
 		t.Fatalf("phase invariant violated: %v", err)
 	}

@@ -11,15 +11,15 @@ import (
 	"smallbuffers/internal/sim"
 )
 
-// runChecked executes a run with the given bound check wired in and asserts
-// completion; it returns the result.
-func runChecked(t *testing.T, cfg sim.Config, check *BoundCheck) sim.Result {
+// runChecked executes one run through the context-aware engine with the
+// given bound check wired in and asserts completion; it returns the
+// result.
+func runChecked(t *testing.T, check *BoundCheck, nw *network.Network, p sim.Protocol, adv adversary.Adversary, rounds int, opts ...sim.Option) sim.Result {
 	t.Helper()
 	if check != nil {
-		cfg.Observers = append(cfg.Observers, check.Observer())
-		cfg.Invariants = append(cfg.Invariants, check.Invariant())
+		opts = append(opts, sim.WithObservers(check.Observer()), sim.WithInvariants(check.Invariant()))
 	}
-	res, err := sim.RunConfig(cfg)
+	res, err := sim.Run(context.Background(), sim.NewSpec(nw, p, adv, rounds, opts...))
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
@@ -68,10 +68,8 @@ func TestPTSBoundAgainstCraftedBurst(t *testing.T) {
 				t.Fatal(err)
 			}
 			check := NewPathBoundCheck(nw, tc.rho)
-			res := runChecked(t, sim.Config{
-				Net: nw, Protocol: NewPTS(), Adversary: adv, Rounds: 6 * tc.n,
-				Invariants: []sim.Invariant{MaxLoadInvariant(nw, 2+tc.sigma)},
-			}, check)
+			res := runChecked(t, check, nw, NewPTS(), adv, 6*tc.n,
+				sim.WithInvariants(MaxLoadInvariant(nw, 2+tc.sigma)))
 			if res.MaxLoad > 2+tc.sigma {
 				t.Errorf("MaxLoad = %d > 2+σ = %d", res.MaxLoad, 2+tc.sigma)
 			}
@@ -91,10 +89,8 @@ func TestPTSBoundAgainstRandom(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res := runChecked(t, sim.Config{
-				Net: nw, Protocol: NewPTS(), Adversary: adv, Rounds: 400,
-				Invariants: []sim.Invariant{MaxLoadInvariant(nw, 2+sigma)},
-			}, NewPathBoundCheck(nw, rat.One))
+			res := runChecked(t, NewPathBoundCheck(nw, rat.One), nw, NewPTS(), adv, 400,
+				sim.WithInvariants(MaxLoadInvariant(nw, 2+sigma)))
 			if res.MaxLoad > 2+sigma {
 				t.Errorf("σ=%d seed=%d: MaxLoad = %d > %d", sigma, seed, res.MaxLoad, 2+sigma)
 			}
@@ -132,10 +128,8 @@ func TestPTSDrainPreservesBound(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		runChecked(t, sim.Config{
-			Net: nw, Protocol: NewPTS(WithDrain()), Adversary: adv, Rounds: 100,
-			Invariants: []sim.Invariant{MaxLoadInvariant(nw, 2+sigma)},
-		}, NewPathBoundCheck(nw, rat.One))
+		runChecked(t, NewPathBoundCheck(nw, rat.One), nw, NewPTS(WithDrain()), adv, 100,
+			sim.WithInvariants(MaxLoadInvariant(nw, 2+sigma)))
 	}
 }
 
@@ -171,10 +165,8 @@ func TestPPTSBoundAgainstCraftedBurst(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res := runChecked(t, sim.Config{
-				Net: nw, Protocol: NewPPTS(), Adversary: adv, Rounds: 8 * tc.n,
-				Invariants: []sim.Invariant{MaxLoadInvariant(nw, 1+tc.d+tc.sigma)},
-			}, NewPathBoundCheck(nw, rat.One))
+			res := runChecked(t, NewPathBoundCheck(nw, rat.One), nw, NewPPTS(), adv, 8*tc.n,
+				sim.WithInvariants(MaxLoadInvariant(nw, 1+tc.d+tc.sigma)))
 			if res.MaxLoad > 1+tc.d+tc.sigma {
 				t.Errorf("MaxLoad = %d > 1+d+σ = %d", res.MaxLoad, 1+tc.d+tc.sigma)
 			}
@@ -193,10 +185,8 @@ func TestPPTSBoundAgainstRandomMultiDest(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res := runChecked(t, sim.Config{
-				Net: nw, Protocol: NewPPTS(), Adversary: adv, Rounds: 400,
-				Invariants: []sim.Invariant{MaxLoadInvariant(nw, 1+d+sigma)},
-			}, NewPathBoundCheck(nw, rat.One))
+			res := runChecked(t, NewPathBoundCheck(nw, rat.One), nw, NewPPTS(), adv, 400,
+				sim.WithInvariants(MaxLoadInvariant(nw, 1+d+sigma)))
 			if res.MaxLoad > 1+d+sigma {
 				t.Errorf("σ=%d seed=%d: MaxLoad = %d > %d", sigma, seed, res.MaxLoad, 1+d+sigma)
 			}
@@ -211,10 +201,8 @@ func TestPPTSAgainstGreedyKiller(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := runChecked(t, sim.Config{
-		Net: nw, Protocol: NewPPTS(), Adversary: adv, Rounds: 600,
-		Invariants: []sim.Invariant{MaxLoadInvariant(nw, 1+8+1)},
-	}, NewPathBoundCheck(nw, rat.One))
+	res := runChecked(t, NewPathBoundCheck(nw, rat.One), nw, NewPPTS(), adv, 600,
+		sim.WithInvariants(MaxLoadInvariant(nw, 1+8+1)))
 	if res.MaxLoad > 10 {
 		t.Errorf("MaxLoad = %d > 10", res.MaxLoad)
 	}
@@ -227,10 +215,8 @@ func TestPPTSDrainDeliversAndKeepsBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := runChecked(t, sim.Config{
-		Net: nw, Protocol: NewPPTS(PPTSWithDrain()), Adversary: adv, Rounds: 260,
-		Invariants: []sim.Invariant{MaxLoadInvariant(nw, 1+4+1)},
-	}, NewPathBoundCheck(nw, rat.One))
+	res := runChecked(t, NewPathBoundCheck(nw, rat.One), nw, NewPPTS(PPTSWithDrain()), adv, 260,
+		sim.WithInvariants(MaxLoadInvariant(nw, 1+4+1)))
 	if res.Delivered == 0 {
 		t.Error("PPTS+drain delivered nothing")
 	}
@@ -248,10 +234,8 @@ func TestPPTSReducesToPTSSingleDest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := runChecked(t, sim.Config{
-		Net: nw, Protocol: NewPPTS(), Adversary: adv, Rounds: 150,
-		Invariants: []sim.Invariant{MaxLoadInvariant(nw, 2+2)},
-	}, NewPathBoundCheck(nw, rat.One))
+	res := runChecked(t, NewPathBoundCheck(nw, rat.One), nw, NewPPTS(), adv, 150,
+		sim.WithInvariants(MaxLoadInvariant(nw, 2+2)))
 	if res.MaxLoad > 4 {
 		t.Errorf("MaxLoad = %d > 4", res.MaxLoad)
 	}
@@ -309,11 +293,9 @@ func TestForestPTSBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	cons := sim.NewConservationCheck()
-	res, err := sim.RunConfig(sim.Config{
-		Net: forest, Protocol: NewTreePTS(), Adversary: adv, Rounds: 120,
-		Observers:  []sim.Observer{cons},
-		Invariants: []sim.Invariant{MaxLoadInvariant(forest, 2+sigma)},
-	})
+	res, err := sim.Run(context.Background(), sim.NewSpec(forest, NewTreePTS(), adv, 120,
+		sim.WithObservers(cons),
+		sim.WithInvariants(MaxLoadInvariant(forest, 2+sigma))))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,10 +356,8 @@ func TestTreePTSBound(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res := runChecked(t, sim.Config{
-					Net: tree, Protocol: NewTreePTS(), Adversary: adv, Rounds: 200,
-					Invariants: []sim.Invariant{MaxLoadInvariant(tree, 2+sigma)},
-				}, NewTreeBoundCheck(tree, rat.One))
+				res := runChecked(t, NewTreeBoundCheck(tree, rat.One), tree, NewTreePTS(), adv, 200,
+					sim.WithInvariants(MaxLoadInvariant(tree, 2+sigma)))
 				if res.MaxLoad > 2+sigma {
 					t.Errorf("MaxLoad = %d > 2+σ = %d", res.MaxLoad, 2+sigma)
 				}
@@ -397,10 +377,8 @@ func TestTreePTSRandomAdversary(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		runChecked(t, sim.Config{
-			Net: tree, Protocol: NewTreePTS(), Adversary: adv, Rounds: 300,
-			Invariants: []sim.Invariant{MaxLoadInvariant(tree, 2+2)},
-		}, NewTreeBoundCheck(tree, rat.One))
+		runChecked(t, NewTreeBoundCheck(tree, rat.One), tree, NewTreePTS(), adv, 300,
+			sim.WithInvariants(MaxLoadInvariant(tree, 2+2)))
 	}
 }
 
@@ -439,10 +417,8 @@ func TestTreePPTSBound(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := runChecked(t, sim.Config{
-			Net: tree, Protocol: NewTreePPTS(), Adversary: adv, Rounds: 300,
-			Invariants: []sim.Invariant{MaxLoadInvariant(tree, 1+dprime+sigma)},
-		}, NewTreeBoundCheck(tree, rat.One))
+		res := runChecked(t, NewTreeBoundCheck(tree, rat.One), tree, NewTreePPTS(), adv, 300,
+			sim.WithInvariants(MaxLoadInvariant(tree, 1+dprime+sigma)))
 		if res.MaxLoad > 1+dprime+sigma {
 			t.Errorf("σ=%d: MaxLoad = %d > 1+d′+σ = %d", sigma, res.MaxLoad, 1+dprime+sigma)
 		}
@@ -463,10 +439,8 @@ func TestTreePPTSRandomMultiDest(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		runChecked(t, sim.Config{
-			Net: tree, Protocol: NewTreePPTS(), Adversary: adv, Rounds: 400,
-			Invariants: []sim.Invariant{MaxLoadInvariant(tree, 1+dprime+1)},
-		}, NewTreeBoundCheck(tree, rat.One))
+		runChecked(t, NewTreeBoundCheck(tree, rat.One), tree, NewTreePPTS(), adv, 400,
+			sim.WithInvariants(MaxLoadInvariant(tree, 1+dprime+1)))
 	}
 }
 
@@ -542,10 +516,8 @@ func TestHPTSBoundTheorem41(t *testing.T) {
 				proto := NewHPTS(tc.ell)
 				spaceBound := tc.ell*tc.m + sigma + 1
 				check := NewHPTSBoundCheck(nw, h, rho)
-				res := runChecked(t, sim.Config{
-					Net: nw, Protocol: proto, Adversary: adv, Rounds: 40 * tc.ell * n,
-					Invariants: []sim.Invariant{MaxLoadInvariant(nw, spaceBound)},
-				}, check)
+				res := runChecked(t, check, nw, proto, adv, 40*tc.ell*n,
+					sim.WithInvariants(MaxLoadInvariant(nw, spaceBound)))
 				if res.MaxLoad > spaceBound {
 					t.Errorf("σ=%d: MaxLoad = %d > ℓm+σ+1 = %d", sigma, res.MaxLoad, spaceBound)
 				}
@@ -564,10 +536,8 @@ func TestHPTSEllOneDegeneratesToPPTS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := runChecked(t, sim.Config{
-		Net: nw, Protocol: NewHPTS(1), Adversary: adv, Rounds: 100,
-		Invariants: []sim.Invariant{MaxLoadInvariant(nw, 1+3+1)},
-	}, nil)
+	res := runChecked(t, nil, nw, NewHPTS(1), adv, 100,
+		sim.WithInvariants(MaxLoadInvariant(nw, 1+3+1)))
 	if res.MaxLoad > 5 {
 		t.Errorf("MaxLoad = %d > 5", res.MaxLoad)
 	}
@@ -583,10 +553,8 @@ func TestHPTSStreamWorkload(t *testing.T) {
 	rho := rat.New(1, 3)
 	adv := adversary.NewStream(adversary.Bound{Rho: rho, Sigma: 1}, 0, network.NodeID(h.N()-1))
 	spaceBound := HPTSSpaceBound(h, 1)
-	res := runChecked(t, sim.Config{
-		Net: nw, Protocol: NewHPTS(3), Adversary: adv, Rounds: 600,
-		Invariants: []sim.Invariant{MaxLoadInvariant(nw, spaceBound)},
-	}, NewHPTSBoundCheck(nw, h, rho))
+	res := runChecked(t, NewHPTSBoundCheck(nw, h, rho), nw, NewHPTS(3), adv, 600,
+		sim.WithInvariants(MaxLoadInvariant(nw, spaceBound)))
 	if res.Delivered == 0 {
 		t.Error("HPTS delivered nothing on a steady stream")
 	}
@@ -606,9 +574,7 @@ func TestHPTSAblationRunsFeasibly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.RunConfig(sim.Config{
-		Net: nw, Protocol: NewHPTS(3, HPTSAblatePreBad()), Adversary: adv, Rounds: 500,
-	})
+	res, err := sim.Run(context.Background(), sim.NewSpec(nw, NewHPTS(3, HPTSAblatePreBad()), adv, 500))
 	if err != nil {
 		t.Fatalf("ablated HPTS run failed: %v", err)
 	}

@@ -138,6 +138,13 @@ type Sweep struct {
 	// the whole sweep's randomness at once.
 	BaseSeed int64
 
+	// RawSeeds passes each cell's grid seed to its adversary verbatim
+	// instead of deriving a per-cell seed from BaseSeed and the cell
+	// coordinates. The scenario layer sets it so that a serialized seed
+	// pins exactly the traffic a single-run invocation with that seed
+	// would see; grids that want decorrelated cells leave it off.
+	RawSeeds bool
+
 	// Workers bounds the worker pool; ≤ 0 means GOMAXPROCS.
 	Workers int
 
@@ -237,7 +244,11 @@ func (s *Sweep) Cells() ([]Cell, error) {
 									Seed:      seed,
 									Rounds:    r,
 								}
-								c.DerivedSeed = deriveSeed(s.BaseSeed, c)
+								if s.RawSeeds {
+									c.DerivedSeed = seed
+								} else {
+									c.DerivedSeed = deriveSeed(s.BaseSeed, c)
+								}
 								cells = append(cells, c)
 							}
 						}

@@ -1,0 +1,345 @@
+package registry
+
+import (
+	"fmt"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/baseline"
+	"smallbuffers/internal/core"
+	"smallbuffers/internal/local"
+	"smallbuffers/internal/lowerbound"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/sim"
+)
+
+// This file registers the built-in catalog: every component the paper's
+// reproduction uses, under the stable names scenario files and the CLIs
+// share. Parameter names deliberately match the historical CLI flags
+// (n, spine, legs, arms, len, height, ell, drain, d, src, dst, m), so a
+// flag invocation and its scenario file read the same.
+
+func init() {
+	registerTopologies()
+	registerProtocols()
+	registerAdversaries()
+	registerInvariants()
+}
+
+func registerTopologies() {
+	mustRegister(RegisterTopology(Topology{
+		Name:   "path",
+		Doc:    "the directed path 0 → 1 → … → n−1 (§2)",
+		Params: Schema{{Name: "n", Kind: Int, Doc: "path length", Default: 64}},
+		Build: func(p Params) (*network.Network, error) {
+			return network.NewPath(p.Int("n"))
+		},
+	}))
+	mustRegister(RegisterTopology(Topology{
+		Name: "caterpillar",
+		Doc:  "a spine path with legs leaves per spine node",
+		Params: Schema{
+			{Name: "spine", Kind: Int, Doc: "spine length", Default: 8},
+			{Name: "legs", Kind: Int, Doc: "leaves per spine node", Default: 2},
+		},
+		Build: func(p Params) (*network.Network, error) {
+			return network.CaterpillarTree(p.Int("spine"), p.Int("legs"))
+		},
+	}))
+	mustRegister(RegisterTopology(Topology{
+		Name:   "binary",
+		Doc:    "a complete binary in-tree of the given height",
+		Params: Schema{{Name: "height", Kind: Int, Doc: "tree height", Default: 4}},
+		Build: func(p Params) (*network.Network, error) {
+			return network.BinaryTree(p.Int("height"))
+		},
+	}))
+	mustRegister(RegisterTopology(Topology{
+		Name: "spider",
+		Doc:  "arms directed paths of the given length merging into one root",
+		Params: Schema{
+			{Name: "arms", Kind: Int, Doc: "arm count", Default: 4},
+			{Name: "len", Kind: Int, Doc: "arm length", Default: 4},
+		},
+		Build: func(p Params) (*network.Network, error) {
+			return network.SpiderTree(p.Int("arms"), p.Int("len"))
+		},
+	}))
+}
+
+func registerProtocols() {
+	drain := Schema{{Name: "drain", Kind: Bool, Doc: "enable drain-when-idle", Default: false}}
+	mustRegister(RegisterProtocol(Protocol{
+		Name:   "pts",
+		Doc:    "Peak-to-Sink (Algorithm 1): single destination, ≤ 2+σ",
+		Params: drain,
+		Build: func(p Params) (sim.Protocol, error) {
+			if p.Bool("drain") {
+				return core.NewPTS(core.WithDrain()), nil
+			}
+			return core.NewPTS(), nil
+		},
+		Note: func(_ Params, b adversary.Bound) string {
+			return fmt.Sprintf("Proposition 3.1: max load ≤ 2+σ = %d", 2+b.Sigma)
+		},
+	}))
+	mustRegister(RegisterProtocol(Protocol{
+		Name:   "ppts",
+		Doc:    "Parallel Peak-to-Sink (Algorithm 2): d destinations, ≤ 1+d+σ",
+		Params: drain,
+		Build: func(p Params) (sim.Protocol, error) {
+			if p.Bool("drain") {
+				return core.NewPPTS(core.PPTSWithDrain()), nil
+			}
+			return core.NewPPTS(), nil
+		},
+		Note: func(Params, adversary.Bound) string {
+			return "Proposition 3.2: max load ≤ 1+d+σ (d = distinct destinations observed)"
+		},
+	}))
+	mustRegister(RegisterProtocol(Protocol{
+		Name:   "tree-pts",
+		Doc:    "directed-tree PTS (Appendix B.2): ≤ 2+σ",
+		Params: drain,
+		Build: func(p Params) (sim.Protocol, error) {
+			if p.Bool("drain") {
+				return core.NewTreePTS(core.TreePTSWithDrain()), nil
+			}
+			return core.NewTreePTS(), nil
+		},
+		Note: func(_ Params, b adversary.Bound) string {
+			return fmt.Sprintf("Proposition B.3: max load ≤ 2+σ = %d", 2+b.Sigma)
+		},
+	}))
+	mustRegister(RegisterProtocol(Protocol{
+		Name: "tree-ppts",
+		Doc:  "directed-tree PPTS (Proposition 3.5): ≤ 1+d′+σ",
+		Build: func(Params) (sim.Protocol, error) {
+			return core.NewTreePPTS(), nil
+		},
+		Note: func(Params, adversary.Bound) string {
+			return "Proposition 3.5: max load ≤ 1+d′+σ"
+		},
+	}))
+	mustRegister(RegisterProtocol(Protocol{
+		Name:   "hpts",
+		Doc:    "Hierarchical Peak-to-Sink (Algorithms 3–5) on n = m^ℓ nodes",
+		Params: Schema{{Name: "ell", Kind: Int, Doc: "hierarchy levels ℓ", Default: 2}},
+		Build: func(p Params) (sim.Protocol, error) {
+			return core.NewHPTS(p.Int("ell")), nil
+		},
+		Note: func(p Params, _ adversary.Bound) string {
+			ell := p.Int("ell")
+			return fmt.Sprintf("Theorem 4.1: max load ≤ ℓ·n^(1/ℓ)+σ+1 (requires ρ ≤ 1/%d and n = m^%d)", ell, ell)
+		},
+	}))
+	mustRegister(RegisterProtocol(Protocol{
+		Name: "downhill",
+		Doc:  "naive locality-1 rule: forward down the buffer gradient",
+		Build: func(Params) (sim.Protocol, error) {
+			return local.NewDownhill(), nil
+		},
+		Note: func(Params, adversary.Bound) string {
+			return "naive local rule: Θ(n) staircase under full pressure (E10)"
+		},
+	}))
+	mustRegister(RegisterProtocol(Protocol{
+		Name: "oddeven",
+		Doc:  "parity-staggered downhill variant; sustains ρ ≤ 1/2",
+		Build: func(Params) (sim.Protocol, error) {
+			return local.NewOddEven(), nil
+		},
+		Note: func(Params, adversary.Bound) string {
+			return "parity-staggered local rule: sustains ρ ≤ 1/2 (E10)"
+		},
+	}))
+	registerGreedy()
+}
+
+// registerGreedy registers the classical policies and one "greedy-<name>"
+// protocol per policy, derived from the policy table — one loop, no
+// switch.
+func registerGreedy() {
+	for _, pol := range []Policy{
+		{Name: "fifo", Doc: "first in, first out", Policy: baseline.FIFO{}},
+		{Name: "lifo", Doc: "last in, first out", Policy: baseline.LIFO{}},
+		{Name: "lis", Doc: "longest in system", Policy: baseline.LIS{}},
+		{Name: "sis", Doc: "shortest in system", Policy: baseline.SIS{}},
+		{Name: "ntg", Doc: "nearest to go", Policy: baseline.NTG{}},
+		{Name: "ftg", Doc: "farthest to go", Policy: baseline.FTG{}},
+	} {
+		mustRegister(RegisterPolicy(pol))
+	}
+	for _, name := range PolicyNames() {
+		pol, err := LookupPolicy(name)
+		mustRegister(err)
+		p := pol.Policy
+		mustRegister(RegisterProtocol(Protocol{
+			Name: "greedy-" + pol.Name,
+			Doc:  "work-conserving greedy baseline, " + pol.Doc,
+			Build: func(Params) (sim.Protocol, error) {
+				return baseline.NewGreedy(p), nil
+			},
+			Note: func(Params, adversary.Bound) string {
+				return "greedy baseline (no space guarantee; see E7)"
+			},
+		}))
+	}
+}
+
+// destSchema is the destination-selection schema shared by the randomized
+// multi-destination patterns: an explicit dests list wins; otherwise d
+// spread-out destinations are derived from the topology.
+var destSchema = Schema{
+	{Name: "d", Kind: Int, Doc: "destination count when dests is omitted", Default: 4},
+	{Name: "dests", Kind: Ints, Doc: "explicit destination nodes (overrides d)", Default: []int(nil)},
+}
+
+// resolveDests applies the destSchema convention.
+func resolveDests(nw *network.Network, p Params) []network.NodeID {
+	if ds := p.Ints("dests"); len(ds) > 0 {
+		out := make([]network.NodeID, len(ds))
+		for i, d := range ds {
+			out[i] = network.NodeID(d)
+		}
+		return out
+	}
+	return SpreadDestinations(nw, p.Int("d"))
+}
+
+// SpreadDestinations picks d spread-out destinations: the last d nodes of
+// a path, or (for trees) up to d ancestors ending at the root along the
+// deepest leaf's route. It is the shared default destination set of the
+// randomized multi-destination patterns.
+func SpreadDestinations(nw *network.Network, d int) []network.NodeID {
+	if nw.IsPath() {
+		n := nw.Len()
+		if d < 1 {
+			d = 1
+		}
+		if d >= n {
+			d = n - 1
+		}
+		out := make([]network.NodeID, d)
+		for k := 0; k < d; k++ {
+			out[k] = network.NodeID(n - d + k)
+		}
+		return out
+	}
+	deepest := nw.Leaves()[0]
+	for _, l := range nw.Leaves() {
+		if nw.Depth(l) > nw.Depth(deepest) {
+			deepest = l
+		}
+	}
+	var out []network.NodeID
+	for v := nw.Next(deepest); v != network.None; v = nw.Next(v) {
+		out = append(out, v)
+	}
+	if len(out) > d && d > 0 {
+		out = out[len(out)-d:]
+	}
+	return out
+}
+
+func registerAdversaries() {
+	mustRegister(RegisterAdversary(Adversary{
+		Name:   "random",
+		Doc:    "shaped random pattern, (ρ,σ)-bounded by construction",
+		Params: destSchema,
+		Build: func(ctx AdversaryContext, p Params) (adversary.Adversary, error) {
+			return adversary.NewRandom(ctx.Net, ctx.Bound, resolveDests(ctx.Net, p), ctx.Seed)
+		},
+	}))
+	mustRegister(RegisterAdversary(Adversary{
+		Name:   "hotspot",
+		Doc:    "adaptive pattern aiming every admissible injection at the fullest buffer",
+		Params: destSchema,
+		Build: func(ctx AdversaryContext, p Params) (adversary.Adversary, error) {
+			return adversary.NewHotSpot(ctx.Net, ctx.Bound, resolveDests(ctx.Net, p), ctx.Seed)
+		},
+	}))
+	mustRegister(RegisterAdversary(Adversary{
+		Name: "stream",
+		Doc:  "smooth rate-ρ single-route stream src → dst",
+		Params: Schema{
+			{Name: "src", Kind: Int, Doc: "source node", Default: 0},
+			{Name: "dst", Kind: Int, Doc: "destination node; −1 means the first sink", Default: -1},
+		},
+		Build: func(ctx AdversaryContext, p Params) (adversary.Adversary, error) {
+			dst := network.NodeID(p.Int("dst"))
+			if dst < 0 {
+				dst = ctx.Net.Sinks()[0]
+			}
+			return adversary.NewStream(ctx.Bound, network.NodeID(p.Int("src")), dst), nil
+		},
+	}))
+	mustRegister(RegisterAdversary(Adversary{
+		Name: "roundrobin",
+		Doc:  "smooth aggregate rate-ρ flow from src cycling the destinations",
+		Params: append(Schema{
+			{Name: "src", Kind: Int, Doc: "source node", Default: 0},
+		}, destSchema...),
+		Build: func(ctx AdversaryContext, p Params) (adversary.Adversary, error) {
+			return adversary.NewRoundRobin(ctx.Bound, network.NodeID(p.Int("src")), resolveDests(ctx.Net, p)), nil
+		},
+	}))
+	mustRegister(RegisterAdversary(Adversary{
+		Name:   "burst",
+		Doc:    "crafted near-tight burst for Propositions 3.1/3.2/3.5",
+		Params: Schema{{Name: "d", Kind: Int, Doc: "destination count (paths; ≤ 1 targets PTS)", Default: 1}},
+		Build: func(ctx AdversaryContext, p Params) (adversary.Adversary, error) {
+			d := p.Int("d")
+			if ctx.Net.IsPath() {
+				if d <= 1 {
+					return adversary.PTSBurst(ctx.Net, ctx.Bound, ctx.Rounds)
+				}
+				return adversary.PPTSBurst(ctx.Net, ctx.Bound, d, ctx.Rounds)
+			}
+			return adversary.TreeBurst(ctx.Net, ctx.Bound, nil, ctx.Rounds)
+		},
+	}))
+	mustRegister(RegisterAdversary(Adversary{
+		Name:   "greedykiller",
+		Doc:    "multi-destination stress pattern of §1/[17]",
+		Params: Schema{{Name: "d", Kind: Int, Doc: "destination count", Default: 4}},
+		Build: func(ctx AdversaryContext, p Params) (adversary.Adversary, error) {
+			return adversary.GreedyKiller(ctx.Net, ctx.Bound, p.Int("d"), ctx.Rounds)
+		},
+	}))
+	mustRegister(RegisterAdversary(Adversary{
+		Name: "lowerbound",
+		Doc:  "the Section 5 construction; dictates its own topology, bound, and horizon",
+		Params: Schema{
+			{Name: "m", Kind: Int, Doc: "base m (phase length)", Default: 4},
+			{Name: "ell", Kind: Int, Doc: "hierarchy depth ℓ", Default: 2},
+		},
+		Prepare: func(bound adversary.Bound, p Params) (*Prepared, error) {
+			lb, err := lowerbound.New(p.Int("m"), p.Int("ell"), bound.Rho)
+			if err != nil {
+				return nil, err
+			}
+			nw, err := lb.Network()
+			if err != nil {
+				return nil, err
+			}
+			return &Prepared{
+				Net:       nw,
+				Adversary: lb,
+				Bound:     lb.Bound(), // (ρ,1)-bounded regardless of the declared σ
+				Rounds:    lb.Rounds(),
+				Note:      fmt.Sprintf("Theorem 5.1 floor: max load ≥ ~%v", lb.PredictedBound()),
+			}, nil
+		},
+	}))
+}
+
+func registerInvariants() {
+	mustRegister(RegisterInvariant(Invariant{
+		Name:   "max-load",
+		Doc:    "every buffer stays at or below the given packet count",
+		Params: Schema{{Name: "bound", Kind: Int, Doc: "maximum allowed buffer occupancy", Required: true}},
+		Build: func(nw *network.Network, p Params) (sim.Invariant, error) {
+			return core.MaxLoadInvariant(nw, p.Int("bound")), nil
+		},
+	}))
+}

@@ -1,0 +1,304 @@
+package registry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"smallbuffers/internal/rat"
+)
+
+// Kind is the type of a component parameter. Parameters arrive as decoded
+// JSON (float64, bool, string, []any) and are coerced to one canonical Go
+// representation per kind, so that a scenario's canonical form is
+// deterministic and exact: rationals travel as strings ("1/2"), never as
+// floats.
+type Kind int
+
+const (
+	// Int is a plain integer; JSON numbers must be integral.
+	Int Kind = iota
+	// Bool is a boolean flag.
+	Bool
+	// RatKind is an exact rational, canonically a string such as "3/4";
+	// integral JSON numbers are accepted and canonicalized.
+	RatKind
+	// Ints is a list of integers (e.g. an explicit destination set).
+	Ints
+	// String is free-form text.
+	String
+)
+
+// String names the kind for error messages and schema listings.
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Bool:
+		return "bool"
+	case RatKind:
+		return "rat"
+	case Ints:
+		return "[]int"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Param declares one typed parameter of a component schema.
+type Param struct {
+	Name string
+	Kind Kind
+	Doc  string
+	// Default is the canonical value used when the parameter is omitted
+	// (int, bool, rat.Rat, []int, or string according to Kind). Ignored
+	// when Required is set.
+	Default any
+	// Required rejects scenarios that omit the parameter.
+	Required bool
+}
+
+// Schema is an ordered list of parameter declarations.
+type Schema []Param
+
+// Params holds resolved parameter values in canonical form: int, bool,
+// rat.Rat, []int, or string per the declaring schema.
+type Params map[string]any
+
+// Resolve validates raw (decoded JSON) parameter values against the schema:
+// unknown names are rejected with a suggestion, values are coerced to their
+// declared kind, defaults fill omitted parameters, and missing required
+// parameters are errors. The result is a fully populated canonical Params.
+func (s Schema) Resolve(raw map[string]any) (Params, error) {
+	out := make(Params, len(s))
+	for name := range raw {
+		if s.find(name) == nil {
+			return nil, fmt.Errorf("unknown parameter %q%s (schema: %s)", name, didYouMean(name, s.names()), s.describe())
+		}
+	}
+	for _, p := range s {
+		v, ok := raw[p.Name]
+		if !ok {
+			if p.Required {
+				return nil, fmt.Errorf("missing required parameter %q (%s)", p.Name, p.Doc)
+			}
+			out[p.Name] = p.Default
+			continue
+		}
+		cv, err := coerce(p.Kind, v)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %q: %w", p.Name, err)
+		}
+		out[p.Name] = cv
+	}
+	return out, nil
+}
+
+func (s Schema) find(name string) *Param {
+	for i := range s {
+		if s[i].Name == name {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+func (s Schema) names() []string {
+	out := make([]string, len(s))
+	for i, p := range s {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// describe renders "name:kind, name:kind" for error messages; "(none)" for
+// parameterless components.
+func (s Schema) describe() string {
+	if len(s) == 0 {
+		return " (none)"
+	}
+	parts := make([]string, len(s))
+	for i, p := range s {
+		parts[i] = fmt.Sprintf("%s:%s", p.Name, p.Kind)
+	}
+	return " " + strings.Join(parts, ", ")
+}
+
+// coerce converts one decoded-JSON value to the canonical representation of
+// the kind.
+func coerce(k Kind, v any) (any, error) {
+	switch k {
+	case Int:
+		return toInt(v)
+	case Bool:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("want bool, got %T", v)
+		}
+		return b, nil
+	case RatKind:
+		switch x := v.(type) {
+		case string:
+			r, err := rat.Parse(x)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		case rat.Rat:
+			return x, nil
+		default:
+			n, err := toInt(v)
+			if err != nil {
+				return nil, fmt.Errorf("want a rational string such as \"1/2\" or an integer, got %T", v)
+			}
+			return rat.FromInt(int64(n)), nil
+		}
+	case Ints:
+		switch x := v.(type) {
+		case nil:
+			return []int(nil), nil
+		case []int:
+			return append([]int(nil), x...), nil
+		case []any:
+			out := make([]int, len(x))
+			for i, e := range x {
+				n, err := toInt(e)
+				if err != nil {
+					return nil, fmt.Errorf("element %d: %w", i, err)
+				}
+				out[i] = n
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("want a list of integers, got %T", v)
+		}
+	case String:
+		sv, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("want string, got %T", v)
+		}
+		return sv, nil
+	default:
+		return nil, fmt.Errorf("registry: unhandled kind %v", k)
+	}
+}
+
+// toInt accepts int, int64, and integral float64 (the JSON decoding of a
+// whole number).
+func toInt(v any) (int, error) {
+	switch x := v.(type) {
+	case int:
+		return x, nil
+	case int64:
+		return int(x), nil
+	case float64:
+		if x != math.Trunc(x) || math.Abs(x) > 1<<52 {
+			return 0, fmt.Errorf("want integer, got %v", x)
+		}
+		return int(x), nil
+	default:
+		return 0, fmt.Errorf("want integer, got %T", v)
+	}
+}
+
+// Int returns the named parameter as an int (zero if absent — Resolve
+// guarantees presence for schema-declared names).
+func (p Params) Int(name string) int {
+	v, _ := p[name].(int)
+	return v
+}
+
+// Bool returns the named parameter as a bool.
+func (p Params) Bool(name string) bool {
+	v, _ := p[name].(bool)
+	return v
+}
+
+// Rat returns the named parameter as an exact rational.
+func (p Params) Rat(name string) rat.Rat {
+	v, _ := p[name].(rat.Rat)
+	return v
+}
+
+// Ints returns the named parameter as an integer list.
+func (p Params) Ints(name string) []int {
+	v, _ := p[name].([]int)
+	return v
+}
+
+// String returns the named parameter as a string.
+func (p Params) String(name string) string {
+	v, _ := p[name].(string)
+	return v
+}
+
+// JSONMap renders the params in their canonical JSON form: ints and bools
+// as themselves, rationals as exact strings, lists as []int. Keys marshal
+// in sorted order (encoding/json sorts map keys), so the output is
+// deterministic.
+func (p Params) JSONMap() map[string]any {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(p))
+	for k, v := range p {
+		switch x := v.(type) {
+		case rat.Rat:
+			out[k] = x.String()
+		case []int:
+			if len(x) == 0 {
+				continue // empty list ≡ omitted; keep the canonical form minimal
+			}
+			out[k] = x
+		default:
+			out[k] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// didYouMean suggests the closest candidate within a small edit distance,
+// rendered as `, did you mean "x"?` or empty.
+func didYouMean(name string, candidates []string) string {
+	best, dist := "", 3 // suggest only within edit distance 2
+	sort.Strings(candidates)
+	for _, c := range candidates {
+		if d := editDistance(strings.ToLower(name), strings.ToLower(c)); d < dist {
+			best, dist = c, d
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return fmt.Sprintf(", did you mean %q?", best)
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"fmt"
+
+	"smallbuffers/internal/registry"
+)
+
+// Flags is the bridge from a flag-style flat parameter namespace to a
+// one-point scenario: the CLIs parse their flags into it and FromFlags
+// assembles (and validates) the scenario, so a flag invocation and a
+// scenario file converge on the same representation — and -dump-scenario
+// is just Marshal.
+type Flags struct {
+	Topology  string
+	Protocol  string
+	Adversary string
+	// Params is the flat flag namespace (n, spine, legs, arms, len,
+	// height, ell, drain, d, m, …). Each component keeps exactly the
+	// entries its registry schema declares; the rest are ignored, the way
+	// one -ell flag has always served both hpts and the lower bound.
+	Params map[string]any
+	// Rho is the exact rational injection rate ("1/2").
+	Rho    string
+	Sigma  int
+	Rounds int
+	// Bandwidth is the uniform link bandwidth B ≥ 1; 1 (the paper's unit
+	// capacity, every registered topology's default) leaves the scenario's
+	// bandwidth axis unset. Values below 1 are rejected.
+	Bandwidth int
+	Seed      int64
+	Verify    bool
+}
+
+// FromFlags assembles and validates a one-point scenario from a flat flag
+// namespace. Self-hosting adversaries (the lower-bound construction) drop
+// the topology and rounds axes automatically, mirroring how the flag CLIs
+// have always treated them.
+func FromFlags(f Flags) (*Scenario, error) {
+	if f.Bandwidth < 1 {
+		return nil, fmt.Errorf("scenario: bandwidth must be ≥ 1, got %d", f.Bandwidth)
+	}
+	advEntry, err := registry.LookupAdversary(f.Adversary)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sc := &Scenario{
+		Adversaries: []Component{componentFor(f.Adversary, advEntry.Params, f.Params)},
+		Bounds:      []Bound{{Rho: f.Rho, Sigma: f.Sigma}},
+		Seeds:       []int64{f.Seed},
+		Verify:      f.Verify,
+	}
+	protoEntry, err := registry.LookupProtocol(f.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sc.Protocols = []Component{componentFor(f.Protocol, protoEntry.Params, f.Params)}
+	if !advEntry.SelfHosting() {
+		topoEntry, err := registry.LookupTopology(f.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		sc.Topologies = []Component{componentFor(f.Topology, topoEntry.Params, f.Params)}
+		sc.Rounds = []int{f.Rounds}
+	}
+	if f.Bandwidth > 1 {
+		sc.Bandwidths = []int{f.Bandwidth}
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// componentFor keeps exactly the schema-declared entries of the flat
+// namespace.
+func componentFor(name string, schema registry.Schema, flat map[string]any) Component {
+	params := map[string]any{}
+	for _, p := range schema {
+		if v, ok := flat[p.Name]; ok {
+			params[p.Name] = v
+		}
+	}
+	if len(params) == 0 {
+		params = nil
+	}
+	return Component{Name: name, Params: params}
+}

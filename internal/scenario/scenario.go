@@ -1,0 +1,811 @@
+// Package scenario makes simulation workloads data: a Scenario is a
+// serializable description of what to run — topology, protocol, adversary,
+// (ρ,σ) bound, horizon, bandwidths, seeds, and invariant set — that
+// marshals to and from JSON, validates against the component registry
+// (internal/registry), compiles to a sim.Spec when every axis is a single
+// point, and lifts to a harness.Sweep when any axis is a list. Reproducing
+// a figure means running a file, not editing a program.
+//
+// # Canonical form
+//
+// Load accepts a forgiving surface — each axis may be written singular
+// ("protocol": {...}) or plural ("protocols": [...]), numbers may be
+// scalars or lists, parameters may be omitted — and normalizes it:
+// registry defaults are materialized, rationals are reduced to exact
+// lowest-terms strings, and singleton axes collapse back to singular keys.
+// Marshal always emits this canonical form, so Marshal∘Load is a fixed
+// point on canonical files and scenario JSON can be diffed meaningfully.
+//
+// # Seeds
+//
+// A scenario's seeds are the adversaries' seeds, verbatim — in single runs
+// and in sweep cells alike (the sweep is lifted with RawSeeds). A scenario
+// therefore pins exact traffic: the same file always replays the same
+// injections, and a one-point scenario reproduces precisely the run its
+// flag-based CLI equivalent would execute.
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/harness"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/rat"
+	"smallbuffers/internal/registry"
+	"smallbuffers/internal/sim"
+)
+
+// Component names one registered component plus its parameters. Params is
+// the decoded JSON object; Validate resolves it against the component's
+// registry schema and rewrites it in canonical form (defaults
+// materialized, rationals as exact strings).
+type Component struct {
+	Name   string         `json:"name"`
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// Bound is the serializable (ρ,σ) demand bound: ρ travels as an exact
+// rational string ("1/2"), never as a float.
+type Bound struct {
+	Rho   string `json:"rho"`
+	Sigma int    `json:"sigma"`
+}
+
+// Scenario is a declarative description of a simulation workload. Every
+// axis is a list; a scenario whose axes all have one point compiles to a
+// single sim.Spec, anything larger lifts to a harness.Sweep (the cartesian
+// product of the axes).
+type Scenario struct {
+	// Name and Doc label the scenario in reports and corpora.
+	Name string
+	Doc  string
+
+	// Topologies is empty exactly when the adversary is self-hosting
+	// (the lower-bound construction dictates its own path).
+	Topologies  []Component
+	Protocols   []Component
+	Adversaries []Component
+	Bounds      []Bound
+	// Rounds is empty exactly when the adversary is self-hosting.
+	Rounds []int
+	// Bandwidths imposes uniform link bandwidths; empty means as built
+	// (the paper's B = 1).
+	Bandwidths []int
+	// Seeds are the adversary seeds, verbatim; empty normalizes to {1}.
+	Seeds []int64
+	// Verify re-checks every injection against the declared (ρ,σ) bound.
+	Verify bool
+	// Invariants are per-round predicates resolved by name (e.g.
+	// "max-load" with a bound parameter); a violation aborts the run.
+	Invariants []Component
+
+	validated bool
+}
+
+// scenarioJSON is the wire form: each axis has a singular and a plural
+// key. Load accepts either (but not both); Marshal writes the singular
+// key for singleton axes.
+type scenarioJSON struct {
+	Name        string          `json:"name,omitempty"`
+	Doc         string          `json:"doc,omitempty"`
+	Topology    json.RawMessage `json:"topology,omitempty"`
+	Topologies  json.RawMessage `json:"topologies,omitempty"`
+	Protocol    json.RawMessage `json:"protocol,omitempty"`
+	Protocols   json.RawMessage `json:"protocols,omitempty"`
+	Adversary   json.RawMessage `json:"adversary,omitempty"`
+	Adversaries json.RawMessage `json:"adversaries,omitempty"`
+	Bound       json.RawMessage `json:"bound,omitempty"`
+	Bounds      json.RawMessage `json:"bounds,omitempty"`
+	Rounds      json.RawMessage `json:"rounds,omitempty"`
+	Bandwidth   json.RawMessage `json:"bandwidth,omitempty"`
+	Bandwidths  json.RawMessage `json:"bandwidths,omitempty"`
+	Seed        json.RawMessage `json:"seed,omitempty"`
+	Seeds       json.RawMessage `json:"seeds,omitempty"`
+	Verify      bool            `json:"verify,omitempty"`
+	Invariant   json.RawMessage `json:"invariant,omitempty"`
+	Invariants  json.RawMessage `json:"invariants,omitempty"`
+}
+
+// Parse decodes and validates a scenario from JSON bytes.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w scenarioJSON
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sc := &Scenario{Name: w.Name, Doc: w.Doc, Verify: w.Verify}
+	var err error
+	if sc.Topologies, err = axisList[Component]("topology", w.Topology, w.Topologies); err != nil {
+		return nil, err
+	}
+	if sc.Protocols, err = axisList[Component]("protocol", w.Protocol, w.Protocols); err != nil {
+		return nil, err
+	}
+	if sc.Adversaries, err = axisList[Component]("adversary", w.Adversary, w.Adversaries); err != nil {
+		return nil, err
+	}
+	if sc.Bounds, err = axisList[Bound]("bound", w.Bound, w.Bounds); err != nil {
+		return nil, err
+	}
+	if sc.Rounds, err = axisList[int]("rounds", nil, w.Rounds); err != nil {
+		return nil, err
+	}
+	if sc.Bandwidths, err = axisList[int]("bandwidth", w.Bandwidth, w.Bandwidths); err != nil {
+		return nil, err
+	}
+	if sc.Seeds, err = axisList[int64]("seed", w.Seed, w.Seeds); err != nil {
+		return nil, err
+	}
+	if sc.Invariants, err = axisList[Component]("invariant", w.Invariant, w.Invariants); err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// axisList decodes one axis from its singular and plural raw values: the
+// plural may be a JSON array or a bare value, the singular must be a bare
+// value, and setting both is an error.
+func axisList[T any](key string, singular, plural json.RawMessage) ([]T, error) {
+	if singular != nil && plural != nil {
+		return nil, fmt.Errorf("scenario: both %q and %q set; use one", key, key+"s")
+	}
+	raw := plural
+	if raw == nil {
+		raw = singular
+	}
+	if raw == nil {
+		return nil, nil
+	}
+	var list []T
+	if err := json.Unmarshal(raw, &list); err == nil {
+		return list, nil
+	}
+	var one T
+	if err := json.Unmarshal(raw, &one); err != nil {
+		return nil, fmt.Errorf("scenario: bad %q: %w", key, err)
+	}
+	return []T{one}, nil
+}
+
+// Load decodes and validates a scenario from r.
+func Load(r io.Reader) (*Scenario, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(data)
+}
+
+// LoadFile decodes and validates the scenario file at path ("-" reads
+// standard input).
+func LoadFile(path string) (*Scenario, error) {
+	if path == "-" {
+		return Load(os.Stdin)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sc, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Marshal renders the canonical JSON form (indented, trailing newline):
+// singleton axes collapse to singular keys, parameters carry materialized
+// defaults, rationals are exact lowest-terms strings. Marshal validates
+// first, so the output is always loadable, and Marshal∘Load is a fixed
+// point on its own output.
+func (sc *Scenario) Marshal() ([]byte, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	w := scenarioJSON{Name: sc.Name, Doc: sc.Doc, Verify: sc.Verify}
+	var err error
+	if w.Topology, w.Topologies, err = axisJSON(sc.Topologies); err != nil {
+		return nil, err
+	}
+	if w.Protocol, w.Protocols, err = axisJSON(sc.Protocols); err != nil {
+		return nil, err
+	}
+	if w.Adversary, w.Adversaries, err = axisJSON(sc.Adversaries); err != nil {
+		return nil, err
+	}
+	if w.Bound, w.Bounds, err = axisJSON(sc.Bounds); err != nil {
+		return nil, err
+	}
+	// "rounds" is its own singular: a scalar when the axis has one point.
+	switch len(sc.Rounds) {
+	case 0:
+	case 1:
+		w.Rounds, err = json.Marshal(sc.Rounds[0])
+	default:
+		w.Rounds, err = json.Marshal(sc.Rounds)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if w.Bandwidth, w.Bandwidths, err = axisJSON(sc.Bandwidths); err != nil {
+		return nil, err
+	}
+	if w.Seed, w.Seeds, err = axisJSON(sc.Seeds); err != nil {
+		return nil, err
+	}
+	if len(sc.Invariants) > 0 { // invariants always marshal as a list
+		if w.Invariants, err = json.Marshal(sc.Invariants); err != nil {
+			return nil, err
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(w); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// axisJSON renders a list as (singular, plural) raw values: singleton
+// lists fill the singular slot, longer lists the plural one.
+func axisJSON[T any](list []T) (json.RawMessage, json.RawMessage, error) {
+	switch len(list) {
+	case 0:
+		return nil, nil, nil
+	case 1:
+		raw, err := json.Marshal(list[0])
+		return raw, nil, err
+	default:
+		raw, err := json.Marshal(list)
+		return nil, raw, err
+	}
+}
+
+// Validate checks the scenario against the registry and normalizes it in
+// place: component parameters are resolved (unknown names and parameters
+// fail with suggestions) and rewritten canonically, rationals are reduced,
+// and defaulted axes (seeds) are materialized. Validate is idempotent.
+func (sc *Scenario) Validate() error {
+	if sc.validated {
+		return nil
+	}
+	if len(sc.Protocols) == 0 {
+		return fmt.Errorf("scenario: no protocol")
+	}
+	if len(sc.Adversaries) == 0 {
+		return fmt.Errorf("scenario: no adversary")
+	}
+	if len(sc.Bounds) == 0 {
+		return fmt.Errorf("scenario: no bound")
+	}
+
+	selfHosting, err := sc.selfHosting()
+	if err != nil {
+		return err
+	}
+	if selfHosting {
+		if len(sc.Adversaries) != 1 {
+			return fmt.Errorf("scenario: a self-hosting adversary must be the only adversary")
+		}
+		if len(sc.Topologies) != 0 {
+			return fmt.Errorf("scenario: adversary %q dictates its own topology; drop the topology axis", sc.Adversaries[0].Name)
+		}
+		if len(sc.Rounds) != 0 {
+			return fmt.Errorf("scenario: adversary %q dictates its own horizon; drop rounds", sc.Adversaries[0].Name)
+		}
+		if len(sc.Bounds) != 1 {
+			return fmt.Errorf("scenario: a self-hosting adversary needs exactly one bound")
+		}
+		if len(sc.Seeds) > 1 {
+			return fmt.Errorf("scenario: adversary %q is deterministic; a seeds axis would run identical cells — drop seeds", sc.Adversaries[0].Name)
+		}
+	} else {
+		if len(sc.Topologies) == 0 {
+			return fmt.Errorf("scenario: no topology")
+		}
+		if len(sc.Rounds) == 0 {
+			return fmt.Errorf("scenario: no rounds")
+		}
+	}
+	for _, r := range sc.Rounds {
+		if r < 0 {
+			return fmt.Errorf("scenario: negative rounds %d", r)
+		}
+	}
+	for _, b := range sc.Bandwidths {
+		if b < 1 {
+			return fmt.Errorf("scenario: bandwidth %d < 1", b)
+		}
+	}
+	if len(sc.Seeds) == 0 {
+		sc.Seeds = []int64{1}
+	}
+
+	// Resolve every component against its registry schema and rewrite the
+	// parameters canonically.
+	for i := range sc.Topologies {
+		e, err := registry.LookupTopology(sc.Topologies[i].Name)
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if err := normalize(&sc.Topologies[i], e.Params); err != nil {
+			return fmt.Errorf("scenario: topology %q: %w", e.Name, err)
+		}
+	}
+	for i := range sc.Protocols {
+		e, err := registry.LookupProtocol(sc.Protocols[i].Name)
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if err := normalize(&sc.Protocols[i], e.Params); err != nil {
+			return fmt.Errorf("scenario: protocol %q: %w", e.Name, err)
+		}
+	}
+	for i := range sc.Adversaries {
+		e, err := registry.LookupAdversary(sc.Adversaries[i].Name)
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if err := normalize(&sc.Adversaries[i], e.Params); err != nil {
+			return fmt.Errorf("scenario: adversary %q: %w", e.Name, err)
+		}
+	}
+	for i := range sc.Invariants {
+		e, err := registry.LookupInvariant(sc.Invariants[i].Name)
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if err := normalize(&sc.Invariants[i], e.Params); err != nil {
+			return fmt.Errorf("scenario: invariant %q: %w", e.Name, err)
+		}
+	}
+
+	// Canonicalize bounds: exact, reduced, non-negative σ.
+	for i, b := range sc.Bounds {
+		rho, err := rat.Parse(b.Rho)
+		if err != nil {
+			return fmt.Errorf("scenario: bound %d: bad rho: %w", i, err)
+		}
+		if rho.Sign() < 0 {
+			return fmt.Errorf("scenario: bound %d: negative rho %v", i, rho)
+		}
+		if b.Sigma < 0 {
+			return fmt.Errorf("scenario: bound %d: negative sigma %d", i, b.Sigma)
+		}
+		sc.Bounds[i].Rho = rho.String()
+	}
+
+	// Axis entries must be unique — on every axis: duplicate cells would
+	// silently re-run the same point and double-weight it in aggregates.
+	for axis, comps := range map[string][]Component{
+		"topology": sc.Topologies, "protocol": sc.Protocols, "adversary": sc.Adversaries,
+	} {
+		seen := map[string]bool{}
+		for _, c := range comps {
+			l := c.label()
+			if seen[l] {
+				return fmt.Errorf("scenario: duplicate %s %s", axis, l)
+			}
+			seen[l] = true
+		}
+	}
+	for axis, vals := range map[string][]int{"rounds": sc.Rounds, "bandwidths": sc.Bandwidths} {
+		seen := map[int]bool{}
+		for _, v := range vals {
+			if seen[v] {
+				return fmt.Errorf("scenario: duplicate %s entry %d", axis, v)
+			}
+			seen[v] = true
+		}
+	}
+	seenSeeds := map[int64]bool{}
+	for _, s := range sc.Seeds {
+		if seenSeeds[s] {
+			return fmt.Errorf("scenario: duplicate seed %d", s)
+		}
+		seenSeeds[s] = true
+	}
+	// Bounds compare after ρ canonicalization ("2/4" and "1/2" are the
+	// same point).
+	seenBounds := map[Bound]bool{}
+	for _, b := range sc.Bounds {
+		if seenBounds[b] {
+			return fmt.Errorf("scenario: duplicate bound (ρ=%s, σ=%d)", b.Rho, b.Sigma)
+		}
+		seenBounds[b] = true
+	}
+
+	sc.validated = true
+	return nil
+}
+
+// normalize resolves a component's raw params against its schema and
+// stores the canonical JSON form back on the component.
+func normalize(c *Component, schema registry.Schema) error {
+	p, err := schema.Resolve(c.Params)
+	if err != nil {
+		return err
+	}
+	c.Params = p.JSONMap()
+	return nil
+}
+
+// resolved returns the component's params re-resolved against schema; the
+// component must have been normalized (Validate).
+func resolved(c Component, schema registry.Schema) (registry.Params, error) {
+	return schema.Resolve(c.Params)
+}
+
+// label renders the component for axis names and error messages:
+// "path(n=16)"; parameterless components are just the name.
+func (c Component) label() string {
+	if len(c.Params) == 0 {
+		return c.Name
+	}
+	keys := make([]string, 0, len(c.Params))
+	for k := range c.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, c.Params[k]))
+	}
+	return c.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// selfHosting reports whether the scenario's (first) adversary dictates
+// its own topology and horizon.
+func (sc *Scenario) selfHosting() (bool, error) {
+	for _, a := range sc.Adversaries {
+		e, err := registry.LookupAdversary(a.Name)
+		if err != nil {
+			return false, fmt.Errorf("scenario: %w", err)
+		}
+		if e.SelfHosting() {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// IsSingle reports whether every axis has at most one point, i.e. the
+// scenario describes one run rather than a sweep grid.
+func (sc *Scenario) IsSingle() bool {
+	return len(sc.Topologies) <= 1 && len(sc.Protocols) <= 1 && len(sc.Adversaries) <= 1 &&
+		len(sc.Bounds) <= 1 && len(sc.Rounds) <= 1 && len(sc.Bandwidths) <= 1 && len(sc.Seeds) <= 1
+}
+
+// Single is a fully materialized one-point scenario: the built topology,
+// protocol, and adversary, the effective bound and horizon (self-hosting
+// adversaries override both), and the report annotations.
+type Single struct {
+	Net       *network.Network
+	Protocol  sim.Protocol
+	Adversary adversary.Adversary
+	Bound     adversary.Bound
+	Rounds    int
+	Seed      int64
+	// TopologyLabel names the topology for reports ("path(n=64)"; the
+	// adversary's label for self-hosting patterns).
+	TopologyLabel string
+	// Note is the paper annotation: the protocol's predicted bound, or the
+	// self-hosting adversary's floor.
+	Note       string
+	Verify     bool
+	Invariants []sim.Invariant
+}
+
+// Spec assembles the run description, folding in the scenario's
+// invariants and verification flag plus any extra options (observers,
+// deadlines).
+func (s *Single) Spec(extra ...sim.Option) sim.Spec {
+	opts := make([]sim.Option, 0, 2+len(extra))
+	if len(s.Invariants) > 0 {
+		opts = append(opts, sim.WithInvariants(s.Invariants...))
+	}
+	if s.Verify {
+		opts = append(opts, sim.WithVerifyAdversary())
+	}
+	opts = append(opts, extra...)
+	return sim.NewSpec(s.Net, s.Protocol, s.Adversary, s.Rounds, opts...)
+}
+
+// CompileSingle materializes a one-point scenario. It fails on scenarios
+// with list-valued axes (use Sweep for those).
+func (sc *Scenario) CompileSingle() (*Single, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if !sc.IsSingle() {
+		return nil, fmt.Errorf("scenario: %s has list-valued axes; compile it with Sweep", sc.label())
+	}
+
+	bound, err := sc.bound(0)
+	if err != nil {
+		return nil, err
+	}
+	single := &Single{Bound: bound, Seed: sc.Seeds[0], Verify: sc.Verify}
+	if len(sc.Rounds) == 1 {
+		single.Rounds = sc.Rounds[0]
+	}
+
+	advEntry, err := registry.LookupAdversary(sc.Adversaries[0].Name)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	advParams, err := resolved(sc.Adversaries[0], advEntry.Params)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+
+	if advEntry.SelfHosting() {
+		prep, err := advEntry.Prepare(bound, advParams)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: adversary %q: %w", advEntry.Name, err)
+		}
+		single.Net = prep.Net
+		single.Adversary = prep.Adversary
+		single.Bound = prep.Bound
+		single.Rounds = prep.Rounds
+		single.Note = prep.Note
+		single.TopologyLabel = sc.Adversaries[0].label()
+	} else {
+		topoEntry, err := registry.LookupTopology(sc.Topologies[0].Name)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		topoParams, err := resolved(sc.Topologies[0], topoEntry.Params)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		nw, err := topoEntry.Build(topoParams)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: topology %q: %w", topoEntry.Name, err)
+		}
+		single.Net = nw
+		single.TopologyLabel = sc.Topologies[0].label()
+	}
+	if len(sc.Bandwidths) == 1 {
+		nw, err := single.Net.WithBandwidths(network.WithUniformBandwidth(sc.Bandwidths[0]))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		single.Net = nw
+	}
+
+	protoEntry, err := registry.LookupProtocol(sc.Protocols[0].Name)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	protoParams, err := resolved(sc.Protocols[0], protoEntry.Params)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if single.Protocol, err = protoEntry.Build(protoParams); err != nil {
+		return nil, fmt.Errorf("scenario: protocol %q: %w", protoEntry.Name, err)
+	}
+	if single.Note == "" && protoEntry.Note != nil {
+		single.Note = protoEntry.Note(protoParams, single.Bound)
+	}
+
+	if single.Adversary == nil {
+		single.Adversary, err = advEntry.Build(registry.AdversaryContext{
+			Net: single.Net, Bound: bound, Seed: single.Seed, Rounds: single.Rounds,
+		}, advParams)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: adversary %q: %w", advEntry.Name, err)
+		}
+	}
+
+	if single.Invariants, err = sc.buildInvariants(single.Net); err != nil {
+		return nil, err
+	}
+	return single, nil
+}
+
+// Compile compiles a one-point scenario directly to a sim.Spec.
+func (sc *Scenario) Compile() (sim.Spec, error) {
+	s, err := sc.CompileSingle()
+	if err != nil {
+		return sim.Spec{}, err
+	}
+	return s.Spec(), nil
+}
+
+// buildInvariants materializes the scenario's invariant set against a
+// built topology.
+func (sc *Scenario) buildInvariants(nw *network.Network) ([]sim.Invariant, error) {
+	if len(sc.Invariants) == 0 {
+		return nil, nil
+	}
+	out := make([]sim.Invariant, 0, len(sc.Invariants))
+	for _, c := range sc.Invariants {
+		e, err := registry.LookupInvariant(c.Name)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		p, err := resolved(c, e.Params)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		inv, err := e.Build(nw, p)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: invariant %q: %w", e.Name, err)
+		}
+		out = append(out, inv)
+	}
+	return out, nil
+}
+
+// bound parses the i-th declared bound.
+func (sc *Scenario) bound(i int) (adversary.Bound, error) {
+	rho, err := rat.Parse(sc.Bounds[i].Rho)
+	if err != nil {
+		return adversary.Bound{}, fmt.Errorf("scenario: bound %d: %w", i, err)
+	}
+	return adversary.Bound{Rho: rho, Sigma: sc.Bounds[i].Sigma}, nil
+}
+
+// Sweep lifts the scenario to a harness.Sweep over the cartesian product
+// of its axes. Seeds are passed to adversaries verbatim (RawSeeds), so a
+// one-point sweep cell reproduces exactly the run CompileSingle describes.
+func (sc *Scenario) Sweep() (*harness.Sweep, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sw := &harness.Sweep{
+		Seeds:           sc.Seeds,
+		Rounds:          sc.Rounds,
+		Bandwidths:      sc.Bandwidths,
+		RawSeeds:        true,
+		VerifyAdversary: sc.Verify,
+	}
+	for i := range sc.Bounds {
+		b, err := sc.bound(i)
+		if err != nil {
+			return nil, err
+		}
+		sw.Bounds = append(sw.Bounds, b)
+	}
+
+	for _, c := range sc.Protocols {
+		e, err := registry.LookupProtocol(c.Name)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		p, err := resolved(c, e.Params)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		entry := e
+		sw.Protocols = append(sw.Protocols, harness.ProtocolSpec{
+			Name: c.label(),
+			New:  func() (sim.Protocol, error) { return entry.Build(p) },
+		})
+	}
+
+	selfHosting, err := sc.selfHosting()
+	if err != nil {
+		return nil, err
+	}
+	if selfHosting {
+		// The construction dictates topology and horizon: prepare once to
+		// size the grid, and have each cell re-prepare a fresh pattern.
+		e, err := registry.LookupAdversary(sc.Adversaries[0].Name)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		p, err := resolved(sc.Adversaries[0], e.Params)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		bound := sw.Bounds[0]
+		prep, err := e.Prepare(bound, p)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: adversary %q: %w", e.Name, err)
+		}
+		label := sc.Adversaries[0].label()
+		entry := e
+		// The network is immutable and every cell shares the one bound, so
+		// the upfront Prepare's Net serves all cells; only the adversary is
+		// stateful and must be re-prepared per cell.
+		sw.Topologies = []harness.TopologySpec{{
+			Name: label,
+			New:  func() (*network.Network, error) { return prep.Net, nil },
+		}}
+		sw.Adversaries = []harness.AdversarySpec{{
+			Name: label,
+			New: func(_ *network.Network, b adversary.Bound, _ int64, _ int) (adversary.Adversary, error) {
+				pr, err := entry.Prepare(b, p)
+				if err != nil {
+					return nil, err
+				}
+				return pr.Adversary, nil
+			},
+		}}
+		sw.Rounds = []int{prep.Rounds}
+		// The construction declares its own bound (σ = 1).
+		sw.Bounds = []adversary.Bound{prep.Bound}
+	} else {
+		for _, c := range sc.Topologies {
+			e, err := registry.LookupTopology(c.Name)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %w", err)
+			}
+			p, err := resolved(c, e.Params)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %w", err)
+			}
+			entry := e
+			sw.Topologies = append(sw.Topologies, harness.TopologySpec{
+				Name: c.label(),
+				New:  func() (*network.Network, error) { return entry.Build(p) },
+			})
+		}
+		for _, c := range sc.Adversaries {
+			e, err := registry.LookupAdversary(c.Name)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %w", err)
+			}
+			p, err := resolved(c, e.Params)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %w", err)
+			}
+			entry := e
+			sw.Adversaries = append(sw.Adversaries, harness.AdversarySpec{
+				Name: c.label(),
+				New: func(nw *network.Network, b adversary.Bound, seed int64, rounds int) (adversary.Adversary, error) {
+					return entry.Build(registry.AdversaryContext{Net: nw, Bound: b, Seed: seed, Rounds: rounds}, p)
+				},
+			})
+		}
+	}
+
+	if len(sc.Invariants) > 0 {
+		sw.Invariants = func(_ harness.Cell, nw *network.Network) []sim.Invariant {
+			invs, err := sc.buildInvariants(nw)
+			if err != nil {
+				// Invariant params were validated; a build failure here is a
+				// topology mismatch, surfaced as a failing invariant.
+				return []sim.Invariant{func(sim.View) error { return err }}
+			}
+			return invs
+		}
+	}
+	return sw, nil
+}
+
+// Run executes the scenario under ctx: every cell of the (possibly
+// one-point) grid, aggregated. Per-cell failures are recorded on the
+// cells, not returned as the error; cancellation returns the partial
+// result with the context's error.
+func (sc *Scenario) Run(ctx context.Context) (*harness.SweepResult, error) {
+	sw, err := sc.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	return sw.Run(ctx)
+}
+
+// label names the scenario in errors.
+func (sc *Scenario) label() string {
+	if sc.Name != "" {
+		return fmt.Sprintf("scenario %q", sc.Name)
+	}
+	return "scenario"
+}

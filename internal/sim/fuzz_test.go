@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -63,13 +64,9 @@ func TestQuickChaosConservation(t *testing.T) {
 			return false
 		}
 		check := NewConservationCheck()
-		_, err = RunConfig(Config{
-			Net:       nw,
-			Protocol:  &chaosProtocol{rng: rand.New(rand.NewSource(seed + 1))},
-			Adversary: adv,
-			Rounds:    80,
-			Observers: []Observer{check},
-		})
+		_, err = Run(context.Background(), NewSpec(nw,
+			&chaosProtocol{rng: rand.New(rand.NewSource(seed + 1))},
+			adv, 80, WithObservers(check)))
 		return err == nil && check.Err == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -84,10 +81,8 @@ func TestConservationWithPhasedAcceptance(t *testing.T) {
 	proto := &phasedGreedy{}
 	proto.phase = 3
 	check := NewConservationCheck()
-	if _, err := RunConfig(Config{
-		Net: nw, Protocol: proto, Adversary: adv, Rounds: 50,
-		Observers: []Observer{check},
-	}); err != nil {
+	if _, err := Run(context.Background(), NewSpec(nw, proto, adv, 50,
+		WithObservers(check))); err != nil {
 		t.Fatal(err)
 	}
 	if check.Err != nil {
@@ -117,7 +112,7 @@ func TestConservationDetectsLoss(t *testing.T) {
 func TestAdaptiveAdversaryIsConsulted(t *testing.T) {
 	nw := network.MustPath(6)
 	adv := &probeAdaptive{}
-	if _, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 10}); err != nil {
+	if _, err := Run(context.Background(), NewSpec(nw, &greedyOldest{}, adv, 10)); err != nil {
 		t.Fatal(err)
 	}
 	if adv.adaptiveCalls != 10 {

@@ -91,7 +91,7 @@ func TestNewEngineValidation(t *testing.T) {
 func TestStreamDelivery(t *testing.T) {
 	nw := network.MustPath(5)
 	adv := adversary.NewStream(fullRate(1), 0, 4)
-	res, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 30})
+	res, err := Run(context.Background(), NewSpec(nw, &greedyOldest{}, adv, 30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestCapacityViolationDetected(t *testing.T) {
 		}
 		return []Forward{{From: 0, Pkt: pkts[0].ID}, {From: 0, Pkt: pkts[1].ID}}, nil
 	}}
-	_, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 1})
+	_, err := Run(context.Background(), NewSpec(nw, proto, adv, 1))
 	if err == nil || !containsStr(err.Error(), "link bandwidth is 1") {
 		t.Errorf("err = %v, want capacity violation naming the bandwidth", err)
 	}
@@ -170,13 +170,13 @@ func TestCapacityRespectsBandwidth(t *testing.T) {
 			return out, nil
 		}}
 	}
-	if _, err := RunConfig(Config{Net: nw, Protocol: forwardK(2), Adversary: adv, Rounds: 1}); err != nil {
+	if _, err := Run(context.Background(), NewSpec(nw, forwardK(2), adv, 1)); err != nil {
 		t.Errorf("two forwards at B=2: unexpected error %v", err)
 	}
 	adv2 := adversary.NewReplay(fullRate(1), map[int][]packet.Injection{
 		0: {{Src: 0, Dst: 2}, {Src: 0, Dst: 2}, {Src: 0, Dst: 2}},
 	})
-	_, err := RunConfig(Config{Net: nw, Protocol: forwardK(3), Adversary: adv2, Rounds: 1})
+	_, err := Run(context.Background(), NewSpec(nw, forwardK(3), adv2, 1))
 	if err == nil || !containsStr(err.Error(), "link bandwidth is 2") {
 		t.Errorf("err = %v, want capacity violation naming bandwidth 2", err)
 	}
@@ -188,7 +188,7 @@ func TestSinkCannotForward(t *testing.T) {
 	proto := &badProtocol{decide: func(v View) ([]Forward, error) {
 		return []Forward{{From: 2, Pkt: 0}}, nil
 	}}
-	_, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 1})
+	_, err := Run(context.Background(), NewSpec(nw, proto, adv, 1))
 	if err == nil || !containsStr(err.Error(), "sink") {
 		t.Errorf("err = %v, want sink error", err)
 	}
@@ -199,7 +199,7 @@ func TestForwardMissingPacket(t *testing.T) {
 	proto := &badProtocol{decide: func(v View) ([]Forward, error) {
 		return []Forward{{From: 0, Pkt: 99}}, nil
 	}}
-	_, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adversary.Empty{}, Rounds: 1})
+	_, err := Run(context.Background(), NewSpec(nw, proto, adversary.Empty{}, 1))
 	if err == nil || !containsStr(err.Error(), "not present") {
 		t.Errorf("err = %v, want missing packet error", err)
 	}
@@ -210,7 +210,7 @@ func TestForwardFromInvalidNode(t *testing.T) {
 	proto := &badProtocol{decide: func(v View) ([]Forward, error) {
 		return []Forward{{From: 77, Pkt: 0}}, nil
 	}}
-	_, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adversary.Empty{}, Rounds: 1})
+	_, err := Run(context.Background(), NewSpec(nw, proto, adversary.Empty{}, 1))
 	if err == nil || !containsStr(err.Error(), "invalid node") {
 		t.Errorf("err = %v, want invalid node error", err)
 	}
@@ -220,7 +220,7 @@ func TestProtocolDecideErrorPropagates(t *testing.T) {
 	nw := network.MustPath(3)
 	wantErr := errors.New("boom")
 	proto := &badProtocol{decide: func(v View) ([]Forward, error) { return nil, wantErr }}
-	_, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adversary.Empty{}, Rounds: 1})
+	_, err := Run(context.Background(), NewSpec(nw, proto, adversary.Empty{}, 1))
 	if !errors.Is(err, wantErr) {
 		t.Errorf("err = %v, want wrapped boom", err)
 	}
@@ -231,7 +231,7 @@ func TestInvalidInjectionAborts(t *testing.T) {
 	adv := adversary.NewReplay(fullRate(0), map[int][]packet.Injection{
 		0: {{Src: 2, Dst: 0}}, // backward
 	})
-	_, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 1})
+	_, err := Run(context.Background(), NewSpec(nw, &greedyOldest{}, adv, 1))
 	if err == nil {
 		t.Error("backward injection accepted")
 	}
@@ -243,7 +243,7 @@ func TestVerifyAdversaryCatchesViolation(t *testing.T) {
 	adv := adversary.NewReplay(fullRate(0), map[int][]packet.Injection{
 		0: {{Src: 0, Dst: 3}, {Src: 0, Dst: 3}},
 	})
-	_, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 1, VerifyAdversary: true})
+	_, err := Run(context.Background(), NewSpec(nw, &greedyOldest{}, adv, 1, WithVerifyAdversary()))
 	if err == nil {
 		t.Error("bound violation not caught")
 	}
@@ -251,7 +251,7 @@ func TestVerifyAdversaryCatchesViolation(t *testing.T) {
 	adv2 := adversary.NewReplay(fullRate(0), map[int][]packet.Injection{
 		0: {{Src: 0, Dst: 3}, {Src: 0, Dst: 3}},
 	})
-	if _, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv2, Rounds: 1}); err != nil {
+	if _, err := Run(context.Background(), NewSpec(nw, &greedyOldest{}, adv2, 1)); err != nil {
 		t.Errorf("unverified run failed: %v", err)
 	}
 }
@@ -292,7 +292,7 @@ func TestPhasedPhysicalLoadCountsStaged(t *testing.T) {
 	adv := adversary.NewStream(fullRate(1), 0, 3)
 	proto := &phasedGreedy{}
 	proto.phase = 4
-	res, err := RunConfig(Config{Net: nw, Protocol: proto, Adversary: adv, Rounds: 4})
+	res, err := Run(context.Background(), NewSpec(nw, proto, adv, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +324,7 @@ func TestInvariantAborts(t *testing.T) {
 		}
 		return nil
 	}
-	_, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 5, Invariants: []Invariant{inv}})
+	_, err := Run(context.Background(), NewSpec(nw, &greedyOldest{}, adv, 5, WithInvariants(inv)))
 	if err == nil || !containsStr(err.Error(), "invariant") {
 		t.Errorf("err = %v, want invariant failure", err)
 	}
@@ -351,7 +351,7 @@ func TestObserverHooks(t *testing.T) {
 	nw := network.MustPath(4)
 	adv := adversary.NewStream(fullRate(1), 0, 3)
 	obs := &recordingObserver{}
-	res, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 10, Observers: []Observer{obs}})
+	res, err := Run(context.Background(), NewSpec(nw, &greedyOldest{}, adv, 10, WithObservers(obs)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 100})
+		res, err := Run(context.Background(), NewSpec(nw, &greedyOldest{}, adv, 100))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -397,7 +397,7 @@ func TestTreeMultipleReceivers(t *testing.T) {
 	adv := adversary.NewReplay(fullRate(1), map[int][]packet.Injection{
 		0: {{Src: 0, Dst: 2}, {Src: 1, Dst: 2}},
 	})
-	res, err := RunConfig(Config{Net: tree, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 3})
+	res, err := Run(context.Background(), NewSpec(tree, &greedyOldest{}, adv, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +411,7 @@ func TestPerNodeMax(t *testing.T) {
 	adv := adversary.NewReplay(fullRate(2), map[int][]packet.Injection{
 		0: {{Src: 1, Dst: 3}, {Src: 1, Dst: 3}, {Src: 1, Dst: 3}},
 	})
-	res, err := RunConfig(Config{Net: nw, Protocol: &greedyOldest{}, Adversary: adv, Rounds: 6})
+	res, err := Run(context.Background(), NewSpec(nw, &greedyOldest{}, adv, 6))
 	if err != nil {
 		t.Fatal(err)
 	}

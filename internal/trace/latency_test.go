@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"testing"
 
 	"smallbuffers/internal/adversary"
@@ -14,10 +15,8 @@ func TestLatencyRecorder(t *testing.T) {
 	nw := network.MustPath(6)
 	adv := adversary.NewStream(adversary.Bound{Rho: rat.One, Sigma: 0}, 0, 5)
 	lat := NewLatencyRecorder()
-	res, err := sim.RunConfig(sim.Config{
-		Net: nw, Protocol: baseline.NewGreedy(baseline.FIFO{}), Adversary: adv,
-		Rounds: 50, Observers: []sim.Observer{lat},
-	})
+	res, err := sim.Run(context.Background(), sim.NewSpec(nw, baseline.NewGreedy(baseline.FIFO{}), adv, 50,
+		sim.WithObservers(lat)))
 	if err != nil {
 		t.Fatal(err)
 	}

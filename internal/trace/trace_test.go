@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -19,10 +20,8 @@ func recordRun(t *testing.T, rounds int) *Recorder {
 	nw := network.MustPath(8)
 	adv := adversary.NewStream(adversary.Bound{Rho: rat.One, Sigma: 0}, 0, 7)
 	rec := NewRecorder()
-	_, err := sim.RunConfig(sim.Config{
-		Net: nw, Protocol: baseline.NewGreedy(baseline.FIFO{}), Adversary: adv,
-		Rounds: rounds, Observers: []sim.Observer{rec},
-	})
+	_, err := sim.Run(context.Background(), sim.NewSpec(nw, baseline.NewGreedy(baseline.FIFO{}), adv, rounds,
+		sim.WithObservers(rec)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,10 +52,8 @@ func TestRecorderEventsOptional(t *testing.T) {
 	nw := network.MustPath(4)
 	adv := adversary.NewStream(adversary.Bound{Rho: rat.One, Sigma: 0}, 0, 3)
 	rec := &Recorder{CaptureEvents: false}
-	if _, err := sim.RunConfig(sim.Config{
-		Net: nw, Protocol: baseline.NewGreedy(baseline.FIFO{}), Adversary: adv,
-		Rounds: 10, Observers: []sim.Observer{rec},
-	}); err != nil {
+	if _, err := sim.Run(context.Background(), sim.NewSpec(nw, baseline.NewGreedy(baseline.FIFO{}), adv, 10,
+		sim.WithObservers(rec))); err != nil {
 		t.Fatal(err)
 	}
 	if len(rec.Events) != 0 {

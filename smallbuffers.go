@@ -21,7 +21,12 @@
 //   - adversary construction kits: verified replay schedules, shaped random
 //     patterns that are (ρ,σ)-bounded by construction, crafted worst cases;
 //   - an experiment harness regenerating every theorem and figure of the
-//     paper (see EXPERIMENTS.md), plus tracing and ASCII visualization.
+//     paper (see EXPERIMENTS.md), plus tracing and ASCII visualization;
+//   - a declarative scenario layer: workloads as JSON files resolved
+//     against a name-based component registry (LoadScenario,
+//     Scenario.Run, RegisterProtocol/RegisterAdversary extension hooks;
+//     see testdata/scenarios/ and the "Scenario files" section of
+//     README.md).
 //
 // # Quick start
 //
@@ -75,6 +80,8 @@ import (
 	"smallbuffers/internal/opt"
 	"smallbuffers/internal/packet"
 	"smallbuffers/internal/rat"
+	"smallbuffers/internal/registry"
+	"smallbuffers/internal/scenario"
 	"smallbuffers/internal/sim"
 	"smallbuffers/internal/stats"
 	"smallbuffers/internal/trace"
@@ -337,9 +344,12 @@ func NewRoundRobin(bound Bound, src NodeID, dests []NodeID) Adversary {
 // NewSchedule returns a fluent builder for explicit injection schedules.
 func NewSchedule() *adversary.Schedule { return adversary.NewSchedule() }
 
-// NewUnion merges adversaries; the derived bound is the (capped) sum of the
-// parts' bounds. Use WithUnionBound on the result to declare a tighter
-// bound for edge-disjoint parts.
+// NewUnion merges adversaries; the derived bound is the sum of the parts'
+// bounds, even past ρ = 1 (rates up to the bottleneck bandwidth are
+// admissible on capacitated networks, and over-rate unions fail
+// verification with a clear error instead of under-declaring). Use
+// WithUnionBound on the result to declare a tighter bound for
+// edge-disjoint parts.
 func NewUnion(parts ...Adversary) *adversary.Union { return adversary.NewUnion(parts...) }
 
 // NewDelayed time-shifts an adversary by `offset` silent rounds.
@@ -478,6 +488,109 @@ func RenderFigure1(w io.Writer, h *Hierarchy, src, dst int) error {
 func RenderSparkline(w io.Writer, series []int, width int) error {
 	return trace.RenderSparkline(w, series, width)
 }
+
+// --- Scenarios (workloads as data) ---
+//
+// A Scenario is a serializable description of a workload: topology,
+// protocol, adversary, (ρ,σ) bound, horizon, bandwidths, seeds, and
+// invariant set, each axis a single point or a list. Scenarios marshal to
+// and from JSON, validate against the component registry, compile to a
+// Spec when one-point, and lift to a Sweep otherwise — so reproducing an
+// experiment means running a file (see testdata/scenarios/), not editing
+// a program. cmd/aqtsim and cmd/aqtbench consume them via -scenario and
+// -scenarios.
+
+type (
+	// Scenario is a declarative, serializable workload description; run it
+	// with Scenario.Run, serialize with Scenario.Marshal, compile with
+	// Scenario.Compile (one-point) or Scenario.Sweep (grids).
+	Scenario = scenario.Scenario
+	// ScenarioComponent names one registered component plus parameters.
+	ScenarioComponent = scenario.Component
+	// ScenarioBound is the serializable (ρ,σ) bound: ρ is an exact
+	// rational string such as "1/2".
+	ScenarioBound = scenario.Bound
+	// ScenarioSingle is a fully materialized one-point scenario.
+	ScenarioSingle = scenario.Single
+	// ScenarioFlags bridges a flag-style flat parameter namespace to a
+	// one-point scenario (the CLIs' scenario constructor).
+	ScenarioFlags = scenario.Flags
+)
+
+// LoadScenario decodes and validates a scenario from r.
+func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
+
+// LoadScenarioFile decodes and validates the scenario file at path ("-"
+// reads standard input).
+func LoadScenarioFile(path string) (*Scenario, error) { return scenario.LoadFile(path) }
+
+// ParseScenario decodes and validates a scenario from JSON bytes.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// ScenarioFromFlags assembles and validates a one-point scenario from a
+// flat flag namespace; each component keeps the parameters its registry
+// schema declares.
+func ScenarioFromFlags(f ScenarioFlags) (*Scenario, error) { return scenario.FromFlags(f) }
+
+// --- Component registry (extension hooks) ---
+//
+// Protocols, topologies, adversaries, greedy policies, and invariants
+// live in a name-based registry with typed parameter schemas — the single
+// source of truth the scenario layer and the CLIs resolve against.
+// Downstream code can register additional components under new names and
+// drive them from scenario files without touching this repository.
+
+type (
+	// RegistryTopology describes a registrable topology family.
+	RegistryTopology = registry.Topology
+	// RegistryProtocol describes a registrable forwarding protocol.
+	RegistryProtocol = registry.Protocol
+	// RegistryAdversary describes a registrable injection pattern.
+	RegistryAdversary = registry.Adversary
+	// RegistryPolicy describes a registrable greedy policy.
+	RegistryPolicy = registry.Policy
+	// RegistryInvariant describes a registrable per-round predicate.
+	RegistryInvariant = registry.Invariant
+	// RegistryParam declares one typed component parameter.
+	RegistryParam = registry.Param
+	// RegistrySchema is an ordered parameter declaration list.
+	RegistrySchema = registry.Schema
+	// RegistryParams holds resolved parameter values.
+	RegistryParams = registry.Params
+	// AdversaryContext carries the inputs an adversary constructor may
+	// consume (topology, bound, seed, horizon).
+	AdversaryContext = registry.AdversaryContext
+	// PreparedAdversary is a self-hosting adversary's dictated topology,
+	// bound, and horizon.
+	PreparedAdversary = registry.Prepared
+)
+
+// RegisterProtocol registers a forwarding protocol under a new stable
+// name, making it constructible from scenario files and the CLIs.
+func RegisterProtocol(p RegistryProtocol) error { return registry.RegisterProtocol(p) }
+
+// RegisterAdversary registers an injection pattern under a new stable
+// name.
+func RegisterAdversary(a RegistryAdversary) error { return registry.RegisterAdversary(a) }
+
+// RegisterTopology registers a topology family under a new stable name.
+func RegisterTopology(t RegistryTopology) error { return registry.RegisterTopology(t) }
+
+// RegisterInvariant registers a named per-round predicate.
+func RegisterInvariant(i RegistryInvariant) error { return registry.RegisterInvariant(i) }
+
+// RegisteredProtocols enumerates the registered protocol names, sorted.
+func RegisteredProtocols() []string { return registry.ProtocolNames() }
+
+// RegisteredTopologies enumerates the registered topology names, sorted.
+func RegisteredTopologies() []string { return registry.TopologyNames() }
+
+// RegisteredAdversaries enumerates the registered adversary names,
+// sorted.
+func RegisteredAdversaries() []string { return registry.AdversaryNames() }
+
+// RegisteredInvariants enumerates the registered invariant names, sorted.
+func RegisteredInvariants() []string { return registry.InvariantNames() }
 
 // --- Exact offline optimum (tiny instances) ---
 

@@ -25,10 +25,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sb.Run(sb.Config{
-			Net: nw, Protocol: sb.NewPPTS(), Adversary: adv, Rounds: 500,
-			Invariants: []sb.Invariant{sb.MaxLoadInvariant(nw, 1+4+2)},
-		})
+		res, err := sb.RunContext(context.Background(), sb.NewSpec(nw, sb.NewPPTS(), adv, 500,
+			sb.WithInvariants(sb.MaxLoadInvariant(nw, 1+4+2))))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,7 +40,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sb.Run(sb.Config{Net: nw, Protocol: sb.NewPTS(sb.PTSWithDrain()), Adversary: adv, Rounds: 300})
+		res, err := sb.RunContext(context.Background(), sb.NewSpec(nw, sb.NewPTS(sb.PTSWithDrain()), adv, 300))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +62,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 		_ = h
-		res, err := sb.Run(sb.Config{Net: nw, Protocol: sb.NewHPTS(2), Adversary: adv, Rounds: 800})
+		res, err := sb.RunContext(context.Background(), sb.NewSpec(nw, sb.NewHPTS(2), adv, 800))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +76,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 			t.Fatalf("AllGreedy = %d, want 6", got)
 		}
 		adv := sb.NewStream(bound, 0, 63)
-		res, err := sb.Run(sb.Config{Net: nw, Protocol: sb.NewGreedy(sb.NTG), Adversary: adv, Rounds: 200})
+		res, err := sb.RunContext(context.Background(), sb.NewSpec(nw, sb.NewGreedy(sb.NTG), adv, 200))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +99,7 @@ func TestPublicAPITrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sb.Run(sb.Config{Net: tree, Protocol: sb.NewTreePPTS(), Adversary: adv, Rounds: 200})
+	res, err := sb.RunContext(context.Background(), sb.NewSpec(tree, sb.NewTreePPTS(), adv, 200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,10 +118,8 @@ func TestPublicAPILowerBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	tracker := sb.NewStalenessTracker(lb)
-	res, err := sb.Run(sb.Config{
-		Net: nw, Protocol: sb.NewPPTS(), Adversary: lb, Rounds: lb.Rounds(),
-		Observers: []sb.Observer{tracker},
-	})
+	res, err := sb.RunContext(context.Background(), sb.NewSpec(nw, sb.NewPPTS(), lb, lb.Rounds(),
+		sb.WithObservers(tracker)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,10 +154,8 @@ func TestPublicAPITraceAndFigure(t *testing.T) {
 	}
 	rec := sb.NewTraceRecorder()
 	adv := sb.NewStream(sb.Bound{Rho: sb.NewRat(1, 1), Sigma: 0}, 0, 15)
-	if _, err := sb.Run(sb.Config{
-		Net: nw, Protocol: sb.NewGreedy(sb.FIFO), Adversary: adv, Rounds: 50,
-		Observers: []sb.Observer{rec},
-	}); err != nil {
+	if _, err := sb.RunContext(context.Background(), sb.NewSpec(nw, sb.NewGreedy(sb.FIFO), adv, 50,
+		sb.WithObservers(rec))); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
