@@ -12,17 +12,21 @@
 //	aqtbench -list                # list experiments
 //	aqtbench -scenarios testdata/scenarios    # run every scenario file in a directory
 //	aqtbench -scenarios e7.json -validate     # validate without running
+//	aqtbench -scenarios testdata/scenarios -server http://localhost:8080
+//	                                          # replay the corpus against aqtserve
 //
 // Interrupting the process (SIGINT/SIGTERM) cancels the suite between
 // simulation rounds.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -32,6 +36,7 @@ import (
 	"syscall"
 
 	sb "smallbuffers"
+	"smallbuffers/internal/service"
 )
 
 // parseBandwidths parses the -bandwidths axis ("1,2,4,8").
@@ -65,6 +70,7 @@ func run(ctx context.Context, args []string) error {
 	bandwidths := fs.String("bandwidths", "", "comma-separated link-bandwidth axis for E12 (default 1,2,4,8)")
 	scenarios := fs.String("scenarios", "", "run scenario files instead of experiments (a .json file or a directory of them)")
 	validate := fs.Bool("validate", false, "with -scenarios: validate and round-trip the files without running them")
+	server := fs.String("server", "", "with -scenarios: POST each scenario to a running aqtserve at this base URL instead of simulating locally")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,10 +93,19 @@ func run(ctx context.Context, args []string) error {
 		if *asJSON || *list || *id != "" || *bandwidths != "" {
 			return fmt.Errorf("-scenarios cannot be combined with -json, -list, -run, or -bandwidths")
 		}
+		if *server != "" {
+			if *validate {
+				return fmt.Errorf("-validate is local-only; drop it when using -server")
+			}
+			return runScenariosRemote(ctx, w, *server, *scenarios)
+		}
 		return runScenarios(ctx, w, *scenarios, *validate)
 	}
 	if *validate {
 		return fmt.Errorf("-validate needs -scenarios")
+	}
+	if *server != "" {
+		return fmt.Errorf("-server needs -scenarios")
 	}
 
 	if *list {
@@ -171,18 +186,18 @@ func scenarioFiles(path string) ([]string, error) {
 	return files, nil
 }
 
-// runScenarios validates (and, unless validateOnly, executes) every
-// scenario file, reporting one block per file. Validation includes the
-// canonical round-trip: the marshaled form must load and re-marshal to
-// the same bytes.
-func runScenarios(ctx context.Context, w io.Writer, path string, validateOnly bool) error {
+// forEachScenarioFile expands the -scenarios operand and applies fn to
+// every file, printing FAIL lines and aggregating the failure count; on
+// success it prints the "<verb> all N scenario files" summary (with the
+// optional suffix, e.g. the remote base URL).
+func forEachScenarioFile(ctx context.Context, w io.Writer, path, verb, suffix string, fn func(f string) error) error {
 	files, err := scenarioFiles(path)
 	if err != nil {
 		return err
 	}
 	failed := 0
 	for _, f := range files {
-		if err := runScenarioFile(ctx, w, f, validateOnly); err != nil {
+		if err := fn(f); err != nil {
 			failed++
 			fmt.Fprintf(w, "%s: FAIL: %v\n", f, err)
 			if ctx.Err() != nil {
@@ -193,12 +208,22 @@ func runScenarios(ctx context.Context, w io.Writer, path string, validateOnly bo
 	if failed > 0 {
 		return fmt.Errorf("%d of %d scenario files failed", failed, len(files))
 	}
+	_, err = fmt.Fprintf(w, "\n%s all %d scenario files%s\n", verb, len(files), suffix)
+	return err
+}
+
+// runScenarios validates (and, unless validateOnly, executes) every
+// scenario file, reporting one block per file. Validation includes the
+// canonical round-trip: the marshaled form must load and re-marshal to
+// the same bytes.
+func runScenarios(ctx context.Context, w io.Writer, path string, validateOnly bool) error {
 	verb := "ran"
 	if validateOnly {
 		verb = "validated"
 	}
-	_, err = fmt.Fprintf(w, "\n%s all %d scenario files\n", verb, len(files))
-	return err
+	return forEachScenarioFile(ctx, w, path, verb, "", func(f string) error {
+		return runScenarioFile(ctx, w, f, validateOnly)
+	})
 }
 
 func runScenarioFile(ctx context.Context, w io.Writer, path string, validateOnly bool) error {
@@ -252,6 +277,76 @@ func runScenarioFile(ctx context.Context, w io.Writer, path string, validateOnly
 		return fmt.Errorf("%d of %d cells failed: %v", agg.Failed, agg.Requested, agg.FirstErr())
 	}
 	_, err = fmt.Fprintf(w, "  ok (%d cells)\n", agg.Completed)
+	return err
+}
+
+// runScenariosRemote replays every scenario file against a running
+// aqtserve daemon: each file is validated locally, POSTed in canonical
+// form, and reported with the server's digests — so a corpus replay
+// doubles as a remote-vs-local reproducibility check (compare
+// results_digest with `aqtsim -scenario f -result-digest`).
+func runScenariosRemote(ctx context.Context, w io.Writer, baseURL, path string) error {
+	baseURL = strings.TrimRight(baseURL, "/")
+	client := &http.Client{}
+	return forEachScenarioFile(ctx, w, path, "ran", " against "+baseURL, func(f string) error {
+		return runScenarioRemote(ctx, w, client, baseURL, f)
+	})
+}
+
+func runScenarioRemote(ctx context.Context, w io.Writer, client *http.Client, baseURL, path string) error {
+	sc, err := sb.LoadScenarioFile(path)
+	if err != nil {
+		return err
+	}
+	body, err := sc.Marshal()
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	var rep service.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("bad response (%s): %w", resp.Status, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s: %s", resp.Status, rep.Error)
+	}
+
+	title := sc.Name
+	if title == "" {
+		title = filepath.Base(path)
+	}
+	from := "simulated"
+	if rep.Cached {
+		from = "served from cache"
+	}
+	fmt.Fprintf(w, "\n%s — %s (%s, run %s, %s)\n\n", title, path, rep.Digest, rep.ID, from)
+	for _, cell := range rep.Cells {
+		if cell.Err != "" {
+			fmt.Fprintf(w, "  %-70s error: %v\n", cell.Cell, cell.Err)
+			continue
+		}
+		fmt.Fprintf(w, "  %-70s max load %3d, delivered %6d\n", cell.Cell, cell.MaxLoad, cell.Delivered)
+	}
+	if rep.Summary == nil {
+		return fmt.Errorf("server report carries no summary (status %s)", rep.Status)
+	}
+	if rep.Summary.Failed > 0 {
+		return fmt.Errorf("%d of %d cells failed", rep.Summary.Failed, rep.Summary.Requested)
+	}
+	_, err = fmt.Fprintf(w, "  ok (%d cells, results %s)\n", rep.Summary.Completed, rep.ResultsDigest)
 	return err
 }
 

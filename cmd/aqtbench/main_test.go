@@ -3,10 +3,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"smallbuffers/internal/service"
 )
 
 func TestList(t *testing.T) {
@@ -116,6 +119,61 @@ func TestScenarioFileRuns(t *testing.T) {
 func TestScenarioBadPath(t *testing.T) {
 	if err := run(context.Background(), []string{"-scenarios", "/nonexistent"}); err == nil {
 		t.Error("bad scenarios path accepted")
+	}
+}
+
+// TestScenariosAgainstServer replays a scenario against an in-process
+// aqtserve and checks the report (including the cache-hit path on the
+// second replay).
+func TestScenariosAgainstServer(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	ts := httptest.NewServer(svc)
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+
+	path := filepath.Join(t.TempDir(), "out.txt")
+	args := []string{"-scenarios", "../../testdata/scenarios/e1-pts-burst.json", "-server", ts.URL, "-o", path}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"e1-pts-burst", "max load", "results sha256:", "simulated", "ran all 1 scenario files against"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("remote report missing %q:\n%s", want, data)
+		}
+	}
+
+	// Second replay of the identical corpus is served from the cache.
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "served from cache") {
+		t.Errorf("second replay not served from cache:\n%s", data)
+	}
+}
+
+func TestServerFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-server", "http://localhost:1"},
+		{"-scenarios", "../../testdata/scenarios", "-server", "http://x", "-validate"},
+	} {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("%v accepted, want error", args)
+		}
+	}
+	// An unreachable server is a runtime failure, not a hang.
+	err := run(context.Background(), []string{"-scenarios", "../../testdata/scenarios/e1-pts-burst.json", "-server", "http://127.0.0.1:1"})
+	if err == nil {
+		t.Error("unreachable server accepted")
 	}
 }
 

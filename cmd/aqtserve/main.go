@@ -1,0 +1,103 @@
+// Command aqtserve is the scenario-execution daemon: it accepts
+// declarative scenario JSON over HTTP (the same files aqtsim -scenario
+// and aqtbench -scenarios run locally), executes them on a bounded worker
+// pool, and memoizes results in a digest-keyed LRU cache so repeated
+// workloads are served without re-simulating.
+//
+//	aqtserve                       # listen on :8080 with 4 workers
+//	aqtserve -addr :9000 -workers 8 -sweep-workers 2 -cache-cells 16384
+//
+//	curl -XPOST --data-binary @testdata/scenarios/e1-pts-burst.json \
+//	    http://localhost:8080/v1/runs
+//	curl http://localhost:8080/v1/registry
+//	curl http://localhost:8080/metrics
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
+// in-flight runs finish (up to -drain-timeout), then the pool shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"smallbuffers/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "aqtserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled and the drain
+// completes. ready, when non-nil, receives the bound address once the
+// listener is up (tests bind :0 and need the resolved port).
+func run(ctx context.Context, args []string, logw io.Writer, ready func(addr string)) error {
+	fs := flag.NewFlagSet("aqtserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 4, "concurrent runs executed (the run worker pool)")
+	sweepWorkers := fs.Int("sweep-workers", 1, "cell workers per run (total concurrent cells ≤ workers × sweep-workers)")
+	cacheCells := fs.Int("cache-cells", 4096, "result cache capacity in sweep cells (-1 disables caching)")
+	queueDepth := fs.Int("queue-depth", 256, "submissions accepted beyond the worker pool before 503")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		SweepWorkers: *sweepWorkers,
+		CacheCells:   *cacheCells,
+		QueueDepth:   *queueDepth,
+	})
+	httpSrv := &http.Server{Handler: svc}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "aqtserve: listening on %s (%d workers × %d sweep workers, cache %d cells)\n",
+		ln.Addr(), *workers, *sweepWorkers, *cacheCells)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight runs finish, then
+	// tear the pool down (cancelling anything past the deadline).
+	fmt.Fprintf(logw, "aqtserve: draining (timeout %s)\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	drainErr := svc.Drain(drainCtx)
+	svc.Close()
+	if drainErr != nil {
+		fmt.Fprintf(logw, "aqtserve: drain timed out; in-flight runs cancelled\n")
+	}
+	fmt.Fprintf(logw, "aqtserve: stopped\n")
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	return nil
+}

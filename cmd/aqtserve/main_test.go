@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL plus a shutdown function that triggers the graceful drain.
+func startDaemon(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), io.Discard,
+			func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, func() error {
+			cancel()
+			select {
+			case err := <-errCh:
+				return err
+			case <-time.After(30 * time.Second):
+				return context.DeadlineExceeded
+			}
+		}
+	case err := <-errCh:
+		t.Fatalf("daemon failed to start: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+	return "", nil
+}
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	url, shutdown := startDaemon(t, "-workers", "2", "-drain-timeout", "20s")
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	data, err := os.ReadFile("../../testdata/scenarios/e1-pts-burst.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(url+"/v1/runs", "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Status        string `json:"status"`
+		ResultsDigest string `json:"results_digest"`
+		Cached        bool   `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rep.Status != "done" || rep.ResultsDigest == "" {
+		t.Fatalf("run: %d %+v", resp.StatusCode, rep)
+	}
+
+	// Graceful shutdown completes and reports no error.
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The listener is gone afterwards.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("daemon still serving after drain")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-bogus"}, io.Discard, nil); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "999.999.999.999:1"}, io.Discard, nil); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

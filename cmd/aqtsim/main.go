@@ -10,6 +10,8 @@
 //	aqtsim -scenario testdata/scenarios/lowerbound.json
 //	aqtsim -scenario -                  # read the scenario from stdin
 //	aqtsim -protocol pts -adversary burst -dump-scenario   # print flags as JSON
+//	aqtsim -scenario e1.json -digest           # canonical scenario digest
+//	aqtsim -scenario e1.json -result-digest    # digest of the run's results
 //
 // A scenario whose axes are lists (e.g. "seeds": [1,2,3]) runs as a
 // parallel sweep and reports one row per cell. Flags describe one run:
@@ -45,6 +47,8 @@ func main() {
 type options struct {
 	scenario     string
 	dumpScenario bool
+	digest       bool
+	resultDigest bool
 
 	topology  string
 	n         int
@@ -77,6 +81,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("aqtsim", flag.ContinueOnError)
 	fs.StringVar(&o.scenario, "scenario", "", "run a scenario file instead of flags (\"-\" reads stdin)")
 	fs.BoolVar(&o.dumpScenario, "dump-scenario", false, "print the scenario as canonical JSON and exit")
+	fs.BoolVar(&o.digest, "digest", false, "print the scenario's canonical digest (sha256:…) and exit")
+	fs.BoolVar(&o.resultDigest, "result-digest", false, "run and print only the results digest (sha256:… over the per-cell records)")
 	fs.StringVar(&o.topology, "topology", "path", "registered topology name (see -dump-scenario)")
 	fs.IntVar(&o.n, "n", 64, "path length (path topology)")
 	fs.IntVar(&o.spine, "spine", 8, "caterpillar spine length")
@@ -105,7 +111,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		// Workload flags would be silently overridden by the file; reject
 		// the combination instead of running something the user did not ask
 		// for. Output flags (-json, -heatmap, -dump-scenario) still apply.
-		outputFlags := map[string]bool{"scenario": true, "dump-scenario": true, "json": true, "heatmap": true}
+		outputFlags := map[string]bool{"scenario": true, "dump-scenario": true, "json": true, "heatmap": true, "digest": true, "result-digest": true}
 		var conflict []string
 		fs.Visit(func(f *flag.Flag) {
 			if !outputFlags[f.Name] {
@@ -121,12 +127,34 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if o.digest {
+		d, err := sc.Digest()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, d)
+		return err
+	}
 	if o.dumpScenario {
 		data, err := sc.Marshal()
 		if err != nil {
 			return err
 		}
 		_, err = w.Write(data)
+		return err
+	}
+	if o.resultDigest {
+		// The results digest always runs through the sweep path — a
+		// one-point scenario is a one-cell sweep replaying exactly the
+		// single run (RawSeeds) — so local digests compare 1:1 with the
+		// aqtserve response for the same scenario file.
+		agg, err := sc.Run(ctx)
+		if agg == nil {
+			return err
+		}
+		if _, perr := fmt.Fprintln(w, agg.Digest()); perr != nil {
+			return perr
+		}
 		return err
 	}
 	if sc.IsSingle() {

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	sb "smallbuffers"
 )
 
 func runCLI(t *testing.T, args ...string) (string, error) {
@@ -99,7 +101,8 @@ func TestVerifyFlagCatchesNothingOnGoodPatterns(t *testing.T) {
 
 // TestScenarioReproducesFlags is the digest gate: for each flag
 // invocation, -dump-scenario followed by -scenario must replay the exact
-// same run, compared on the full JSON trace.
+// same run, compared on results digests (sha256 over the per-cell
+// records) rather than raw output bytes.
 func TestScenarioReproducesFlags(t *testing.T) {
 	cases := [][]string{
 		{"-rounds", "150"},
@@ -113,7 +116,7 @@ func TestScenarioReproducesFlags(t *testing.T) {
 	}
 	for _, args := range cases {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
-			direct, err := runCLI(t, append(args, "-json")...)
+			direct, err := runCLI(t, append(args, "-result-digest")...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -125,35 +128,54 @@ func TestScenarioReproducesFlags(t *testing.T) {
 			if err := os.WriteFile(path, []byte(dump), 0o600); err != nil {
 				t.Fatal(err)
 			}
-			viaFile, err := runCLI(t, "-scenario", path, "-json")
+			viaFile, err := runCLI(t, "-scenario", path, "-result-digest")
 			if err != nil {
 				t.Fatal(err)
 			}
 			if direct != viaFile {
-				t.Errorf("flag run and scenario run diverge:\n--- flags\n%s\n--- scenario\n%s", direct, viaFile)
+				t.Errorf("flag run and scenario run diverge:\n--- flags\n%s--- scenario\n%s", direct, viaFile)
+			}
+			if !strings.HasPrefix(direct, "sha256:") {
+				t.Errorf("result digest %q lacks the sha256: prefix", direct)
 			}
 		})
 	}
 }
 
-// TestDumpScenarioFixedPoint gates -dump-scenario | -scenario -
-// -dump-scenario: loading a dumped scenario and dumping again is
-// byte-identical.
-func TestDumpScenarioFixedPoint(t *testing.T) {
-	first, err := runCLI(t, "-rounds", "200", "-dump-scenario")
+// TestDumpScenarioDigestFixedPoint gates the dump/load round trip on
+// canonical digests: a dumped scenario re-loaded (from a file or a pipe)
+// digests identically, and -digest agrees with an independent
+// Digest() computation over the dumped bytes.
+func TestDumpScenarioDigestFixedPoint(t *testing.T) {
+	first, err := runCLI(t, "-rounds", "200", "-digest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := runCLI(t, "-rounds", "200", "-dump-scenario")
 	if err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "s.json")
-	if err := os.WriteFile(path, []byte(first), 0o600); err != nil {
+	if err := os.WriteFile(path, []byte(dump), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	second, err := runCLI(t, "-scenario", path, "-dump-scenario")
+	second, err := runCLI(t, "-scenario", path, "-digest")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first != second {
-		t.Errorf("dump is not a fixed point:\n--- first\n%s\n--- second\n%s", first, second)
+		t.Errorf("digest not a dump/load fixed point:\n--- flags\n%s--- reloaded\n%s", first, second)
+	}
+	sc, err := sb.ParseScenario([]byte(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sc.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(first) != want {
+		t.Errorf("-digest prints %q, library computes %q", strings.TrimSpace(first), want)
 	}
 }
 

@@ -7,6 +7,12 @@
 //	aqtviz                          # Figure 1 exactly as in the paper
 //	aqtviz -m 3 -ell 3 -src 0 -dst 22
 //	aqtviz -demo -n 64 -rounds 600  # heatmap of PPTS under burst traffic
+//	aqtviz -demo -scenario testdata/scenarios/e1-pts-burst.json
+//	aqtviz -demo -scenario -        # scenario from stdin
+//
+// With -scenario the demo drives off the same declarative specs as
+// aqtsim and aqtbench: any one-point scenario file renders as a heatmap
+// plus a max-load sparkline.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	sb "smallbuffers"
@@ -36,6 +43,7 @@ func run(ctx context.Context, args []string) error {
 	src := fs.Int("src", 0, "trajectory source (src ≥ dst omits the trajectory)")
 	dst := fs.Int("dst", 13, "trajectory destination")
 	demo := fs.Bool("demo", false, "render a live occupancy heatmap instead")
+	scenarioPath := fs.String("scenario", "", "demo a one-point scenario file (\"-\" reads stdin; implies -demo)")
 	n := fs.Int("n", 64, "demo path length")
 	d := fs.Int("d", 8, "demo destination count")
 	rounds := fs.Int("rounds", 600, "demo rounds")
@@ -44,6 +52,22 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
+	if *scenarioPath != "" {
+		// The file defines the whole workload; built-in demo knobs would
+		// be silently ignored, so reject the mix.
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scenario", "demo":
+			default:
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-scenario drives the demo from the file; drop the conflicting %s", strings.Join(conflict, ", "))
+		}
+		return runScenarioDemo(ctx, *scenarioPath)
+	}
 	if *demo {
 		return runDemo(ctx, *n, *d, *rounds, *bandwidth)
 	}
@@ -53,6 +77,41 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	return sb.RenderFigure1(os.Stdout, h, *src, *dst)
+}
+
+// runScenarioDemo renders the occupancy heatmap of a one-point scenario
+// file — the same declarative specs aqtsim -scenario runs.
+func runScenarioDemo(ctx context.Context, path string) error {
+	sc, err := sb.LoadScenarioFile(path)
+	if err != nil {
+		return err
+	}
+	single, err := sc.CompileSingle()
+	if err != nil {
+		return err
+	}
+	rec := sb.NewTraceRecorder()
+	rec.CaptureEvents = false
+	res, err := sb.RunContext(ctx, single.Spec(sb.WithObservers(rec)))
+	if err != nil {
+		return err
+	}
+	title := sc.Name
+	if title == "" {
+		title = path
+	}
+	fmt.Printf("%s: %s on %s (%d nodes, link bandwidth %d), %v over %d rounds: max load %d\n",
+		title, res.Protocol, single.TopologyLabel, single.Net.Len(),
+		single.Net.BottleneckBandwidth(), single.Bound, res.Rounds, res.MaxLoad)
+	if single.Note != "" {
+		fmt.Printf("paper: %s\n", single.Note)
+	}
+	fmt.Println()
+	if err := rec.RenderHeatmap(os.Stdout, 40); err != nil {
+		return err
+	}
+	fmt.Println()
+	return sb.RenderSparkline(os.Stdout, rec.MaxLoadSeries(), 72)
 }
 
 func runDemo(ctx context.Context, n, d, rounds, bandwidth int) error {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -38,5 +41,46 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-demo", "-n", "1"}); err == nil {
 		t.Error("n=1 accepted")
+	}
+}
+
+// The demo drives off the same declarative scenario files as
+// aqtsim/aqtbench.
+func TestScenarioDemo(t *testing.T) {
+	if err := run(context.Background(), []string{"-demo", "-scenario", "../../testdata/scenarios/e1-pts-burst.json"}); err != nil {
+		t.Fatal(err)
+	}
+	// -scenario implies -demo.
+	if err := run(context.Background(), []string{"-scenario", "../../testdata/scenarios/e1-pts-burst.json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioDemoErrors(t *testing.T) {
+	// Grid scenarios have no single heatmap to render.
+	sweep := filepath.Join(t.TempDir(), "sweep.json")
+	src := `{
+		"topology": {"name": "path", "params": {"n": 16}},
+		"protocol": {"name": "ppts"},
+		"adversary": {"name": "random", "params": {"d": 2}},
+		"bound": {"rho": "1/2", "sigma": 2},
+		"rounds": 100,
+		"seeds": [1, 2]
+	}`
+	if err := os.WriteFile(sweep, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-scenario", sweep}); err == nil {
+		t.Error("sweep scenario accepted by the demo")
+	}
+	if err := run(context.Background(), []string{"-scenario", "/nonexistent.json"}); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+	// Built-in demo knobs conflict with the file-driven workload.
+	for _, extra := range [][]string{{"-n", "32"}, {"-rounds", "50"}, {"-bandwidth", "2"}} {
+		args := append([]string{"-scenario", "../../testdata/scenarios/e1-pts-burst.json"}, extra...)
+		if err := run(context.Background(), args); err == nil || !strings.Contains(err.Error(), "conflicting") {
+			t.Errorf("%v: want conflicting-flag error, got %v", args, err)
+		}
 	}
 }

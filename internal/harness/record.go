@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+)
+
+// CellRecord is the wire form of one executed cell: the cell label plus
+// every deterministic integer metric of its result. Records are what the
+// service tier streams to clients and what result digests are computed
+// over — they deliberately carry no floats and no wall-clock data, so the
+// same scenario always produces byte-identical records at any worker
+// count, on any machine.
+type CellRecord struct {
+	Index           int    `json:"index"`
+	Cell            string `json:"cell"`
+	MaxLoad         int    `json:"max_load"`
+	MaxLoadNode     int    `json:"max_load_node"`
+	MaxLoadRound    int    `json:"max_load_round"`
+	MaxPhysicalLoad int    `json:"max_physical_load"`
+	Injected        int    `json:"injected"`
+	Delivered       int    `json:"delivered"`
+	Residual        int    `json:"residual"`
+	MaxLatency      int    `json:"max_latency"`
+	TotalLatency    int    `json:"total_latency"`
+	Err             string `json:"error,omitempty"`
+}
+
+// Record renders the cell result in wire form. Failed cells carry the
+// error text and zero metrics.
+func (r CellResult) Record() CellRecord {
+	rec := CellRecord{Index: r.Cell.Index, Cell: r.Cell.String()}
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+		return rec
+	}
+	rec.MaxLoad = r.Result.MaxLoad
+	rec.MaxLoadNode = int(r.Result.MaxLoadNode)
+	rec.MaxLoadRound = r.Result.MaxLoadRound
+	rec.MaxPhysicalLoad = r.Result.MaxPhysicalLoad
+	rec.Injected = r.Result.Injected
+	rec.Delivered = r.Result.Delivered
+	rec.Residual = r.Result.Residual
+	rec.MaxLatency = r.Result.MaxLatency
+	rec.TotalLatency = r.Result.TotalLatency
+	return rec
+}
+
+// Records renders every cell of the sweep result in wire form, ordered by
+// cell index.
+func (r *SweepResult) Records() []CellRecord {
+	out := make([]CellRecord, len(r.Cells))
+	for i, c := range r.Cells {
+		out[i] = c.Record()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// RecordsSorted returns a copy of recs ordered by cell index — the
+// canonical order for reports and digests (streams deliver records in
+// completion order).
+func RecordsSorted(recs []CellRecord) []CellRecord {
+	out := make([]CellRecord, len(recs))
+	copy(out, recs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// RecordsDigest is the canonical content address of a set of cell
+// records: "sha256:<hex>" over their JSON encodings, one per line, sorted
+// by cell index. Two executions of the same scenario — local or behind the
+// service tier, at any worker count — produce the same digest, which is
+// what the CI corpus gate and the remote-vs-local comparisons key on.
+func RecordsDigest(recs []CellRecord) string {
+	sorted := RecordsSorted(recs)
+	h := sha256.New()
+	for _, rec := range sorted {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			// CellRecord is a flat struct of ints and strings; Marshal
+			// cannot fail on it.
+			panic(err)
+		}
+		h.Write(line)
+		h.Write([]byte{'\n'})
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// Digest returns the results digest of the sweep (see RecordsDigest).
+func (r *SweepResult) Digest() string {
+	return RecordsDigest(r.Records())
+}

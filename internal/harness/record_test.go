@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecordsDigestOrderInvariant(t *testing.T) {
+	recs := []CellRecord{
+		{Index: 0, Cell: "a", MaxLoad: 3, Delivered: 10},
+		{Index: 1, Cell: "b", MaxLoad: 4, Delivered: 20},
+		{Index: 2, Cell: "c", Err: "boom"},
+	}
+	shuffled := []CellRecord{recs[2], recs[0], recs[1]}
+	if RecordsDigest(recs) != RecordsDigest(shuffled) {
+		t.Error("digest depends on record order; must be index-canonical")
+	}
+	if !strings.HasPrefix(RecordsDigest(recs), "sha256:") {
+		t.Errorf("digest %q lacks the sha256: prefix", RecordsDigest(recs))
+	}
+}
+
+func TestRecordsDigestSensitive(t *testing.T) {
+	base := []CellRecord{{Index: 0, Cell: "a", MaxLoad: 3}}
+	bumped := []CellRecord{{Index: 0, Cell: "a", MaxLoad: 4}}
+	if RecordsDigest(base) == RecordsDigest(bumped) {
+		t.Error("digest blind to a metric change")
+	}
+	failed := []CellRecord{{Index: 0, Cell: "a", Err: "x"}}
+	if RecordsDigest(base) == RecordsDigest(failed) {
+		t.Error("digest blind to a cell failure")
+	}
+}
+
+func TestCellResultRecord(t *testing.T) {
+	cr := CellResult{Cell: Cell{Index: 7, Protocol: "PPTS", Topology: "path(16)", Adversary: "random", Seed: 3, Rounds: 100}}
+	cr.Result.MaxLoad = 5
+	cr.Result.Injected = 40
+	cr.Result.Delivered = 38
+	rec := cr.Record()
+	if rec.Index != 7 || rec.MaxLoad != 5 || rec.Injected != 40 || rec.Delivered != 38 {
+		t.Errorf("record mismatch: %+v", rec)
+	}
+	if !strings.Contains(rec.Cell, "PPTS") {
+		t.Errorf("record label %q misses the protocol", rec.Cell)
+	}
+
+	failed := CellResult{Cell: Cell{Index: 1}, Err: errors.New("boom")}
+	frec := failed.Record()
+	if frec.Err != "boom" || frec.MaxLoad != 0 {
+		t.Errorf("failed record mismatch: %+v", frec)
+	}
+}
+
+// TestSweepDigestStableAcrossWorkerCounts is the service-tier guarantee
+// in miniature: the same grid digests identically at any parallelism.
+func TestSweepDigestStableAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) string {
+		s := acceptanceSweep(workers)
+		agg, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg.Failed > 0 {
+			t.Fatalf("%d cells failed: %v", agg.Failed, agg.FirstErr())
+		}
+		return agg.Digest()
+	}
+	d1, d4 := run(1), run(4)
+	if d1 != d4 {
+		t.Errorf("digest varies with worker count: %s vs %s", d1, d4)
+	}
+}

@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/baseline"
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/rat"
+	"smallbuffers/internal/sim"
+)
+
+// gaugedProtocol wraps a real protocol with a per-round delay and a
+// concurrency gauge, so tests can hold cells in flight long enough to
+// cancel mid-sweep and assert the pool bound.
+type gaugedProtocol struct {
+	inner  sim.Protocol
+	delay  time.Duration
+	active *atomic.Int64
+	peak   *atomic.Int64
+}
+
+func (p *gaugedProtocol) Name() string { return "slow-" + p.inner.Name() }
+
+func (p *gaugedProtocol) Attach(nw *network.Network, bound adversary.Bound, dests []network.NodeID) error {
+	return p.inner.Attach(nw, bound, dests)
+}
+
+func (p *gaugedProtocol) Decide(v sim.View) ([]sim.Forward, error) {
+	cur := p.active.Add(1)
+	defer p.active.Add(-1)
+	for {
+		peak := p.peak.Load()
+		if cur <= peak || p.peak.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	time.Sleep(p.delay)
+	return p.inner.Decide(v)
+}
+
+// gaugedSweep is a 32-cell grid whose cells each take ~delay×rounds, on a
+// bounded pool.
+func gaugedSweep(workers int, delay time.Duration, active, peak *atomic.Int64) *Sweep {
+	return &Sweep{
+		Protocols: []ProtocolSpec{Protocol("slow", func() sim.Protocol {
+			return &gaugedProtocol{inner: baseline.NewGreedy(baseline.FIFO{}), delay: delay, active: active, peak: peak}
+		})},
+		Topologies:  []TopologySpec{Path(16)},
+		Bounds:      []adversary.Bound{{Rho: rat.One, Sigma: 2}},
+		Adversaries: []AdversarySpec{RandomAdversary(nil)},
+		Seeds:       []int64{1, 2, 3, 4, 5, 6, 7, 8},
+		Rounds:      []int{10, 20, 30, 40},
+		Workers:     workers,
+	}
+}
+
+// waitForGoroutines polls until the goroutine count drops back to at most
+// baseline+slack (other runtime goroutines may come and go).
+func waitForGoroutines(t *testing.T, baseline, slack int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d live, baseline %d (+%d slack) — cancelled stream leaked workers", n, baseline, slack)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamCancelMidSweep is the client-disconnect path: a consumer
+// takes a few cells and walks away (cancelling its context, as the
+// service tier does when the last watcher detaches). The stream must
+// close promptly, undispatched cells must be dropped, the worker
+// goroutines must exit, and the pool bound must have held throughout.
+func TestStreamCancelMidSweep(t *testing.T) {
+	var active, peak atomic.Int64
+	before := runtime.NumGoroutine()
+
+	const workers = 4
+	sw := gaugedSweep(workers, 2*time.Millisecond, &active, &peak)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	got := 0
+	closed := make(chan struct{})
+	results := sw.Stream(ctx)
+	go func() {
+		defer close(closed)
+		for range results {
+			got++
+			if got == 3 {
+				cancel()
+			}
+		}
+	}()
+
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream did not close after cancellation")
+	}
+	if got >= 32 {
+		t.Fatalf("got all %d cells despite mid-sweep cancellation", got)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("%d cells deciding concurrently, pool bound is %d", p, workers)
+	}
+	waitForGoroutines(t, before, 2, 10*time.Second)
+	if a := active.Load(); a != 0 {
+		t.Errorf("%d cells still executing after stream close", a)
+	}
+}
+
+// TestStreamAbandonedWithoutConsuming cancels before reading anything:
+// workers blocked on their first send must exit via the context, not
+// hang forever on the abandoned channel.
+func TestStreamAbandonedWithoutConsuming(t *testing.T) {
+	var active, peak atomic.Int64
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = gaugedSweep(4, time.Millisecond, &active, &peak).Stream(ctx)
+	// Give workers a moment to start cells and block on the unread channel.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	waitForGoroutines(t, before, 2, 10*time.Second)
+}
+
+// TestStreamCancelFreesSlotsForNextSweep runs a fresh sweep to completion
+// after a cancelled one: cancellation must not poison later executions
+// (each Stream owns its workers; a leak would surface in the goroutine
+// checks above, a slot leak here).
+func TestStreamCancelFreesSlotsForNextSweep(t *testing.T) {
+	var active, peak atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	results := gaugedSweep(2, time.Millisecond, &active, &peak).Stream(ctx)
+	<-results // one cell, then walk away
+	cancel()
+	for range results {
+	}
+
+	agg, err := gaugedSweep(2, 0, &active, &peak).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Completed != 32 {
+		t.Fatalf("follow-up sweep completed %d of 32 cells", agg.Completed)
+	}
+}

@@ -1,0 +1,122 @@
+package registry
+
+import (
+	"smallbuffers/internal/rat"
+)
+
+// ParamDesc is the serializable description of one schema parameter, as
+// exposed by the service tier's /v1/registry endpoint: the name, the kind
+// rendered as its schema string ("int", "bool", "rat", "[]int",
+// "string"), and the canonical default (rationals as exact strings).
+type ParamDesc struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Doc      string `json:"doc,omitempty"`
+	Default  any    `json:"default,omitempty"`
+	Required bool   `json:"required,omitempty"`
+}
+
+// EntryDesc is the serializable description of one registered component.
+type EntryDesc struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc,omitempty"`
+	// SelfHosting marks adversaries that dictate their own topology,
+	// bound, and horizon (scenarios using them declare no topology or
+	// rounds).
+	SelfHosting bool        `json:"self_hosting,omitempty"`
+	Params      []ParamDesc `json:"params,omitempty"`
+}
+
+// CatalogDesc is the full component catalog in serializable form: every
+// registered topology, protocol, adversary, greedy policy, and invariant
+// with its parameter schema. It is the single document a remote client
+// needs to author valid scenarios against a running service.
+type CatalogDesc struct {
+	Topologies  []EntryDesc `json:"topologies"`
+	Protocols   []EntryDesc `json:"protocols"`
+	Adversaries []EntryDesc `json:"adversaries"`
+	Policies    []EntryDesc `json:"policies"`
+	Invariants  []EntryDesc `json:"invariants"`
+}
+
+// Catalog snapshots the registry in serializable form, every section
+// sorted by name. Runtime-registered components are included, so a
+// service restarted after extension advertises the extended catalog.
+func Catalog() CatalogDesc {
+	var c CatalogDesc
+	for _, name := range TopologyNames() {
+		e, err := LookupTopology(name)
+		if err != nil {
+			continue // raced with a concurrent registration; skip
+		}
+		c.Topologies = append(c.Topologies, EntryDesc{Name: e.Name, Doc: e.Doc, Params: describeSchema(e.Params)})
+	}
+	for _, name := range ProtocolNames() {
+		e, err := LookupProtocol(name)
+		if err != nil {
+			continue
+		}
+		c.Protocols = append(c.Protocols, EntryDesc{Name: e.Name, Doc: e.Doc, Params: describeSchema(e.Params)})
+	}
+	for _, name := range AdversaryNames() {
+		e, err := LookupAdversary(name)
+		if err != nil {
+			continue
+		}
+		c.Adversaries = append(c.Adversaries, EntryDesc{
+			Name: e.Name, Doc: e.Doc, SelfHosting: e.SelfHosting(), Params: describeSchema(e.Params),
+		})
+	}
+	for _, name := range PolicyNames() {
+		e, err := LookupPolicy(name)
+		if err != nil {
+			continue
+		}
+		c.Policies = append(c.Policies, EntryDesc{Name: e.Name, Doc: e.Doc})
+	}
+	for _, name := range InvariantNames() {
+		e, err := LookupInvariant(name)
+		if err != nil {
+			continue
+		}
+		c.Invariants = append(c.Invariants, EntryDesc{Name: e.Name, Doc: e.Doc, Params: describeSchema(e.Params)})
+	}
+	return c
+}
+
+// describeSchema renders a schema's parameters with canonical JSON
+// defaults.
+func describeSchema(s Schema) []ParamDesc {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]ParamDesc, len(s))
+	for i, p := range s {
+		out[i] = ParamDesc{
+			Name:     p.Name,
+			Kind:     p.Kind.String(),
+			Doc:      p.Doc,
+			Required: p.Required,
+		}
+		if !p.Required {
+			out[i].Default = canonicalDefault(p.Default)
+		}
+	}
+	return out
+}
+
+// canonicalDefault renders a schema default in canonical JSON form:
+// rationals as exact strings, empty lists omitted.
+func canonicalDefault(v any) any {
+	switch x := v.(type) {
+	case rat.Rat:
+		return x.String()
+	case []int:
+		if len(x) == 0 {
+			return nil
+		}
+		return x
+	default:
+		return v
+	}
+}

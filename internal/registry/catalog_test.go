@@ -1,0 +1,75 @@
+package registry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCatalogCoversRegistry(t *testing.T) {
+	c := Catalog()
+	if len(c.Topologies) != len(TopologyNames()) {
+		t.Errorf("catalog lists %d topologies, registry has %d", len(c.Topologies), len(TopologyNames()))
+	}
+	if len(c.Protocols) != len(ProtocolNames()) {
+		t.Errorf("catalog lists %d protocols, registry has %d", len(c.Protocols), len(ProtocolNames()))
+	}
+	if len(c.Adversaries) != len(AdversaryNames()) {
+		t.Errorf("catalog lists %d adversaries, registry has %d", len(c.Adversaries), len(AdversaryNames()))
+	}
+	if len(c.Invariants) != len(InvariantNames()) {
+		t.Errorf("catalog lists %d invariants, registry has %d", len(c.Invariants), len(InvariantNames()))
+	}
+	for i := 1; i < len(c.Protocols); i++ {
+		if c.Protocols[i-1].Name >= c.Protocols[i].Name {
+			t.Errorf("protocols not sorted: %q before %q", c.Protocols[i-1].Name, c.Protocols[i].Name)
+		}
+	}
+}
+
+func TestCatalogEntryDetail(t *testing.T) {
+	c := Catalog()
+	var path *EntryDesc
+	for i := range c.Topologies {
+		if c.Topologies[i].Name == "path" {
+			path = &c.Topologies[i]
+		}
+	}
+	if path == nil {
+		t.Fatal("catalog misses the path topology")
+	}
+	if len(path.Params) != 1 || path.Params[0].Name != "n" || path.Params[0].Kind != "int" {
+		t.Errorf("path params wrong: %+v", path.Params)
+	}
+	if path.Params[0].Default != 64 {
+		t.Errorf("path n default = %v, want 64", path.Params[0].Default)
+	}
+
+	var lb *EntryDesc
+	for i := range c.Adversaries {
+		if c.Adversaries[i].Name == "lowerbound" {
+			lb = &c.Adversaries[i]
+		}
+	}
+	if lb == nil {
+		t.Fatal("catalog misses the lowerbound adversary")
+	}
+	if !lb.SelfHosting {
+		t.Error("lowerbound not marked self-hosting")
+	}
+}
+
+// The catalog is what /v1/registry serves: it must survive a JSON round
+// trip without loss (no unmarshalable defaults such as raw rat.Rat).
+func TestCatalogSerializable(t *testing.T) {
+	data, err := json.Marshal(Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CatalogDesc
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Protocols) != len(Catalog().Protocols) {
+		t.Error("catalog lost protocols in the JSON round trip")
+	}
+}

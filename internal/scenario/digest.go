@@ -1,0 +1,26 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// DigestPrefix tags scenario and result digests with the hash they carry,
+// so digests are self-describing when they travel through logs, HTTP
+// responses, and CI gates.
+const DigestPrefix = "sha256:"
+
+// Digest returns the scenario's canonical content address:
+// "sha256:<hex>" over the canonical Marshal form. Because Marshal∘Load is
+// a fixed point, every JSON spelling of the same workload — singular or
+// plural axes, omitted defaults, unreduced rationals — digests to the same
+// value, so the digest is a stable cache key for "this exact family of
+// runs". Digest validates the scenario first and fails on invalid ones.
+func (sc *Scenario) Digest() (string, error) {
+	data, err := sc.Marshal()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return DigestPrefix + hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,86 @@
+package service
+
+import "container/list"
+
+// lru is a cost-bounded least-recently-used cache keyed by string. Each
+// entry carries a cost (the service charges one unit per sweep cell, so a
+// 500-cell sweep occupies 500× the budget of a single run) and the cache
+// evicts from the cold end until the total cost fits the bound. Not
+// goroutine-safe: the server serializes access under its own mutex.
+type lru[V any] struct {
+	maxCost int
+	cost    int
+	ll      *list.List               // front = most recently used
+	idx     map[string]*list.Element // key → element
+	// onEvict is called for every evicted or removed entry, while the
+	// cache is mid-mutation: it must not call back into the cache.
+	onEvict func(key string, val V)
+}
+
+type lruEntry[V any] struct {
+	key  string
+	val  V
+	cost int
+}
+
+// newLRU returns a cache holding at most maxCost total cost; maxCost ≤ 0
+// disables caching (every add is immediately evicted).
+func newLRU[V any](maxCost int, onEvict func(key string, val V)) *lru[V] {
+	return &lru[V]{maxCost: maxCost, ll: list.New(), idx: make(map[string]*list.Element), onEvict: onEvict}
+}
+
+// add inserts or replaces the entry under key and evicts cold entries
+// until the budget fits. Entries whose own cost exceeds the budget are
+// not retained (the eviction callback still fires for any displaced
+// entry).
+func (l *lru[V]) add(key string, val V, cost int) {
+	if cost < 1 {
+		cost = 1
+	}
+	if e, ok := l.idx[key]; ok {
+		l.removeElement(e)
+	}
+	if cost > l.maxCost {
+		if l.onEvict != nil {
+			l.onEvict(key, val)
+		}
+		return
+	}
+	l.idx[key] = l.ll.PushFront(&lruEntry[V]{key: key, val: val, cost: cost})
+	l.cost += cost
+	for l.cost > l.maxCost {
+		l.removeElement(l.ll.Back())
+	}
+}
+
+// get returns the entry under key, marking it most recently used.
+func (l *lru[V]) get(key string) (V, bool) {
+	if e, ok := l.idx[key]; ok {
+		l.ll.MoveToFront(e)
+		return e.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// remove drops the entry under key, if present (onEvict fires).
+func (l *lru[V]) remove(key string) {
+	if e, ok := l.idx[key]; ok {
+		l.removeElement(e)
+	}
+}
+
+func (l *lru[V]) removeElement(e *list.Element) {
+	ent := e.Value.(*lruEntry[V])
+	l.ll.Remove(e)
+	delete(l.idx, ent.key)
+	l.cost -= ent.cost
+	if l.onEvict != nil {
+		l.onEvict(ent.key, ent.val)
+	}
+}
+
+// len reports the number of cached entries; totalCost their combined
+// cost.
+func (l *lru[V]) len() int       { return l.ll.Len() }
+func (l *lru[V]) totalCost() int { return l.cost }

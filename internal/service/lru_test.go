@@ -1,0 +1,83 @@
+package service
+
+import "testing"
+
+func TestLRUEvictsColdEntries(t *testing.T) {
+	var evicted []string
+	l := newLRU[int](3, func(k string, _ int) { evicted = append(evicted, k) })
+	l.add("a", 1, 1)
+	l.add("b", 2, 1)
+	l.add("c", 3, 1)
+	if _, ok := l.get("a"); !ok { // refresh a
+		t.Fatal("a missing")
+	}
+	l.add("d", 4, 1) // evicts b (coldest)
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Errorf("evicted %v, want [b]", evicted)
+	}
+	if _, ok := l.get("b"); ok {
+		t.Error("b still cached after eviction")
+	}
+	if _, ok := l.get("a"); !ok {
+		t.Error("refreshed entry a evicted")
+	}
+}
+
+func TestLRUCostAccounting(t *testing.T) {
+	var evicted []string
+	l := newLRU[int](10, func(k string, _ int) { evicted = append(evicted, k) })
+	l.add("big", 1, 7)
+	l.add("small", 2, 2)
+	if l.totalCost() != 9 || l.len() != 2 {
+		t.Fatalf("cost %d len %d, want 9/2", l.totalCost(), l.len())
+	}
+	l.add("medium", 3, 5) // must evict big (7) to fit 5 within 10
+	if _, ok := l.get("big"); ok {
+		t.Error("big survived a cost-bound eviction")
+	}
+	if l.totalCost() != 7 {
+		t.Errorf("cost %d after eviction, want 7", l.totalCost())
+	}
+}
+
+func TestLRUOversizedEntryNotRetained(t *testing.T) {
+	calls := 0
+	l := newLRU[int](4, func(string, int) { calls++ })
+	l.add("huge", 1, 100)
+	if l.len() != 0 || calls != 1 {
+		t.Errorf("oversized entry retained (len %d, evict calls %d)", l.len(), calls)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	l := newLRU[int](-1, nil)
+	l.add("a", 1, 1)
+	if _, ok := l.get("a"); ok {
+		t.Error("disabled cache retained an entry")
+	}
+}
+
+func TestLRUReplaceAndRemove(t *testing.T) {
+	l := newLRU[int](5, nil)
+	l.add("a", 1, 2)
+	l.add("a", 2, 3) // replace: cost follows the new entry
+	if v, ok := l.get("a"); !ok || v != 2 {
+		t.Errorf("replace lost: %v %v", v, ok)
+	}
+	if l.totalCost() != 3 {
+		t.Errorf("cost %d after replace, want 3", l.totalCost())
+	}
+	l.remove("a")
+	if l.len() != 0 || l.totalCost() != 0 {
+		t.Errorf("remove left len %d cost %d", l.len(), l.totalCost())
+	}
+	l.remove("a") // idempotent
+}
+
+func TestLRUMinimumCost(t *testing.T) {
+	l := newLRU[int](2, nil)
+	l.add("zero", 1, 0) // clamps to cost 1
+	if l.totalCost() != 1 {
+		t.Errorf("zero-cost entry accounted as %d, want 1", l.totalCost())
+	}
+}

@@ -1,0 +1,727 @@
+// Package service is the network execution tier: an HTTP facade over the
+// scenario layer that accepts declarative workloads (internal/scenario
+// JSON), executes them on a bounded worker pool, and memoizes results in
+// a digest-keyed, size-bounded LRU cache so identical workloads never
+// re-simulate.
+//
+// # Endpoints
+//
+//	POST /v1/runs              submit a scenario (JSON body); waits and
+//	                           returns the full report, or ?wait=0 for 202
+//	GET  /v1/runs              list known runs
+//	GET  /v1/runs/{id}         report for one run (status + cells so far)
+//	GET  /v1/runs/{id}/stream  per-cell results as NDJSON (or SSE with
+//	                           Accept: text/event-stream), then a summary
+//	GET  /v1/registry          the component catalog with param schemas
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text exposition
+//
+// # Execution model
+//
+// Submissions are keyed by Scenario.Digest(), the SHA-256 of the
+// canonical scenario form. A digest that matches a completed run is
+// served from the cache without simulating; a digest that matches an
+// in-flight run joins it (single-flight). New digests are enqueued to a
+// pool of Workers run-executors; each run executes its (possibly
+// one-point) grid through harness.Sweep with SweepWorkers cell workers,
+// so at most Workers × SweepWorkers cells are in flight at once. Every
+// run gets its own context: when the last attached client disconnects
+// before completion, the run is cancelled and its worker slot freed —
+// abandoned work is never simulated to completion.
+//
+// Results are deterministic (integer metrics, seed-pinned traffic), so a
+// cached report is byte-identical to a fresh one — the CI corpus gate
+// compares the service's results digest against local aqtsim runs.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"smallbuffers/internal/harness"
+	"smallbuffers/internal/registry"
+	"smallbuffers/internal/scenario"
+)
+
+// Config sizes the service. The zero value is usable: every field has a
+// production-lean default.
+type Config struct {
+	// Workers is the run-executor pool size: how many submitted scenarios
+	// execute concurrently. Default 4.
+	Workers int
+	// SweepWorkers is the per-run cell pool handed to harness.Sweep, so
+	// total concurrent cells ≤ Workers × SweepWorkers. Default 1 (the
+	// strictest bound; raise it to let big sweeps use more cores).
+	SweepWorkers int
+	// CacheCells bounds the result cache: the total number of sweep cells
+	// whose reports may be retained (one single run costs one cell).
+	// Default 4096; ≤ -1 disables caching. (0 means the default.)
+	CacheCells int
+	// QueueDepth bounds the submit queue; submissions beyond it are
+	// rejected with 503. Default 256.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = 1
+	}
+	if c.CacheCells == 0 {
+		c.CacheCells = 4096
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// Run statuses, as reported in the "status" field of reports and the
+// stream's summary event.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"      // every cell executed (per-cell failures are data, see Report.Failed)
+	StatusCancelled = "cancelled" // run context cancelled before completion
+)
+
+// Summary aggregates a finished run: grid counts, the results digest
+// (see harness.RecordsDigest), and the headline statistics over clean
+// cells.
+type Summary struct {
+	Requested     int     `json:"requested"`
+	Completed     int     `json:"completed"`
+	Failed        int     `json:"failed"`
+	ResultsDigest string  `json:"results_digest"`
+	MaxLoadMean   float64 `json:"max_load_mean"`
+	MaxLoadMax    int     `json:"max_load_max"`
+	DeliveredMean float64 `json:"delivered_mean"`
+}
+
+// Report is the wire form of a run: identity, lifecycle state, and (when
+// finished) the per-cell records and summary. ResultsDigest is duplicated
+// at the top level so shell pipelines can extract it without descending
+// into the summary.
+type Report struct {
+	ID            string               `json:"id"`
+	Name          string               `json:"name,omitempty"`
+	Digest        string               `json:"digest"`
+	Status        string               `json:"status"`
+	Cached        bool                 `json:"cached"`
+	Error         string               `json:"error,omitempty"`
+	ResultsDigest string               `json:"results_digest,omitempty"`
+	Summary       *Summary             `json:"summary,omitempty"`
+	Cells         []harness.CellRecord `json:"cells,omitempty"`
+}
+
+// run is one submitted scenario's lifecycle. Records accumulate in
+// completion order and are re-sorted by index for reports and digests;
+// subscribers follow appends via the changed-channel-swap idiom (grab the
+// current channel under the lock, wait for it to close).
+type run struct {
+	id        string
+	digest    string
+	name      string
+	sweep     *harness.Sweep
+	requested int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	status   string
+	records  []harness.CellRecord
+	changed  chan struct{} // closed and replaced on every state change
+	finished bool
+	runErr   error
+	summary  *Summary
+	watchers int
+	pinned   bool // async submissions run to completion without watchers
+	done     chan struct{}
+}
+
+// attach registers an interested client; detach deregisters it. When the
+// last watcher of an unpinned, unfinished run detaches, the run is
+// cancelled: nobody is listening, so the worker slot is worth more than
+// the result.
+func (r *run) attach() {
+	r.mu.Lock()
+	r.watchers++
+	r.mu.Unlock()
+}
+
+func (r *run) detach() {
+	r.mu.Lock()
+	r.watchers--
+	abandon := r.watchers == 0 && !r.pinned && !r.finished
+	r.mu.Unlock()
+	if abandon {
+		r.cancel()
+	}
+}
+
+func (r *run) pin() {
+	r.mu.Lock()
+	r.pinned = true
+	r.mu.Unlock()
+}
+
+// publish appends one cell record and wakes subscribers.
+func (r *run) publish(rec harness.CellRecord) {
+	r.mu.Lock()
+	r.records = append(r.records, rec)
+	close(r.changed)
+	r.changed = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// setStatus transitions the lifecycle state and wakes subscribers.
+func (r *run) setStatus(status string) {
+	r.mu.Lock()
+	r.status = status
+	close(r.changed)
+	r.changed = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// report snapshots the run in wire form; includeCells controls whether
+// the per-cell records ride along.
+func (r *run) report(includeCells bool) Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := Report{ID: r.id, Name: r.name, Digest: r.digest, Status: r.status}
+	if r.runErr != nil {
+		rep.Error = r.runErr.Error()
+	}
+	if r.summary != nil {
+		s := *r.summary
+		rep.Summary = &s
+		rep.ResultsDigest = s.ResultsDigest
+	}
+	if includeCells {
+		rep.Cells = harness.RecordsSorted(r.records)
+	}
+	return rep
+}
+
+// Server is the scenario-execution service. Create it with New, mount it
+// anywhere an http.Handler fits, and Drain/Close it on shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics metrics
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	workers sync.WaitGroup
+	inRuns  sync.WaitGroup // one count per enqueued run, released at finish
+	queue   chan *run
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int
+	runs     map[string]*run // by id; entries live exactly as long as their cache entry
+	byDigest map[string]*run // in-flight and cleanly-finished runs, by scenario digest
+	cache    *lru[*run]      // finished runs; eviction drops the id and digest indexes
+}
+
+// New starts a service with cfg's pool and cache bounds. The returned
+// Server is an http.Handler; callers own its lifecycle (Drain, Close).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		metrics:  metrics{start: time.Now()},
+		baseCtx:  ctx,
+		stop:     cancel,
+		queue:    make(chan *run, cfg.QueueDepth),
+		runs:     make(map[string]*run),
+		byDigest: make(map[string]*run),
+	}
+	s.cache = newLRU[*run](cfg.CacheCells, func(digest string, r *run) {
+		// Runs under s.mu (every cache mutation is). Drop the indexes so
+		// evicted ids 404 and evicted digests re-simulate.
+		delete(s.runs, r.id)
+		if s.byDigest[digest] == r {
+			delete(s.byDigest, digest)
+		}
+	})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain waits until every accepted run has finished, or ctx expires.
+// Call it after the HTTP listener stops accepting (graceful shutdown):
+// in-flight work completes, nothing new arrives.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.inRuns.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close cancels every in-flight run, stops the worker pool, and finishes
+// any still-queued runs as cancelled. Safe after Drain (nothing left to
+// cancel) and as a hard stop without it.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	s.workers.Wait()
+	for {
+		select {
+		case r := <-s.queue:
+			s.finish(r, context.Canceled)
+		default:
+			return
+		}
+	}
+}
+
+// worker executes queued runs until shutdown.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case r := <-s.queue:
+			s.execute(r)
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// execute runs one scenario through the harness, streaming cell records
+// to subscribers as they complete.
+func (s *Server) execute(r *run) {
+	if r.ctx.Err() != nil { // abandoned or shut down while queued
+		s.finish(r, r.ctx.Err())
+		return
+	}
+	r.setStatus(StatusRunning)
+	for cr := range r.sweep.Stream(r.ctx) {
+		r.publish(cr.Record())
+		s.metrics.cellsCompleted.Add(1)
+	}
+	s.finish(r, r.ctx.Err())
+}
+
+// finish seals a run: computes the summary and results digest, updates
+// the cache and indexes, and wakes every waiter. Idempotent.
+func (s *Server) finish(r *run, ctxErr error) {
+	r.mu.Lock()
+	if r.finished {
+		r.mu.Unlock()
+		return
+	}
+	r.finished = true
+	recs := harness.RecordsSorted(r.records)
+	sum := summarize(r.requested, recs)
+	r.summary = sum
+	if ctxErr != nil {
+		r.status = StatusCancelled
+		r.runErr = fmt.Errorf("run cancelled after %d of %d cells: %w", len(recs), r.requested, ctxErr)
+	} else {
+		r.status = StatusDone
+	}
+	close(r.changed)
+	r.changed = make(chan struct{})
+	close(r.done)
+	r.mu.Unlock()
+	// Release the run's context so completed runs don't accumulate as
+	// children of the server context (idempotent; status is already
+	// sealed from the ctxErr snapshot above).
+	r.cancel()
+
+	s.mu.Lock()
+	if ctxErr != nil {
+		// Cancelled runs are partial: never serve them for their digest
+		// again, and keep only the id entry until eviction.
+		if s.byDigest[r.digest] == r {
+			delete(s.byDigest, r.digest)
+		}
+		s.metrics.runsCancelled.Add(1)
+	} else if sum.Failed > 0 {
+		s.metrics.runsFailed.Add(1)
+	} else {
+		s.metrics.runsCompleted.Add(1)
+	}
+	// Complete runs — including ones with deterministic per-cell failures,
+	// which re-running would reproduce — enter the cache at one cell of
+	// cost per record. The eviction callback prunes the indexes.
+	s.cache.add(r.digest, r, len(recs))
+	s.mu.Unlock()
+
+	s.metrics.runsInFlight.Add(-1)
+	s.inRuns.Done()
+}
+
+// summarize folds sorted records into a Summary.
+func summarize(requested int, recs []harness.CellRecord) *Summary {
+	sum := &Summary{Requested: requested, ResultsDigest: harness.RecordsDigest(recs)}
+	var loadSum, delivSum int
+	for _, rec := range recs {
+		if rec.Err != "" {
+			sum.Failed++
+			continue
+		}
+		sum.Completed++
+		loadSum += rec.MaxLoad
+		delivSum += rec.Delivered
+		if rec.MaxLoad > sum.MaxLoadMax {
+			sum.MaxLoadMax = rec.MaxLoad
+		}
+	}
+	if sum.Completed > 0 {
+		sum.MaxLoadMean = float64(loadSum) / float64(sum.Completed)
+		sum.DeliveredMean = float64(delivSum) / float64(sum.Completed)
+	}
+	return sum
+}
+
+// handleSubmit accepts a scenario, dedupes it against the digest index,
+// and (by default) waits for the result. ?wait=0 detaches: the run is
+// pinned to completion and a 202 with the run id is returned.
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 4<<20))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("scenario body: %w", err))
+		return
+	}
+	sc, err := scenario.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	digest, err := sc.Digest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wait := req.URL.Query().Get("wait") != "0"
+
+	// Fast path: the digest alone decides cache hits and in-flight
+	// joins — no grid expansion for repeated workloads.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errors.New("service shutting down"))
+		return
+	}
+	if s.serveExistingLocked(w, req, digest, wait) {
+		return
+	}
+	s.mu.Unlock()
+
+	// Miss: lift the scenario to its sweep outside the lock (Parse has
+	// already validated the components, so failures here are rare).
+	sw, err := sc.Sweep()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sw.Workers = s.cfg.SweepWorkers
+	cells, err := sw.Cells()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errors.New("service shutting down"))
+		return
+	}
+	// Re-check: an identical submission may have landed while the sweep
+	// was being built; joining it preserves single-flight.
+	if s.serveExistingLocked(w, req, digest, wait) {
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	s.seq++
+	runCtx, cancel := context.WithCancel(s.baseCtx)
+	r := &run{
+		id:        fmt.Sprintf("r%d-%s", s.seq, strings.TrimPrefix(digest, scenario.DigestPrefix)[:12]),
+		digest:    digest,
+		name:      sc.Name,
+		sweep:     sw,
+		requested: len(cells),
+		ctx:       runCtx,
+		cancel:    cancel,
+		status:    StatusQueued,
+		changed:   make(chan struct{}),
+		done:      make(chan struct{}),
+		watchers:  1, // the submitter, detached by respondJoined
+	}
+	s.runs[r.id] = r
+	s.byDigest[digest] = r
+	s.metrics.runsStarted.Add(1)
+	s.metrics.runsInFlight.Add(1)
+	s.inRuns.Add(1)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- r:
+	default:
+		// Reject, but through the normal lifecycle: finish seals the run
+		// (waking any client that joined in the window above), drops its
+		// digest reservation, and keeps every counter monotonic.
+		r.cancel()
+		s.finish(r, fmt.Errorf("queue full (%d runs waiting): %w", s.cfg.QueueDepth, context.Canceled))
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("queue full (%d runs waiting)", s.cfg.QueueDepth))
+		return
+	}
+	s.respondJoined(w, req, r, wait)
+}
+
+// serveExistingLocked serves the submission from an already-known digest
+// — a completed cached run or an in-flight one to join. Must be entered
+// holding s.mu; returns true when the request was handled (s.mu then
+// released), false with s.mu still held.
+func (s *Server) serveExistingLocked(w http.ResponseWriter, req *http.Request, digest string, wait bool) bool {
+	existing, ok := s.byDigest[digest]
+	if !ok {
+		return false
+	}
+	existing.mu.Lock()
+	finished := existing.finished
+	if !finished {
+		// Attach while both locks are held: the last current watcher
+		// cannot slip out and cancel the run before we are counted.
+		existing.watchers++
+	}
+	existing.mu.Unlock()
+	if finished {
+		s.metrics.cacheHits.Add(1)
+		s.metrics.runsCached.Add(1)
+		s.cache.get(digest) // refresh recency
+		s.mu.Unlock()
+		rep := existing.report(true)
+		rep.Cached = true
+		writeJSON(w, http.StatusOK, rep)
+		return true
+	}
+	s.metrics.runsJoined.Add(1)
+	s.metrics.cacheHits.Add(1)
+	s.mu.Unlock()
+	s.respondJoined(w, req, existing, wait)
+	return true
+}
+
+// respondJoined completes a submission whose watcher is already counted:
+// either waiting for the run (the default) or pinning it and answering
+// 202. The caller's attach is always balanced here.
+func (s *Server) respondJoined(w http.ResponseWriter, req *http.Request, r *run, wait bool) {
+	if !wait {
+		r.pin()
+		r.detach()
+		writeJSON(w, http.StatusAccepted, r.report(false))
+		return
+	}
+	defer r.detach()
+	select {
+	case <-r.done:
+	case <-req.Context().Done():
+		// Client gone; detach (possibly cancelling the run) and stop.
+		return
+	}
+	rep := r.report(true)
+	code := http.StatusOK
+	if rep.Status == StatusCancelled {
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, rep)
+}
+
+// lookup finds a run by id, refreshing its cache recency.
+func (s *Server) lookup(id string) (*run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if ok {
+		s.cache.get(r.digest)
+	}
+	return r, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", req.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, r.report(true))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	reps := make([]Report, 0, len(s.runs))
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	for _, r := range runs {
+		reps = append(reps, r.report(false))
+	}
+	// Stable order for clients: by id. Ids are "r<seq>-…", so shorter ids
+	// sort first and equal lengths sort lexically — creation order.
+	sort.Slice(reps, func(i, j int) bool {
+		if len(reps[i].ID) != len(reps[j].ID) {
+			return len(reps[i].ID) < len(reps[j].ID)
+		}
+		return reps[i].ID < reps[j].ID
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"runs": reps})
+}
+
+// streamEvent is one NDJSON/SSE frame: a cell record or the final
+// summary.
+type streamEvent struct {
+	Type string `json:"type"`
+	harness.CellRecord
+}
+
+// handleStream follows a run: already-completed cells replay first, live
+// cells follow as they finish, and a summary event closes the stream.
+// Content is NDJSON by default, SSE when the client asks for
+// text/event-stream. Disconnecting mid-stream detaches the client, which
+// cancels the run if nobody else is watching.
+func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", req.PathValue("id")))
+		return
+	}
+	sse := strings.Contains(req.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	r.attach()
+	defer r.detach()
+
+	emit := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		}
+		if err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	next := 0
+	for {
+		r.mu.Lock()
+		pending := append([]harness.CellRecord(nil), r.records[next:]...)
+		changed := r.changed
+		finished := r.finished
+		r.mu.Unlock()
+		next += len(pending)
+		for _, rec := range pending {
+			if !emit("cell", streamEvent{Type: "cell", CellRecord: rec}) {
+				return
+			}
+		}
+		if finished {
+			rep := r.report(false)
+			emit("summary", struct {
+				Type string `json:"type"`
+				Report
+			}{Type: "summary", Report: rep})
+			return
+		}
+		select {
+		case <-changed:
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, registry.Catalog())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+		"in_flight":      s.metrics.runsInFlight.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	snap := snapshot{
+		cacheEntries:  s.cache.len(),
+		cacheCost:     s.cache.totalCost(),
+		cacheCapacity: s.cfg.CacheCells,
+		queueDepth:    len(s.queue),
+		workers:       s.cfg.Workers,
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, snap)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -82,6 +82,7 @@ import (
 	"smallbuffers/internal/rat"
 	"smallbuffers/internal/registry"
 	"smallbuffers/internal/scenario"
+	"smallbuffers/internal/service"
 	"smallbuffers/internal/sim"
 	"smallbuffers/internal/stats"
 	"smallbuffers/internal/trace"
@@ -503,7 +504,10 @@ func RenderSparkline(w io.Writer, series []int, width int) error {
 type (
 	// Scenario is a declarative, serializable workload description; run it
 	// with Scenario.Run, serialize with Scenario.Marshal, compile with
-	// Scenario.Compile (one-point) or Scenario.Sweep (grids).
+	// Scenario.Compile (one-point) or Scenario.Sweep (grids). Its content
+	// address is Scenario.Digest() — SHA-256 of the canonical Marshal
+	// form, stable across every JSON spelling of the same workload — the
+	// key the service tier's result cache memoizes on.
 	Scenario = scenario.Scenario
 	// ScenarioComponent names one registered component plus parameters.
 	ScenarioComponent = scenario.Component
@@ -531,6 +535,50 @@ func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data)
 // flat flag namespace; each component keeps the parameters its registry
 // schema declares.
 func ScenarioFromFlags(f ScenarioFlags) (*Scenario, error) { return scenario.FromFlags(f) }
+
+// --- Serving (Tier 3: the network execution tier) ---
+//
+// A Server is an http.Handler that accepts scenario JSON over HTTP
+// (POST /v1/runs), executes it on a bounded worker pool, streams per-cell
+// results (GET /v1/runs/{id}/stream, NDJSON or SSE), and memoizes
+// results in a digest-keyed LRU cache so identical workloads never
+// re-simulate. cmd/aqtserve is the ready-made daemon around it; embed a
+// Server directly to serve scenarios from your own process.
+
+type (
+	// Server is the embeddable scenario-execution service (an
+	// http.Handler); create it with NewServer and Drain/Close it on
+	// shutdown.
+	Server = service.Server
+	// ServerConfig sizes a Server: worker pool, per-run sweep workers,
+	// cache capacity in cells, and submit queue depth.
+	ServerConfig = service.Config
+	// ServerReport is the wire form of one served run: identity, status,
+	// per-cell records, and the results digest.
+	ServerReport = service.Report
+	// SweepCellRecord is the deterministic wire form of one executed
+	// cell — what the service streams and results digests hash over.
+	SweepCellRecord = harness.CellRecord
+	// RegistryCatalog is the serializable component catalog (the
+	// /v1/registry document).
+	RegistryCatalog = registry.CatalogDesc
+)
+
+// NewServer starts a scenario-execution service with cfg's bounds; the
+// zero Config gets production-lean defaults (4 workers, 4096-cell
+// cache).
+func NewServer(cfg ServerConfig) *Server { return service.New(cfg) }
+
+// Catalog snapshots the component registry in serializable form — every
+// registered topology, protocol, adversary, policy, and invariant with
+// its parameter schema (what a Server exposes at /v1/registry).
+func Catalog() RegistryCatalog { return registry.Catalog() }
+
+// SweepResultsDigest is the canonical content address of a set of cell
+// records: "sha256:<hex>" over their JSON encodings sorted by cell
+// index. Identical scenarios produce identical digests locally and
+// behind the service tier, at any worker count.
+func SweepResultsDigest(recs []SweepCellRecord) string { return harness.RecordsDigest(recs) }
 
 // --- Component registry (extension hooks) ---
 //
