@@ -215,37 +215,78 @@ func forEachScenarioFile(ctx context.Context, w io.Writer, path, verb, suffix st
 // runScenarios validates (and, unless validateOnly, executes) every
 // scenario file, reporting one block per file. Validation includes the
 // canonical round-trip: the marshaled form must load and re-marshal to
-// the same bytes.
+// the same bytes. Files that select metrics contribute their aggregated
+// summaries to a corpus-wide report (percentiles re-derived from the
+// merged histograms, not averaged).
 func runScenarios(ctx context.Context, w io.Writer, path string, validateOnly bool) error {
 	verb := "ran"
 	if validateOnly {
 		verb = "validated"
 	}
-	return forEachScenarioFile(ctx, w, path, verb, "", func(f string) error {
-		return runScenarioFile(ctx, w, f, validateOnly)
-	})
+	var corpus []map[string]sb.MetricSummary
+	if err := forEachScenarioFile(ctx, w, path, verb, "", func(f string) error {
+		m, err := runScenarioFile(ctx, w, f, validateOnly)
+		if len(m) > 0 {
+			corpus = append(corpus, m)
+		}
+		return err
+	}); err != nil {
+		return err
+	}
+	return printCorpusMetrics(w, corpus)
 }
 
-func runScenarioFile(ctx context.Context, w io.Writer, path string, validateOnly bool) error {
+// printMetricLines writes one "metric <name>: k=v …" line per summary,
+// sorted by name.
+func printMetricLines(w io.Writer, indent string, ms map[string]sb.MetricSummary) {
+	names := make([]string, 0, len(ms))
+	for name := range ms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := ms[name]
+		if line := s.ScalarLine(); line != "" {
+			fmt.Fprintf(w, "%smetric %-18s %s\n", indent, s.Name+":", line)
+		}
+	}
+}
+
+// printCorpusMetrics merges every contributing file's summaries and
+// reports corpus-wide aggregates.
+func printCorpusMetrics(w io.Writer, corpus []map[string]sb.MetricSummary) error {
+	if len(corpus) == 0 {
+		return nil
+	}
+	merged, err := sb.MergeMetricSummaries(corpus)
+	if err != nil || len(merged) == 0 {
+		return err
+	}
+	fmt.Fprintf(w, "\ncorpus metrics (merged over %d scenario files):\n", len(corpus))
+	printMetricLines(w, "  ", merged)
+	return nil
+}
+
+func runScenarioFile(ctx context.Context, w io.Writer, path string, validateOnly bool) (map[string]sb.MetricSummary, error) {
 	sc, err := sb.LoadScenarioFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Canonical round-trip gate: Marshal∘Load must be a fixed point.
 	first, err := sc.Marshal()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	reloaded, err := sb.ParseScenario(first)
 	if err != nil {
-		return fmt.Errorf("canonical form does not load: %w", err)
+		return nil, fmt.Errorf("canonical form does not load: %w", err)
 	}
 	second, err := reloaded.Marshal()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if string(first) != string(second) {
-		return fmt.Errorf("canonical form is not a marshal fixed point")
+		return nil, fmt.Errorf("canonical form is not a marshal fixed point")
 	}
 
 	title := sc.Name
@@ -254,12 +295,12 @@ func runScenarioFile(ctx context.Context, w io.Writer, path string, validateOnly
 	}
 	if validateOnly {
 		_, err := fmt.Fprintf(w, "%-28s valid\n", title)
-		return err
+		return nil, err
 	}
 
 	agg, err := sc.Run(ctx)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(w, "\n%s — %s\n", title, path)
 	if sc.Doc != "" {
@@ -274,10 +315,15 @@ func runScenarioFile(ctx context.Context, w io.Writer, path string, validateOnly
 		fmt.Fprintf(w, "  %-70s max load %3d, delivered %6d\n", cr.Cell, cr.Result.MaxLoad, cr.Result.Delivered)
 	}
 	if agg.Failed > 0 {
-		return fmt.Errorf("%d of %d cells failed: %v", agg.Failed, agg.Requested, agg.FirstErr())
+		return nil, fmt.Errorf("%d of %d cells failed: %v", agg.Failed, agg.Requested, agg.FirstErr())
+	}
+	var ms map[string]sb.MetricSummary
+	if len(sc.Metrics) > 0 {
+		ms = agg.Metrics
+		printMetricLines(w, "  ", ms)
 	}
 	_, err = fmt.Fprintf(w, "  ok (%d cells)\n", agg.Completed)
-	return err
+	return ms, err
 }
 
 // runScenariosRemote replays every scenario file against a running
@@ -288,40 +334,48 @@ func runScenarioFile(ctx context.Context, w io.Writer, path string, validateOnly
 func runScenariosRemote(ctx context.Context, w io.Writer, baseURL, path string) error {
 	baseURL = strings.TrimRight(baseURL, "/")
 	client := &http.Client{}
-	return forEachScenarioFile(ctx, w, path, "ran", " against "+baseURL, func(f string) error {
-		return runScenarioRemote(ctx, w, client, baseURL, f)
-	})
+	var corpus []map[string]sb.MetricSummary
+	if err := forEachScenarioFile(ctx, w, path, "ran", " against "+baseURL, func(f string) error {
+		m, err := runScenarioRemote(ctx, w, client, baseURL, f)
+		if len(m) > 0 {
+			corpus = append(corpus, m)
+		}
+		return err
+	}); err != nil {
+		return err
+	}
+	return printCorpusMetrics(w, corpus)
 }
 
-func runScenarioRemote(ctx context.Context, w io.Writer, client *http.Client, baseURL, path string) error {
+func runScenarioRemote(ctx context.Context, w io.Writer, client *http.Client, baseURL, path string) (map[string]sb.MetricSummary, error) {
 	sc, err := sb.LoadScenarioFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	body, err := sc.Marshal()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/runs", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var rep service.Report
 	if err := json.Unmarshal(data, &rep); err != nil {
-		return fmt.Errorf("bad response (%s): %w", resp.Status, err)
+		return nil, fmt.Errorf("bad response (%s): %w", resp.Status, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server: %s: %s", resp.Status, rep.Error)
+		return nil, fmt.Errorf("server: %s: %s", resp.Status, rep.Error)
 	}
 
 	title := sc.Name
@@ -341,13 +395,21 @@ func runScenarioRemote(ctx context.Context, w io.Writer, client *http.Client, ba
 		fmt.Fprintf(w, "  %-70s max load %3d, delivered %6d\n", cell.Cell, cell.MaxLoad, cell.Delivered)
 	}
 	if rep.Summary == nil {
-		return fmt.Errorf("server report carries no summary (status %s)", rep.Status)
+		return nil, fmt.Errorf("server report carries no summary (status %s)", rep.Status)
 	}
 	if rep.Summary.Failed > 0 {
-		return fmt.Errorf("%d of %d cells failed", rep.Summary.Failed, rep.Summary.Requested)
+		return nil, fmt.Errorf("%d of %d cells failed", rep.Summary.Failed, rep.Summary.Requested)
+	}
+	var ms map[string]sb.MetricSummary
+	if len(sc.Metrics) > 0 && len(rep.Summary.Metrics) > 0 {
+		ms = make(map[string]sb.MetricSummary, len(rep.Summary.Metrics))
+		for _, s := range rep.Summary.Metrics {
+			ms[s.Name] = s
+		}
+		printMetricLines(w, "  ", ms)
 	}
 	_, err = fmt.Fprintf(w, "  ok (%d cells, results %s)\n", rep.Summary.Completed, rep.ResultsDigest)
-	return err
+	return ms, err
 }
 
 // The JSON schema tracked across benchmark snapshots (BENCH_*.json): one

@@ -29,6 +29,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -74,6 +75,7 @@ type options struct {
 	verify  bool
 	heatmap bool
 	json    bool
+	metrics string
 }
 
 func run(ctx context.Context, args []string, w io.Writer) error {
@@ -102,6 +104,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs.IntVar(&o.m, "m", 4, "lowerbound base m")
 	fs.IntVar(&o.rounds, "rounds", 2000, "rounds to simulate (lowerbound: pattern length)")
 	fs.BoolVar(&o.verify, "verify", true, "re-check the adversary against its declared (ρ,σ) bound")
+	fs.StringVar(&o.metrics, "metrics", "", "comma-separated metric collectors (e.g. load_series,load_hist,latency); stats tables print after the run")
 	fs.BoolVar(&o.heatmap, "heatmap", false, "render an occupancy heatmap (single runs)")
 	fs.BoolVar(&o.json, "json", false, "dump the trace as JSON instead of text output (single runs)")
 	if err := fs.Parse(args); err != nil {
@@ -173,6 +176,12 @@ func buildScenario(o options) (*sb.Scenario, error) {
 	if o.scenario != "" {
 		return sb.LoadScenarioFile(o.scenario)
 	}
+	var metricNames []string
+	for _, name := range strings.Split(o.metrics, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			metricNames = append(metricNames, name)
+		}
+	}
 	return sb.ScenarioFromFlags(sb.ScenarioFlags{
 		Topology:  o.topology,
 		Protocol:  o.protocol,
@@ -189,6 +198,7 @@ func buildScenario(o options) (*sb.Scenario, error) {
 		Bandwidth: o.bandwidth,
 		Seed:      o.seed,
 		Verify:    o.verify,
+		Metrics:   metricNames,
 	})
 }
 
@@ -224,10 +234,48 @@ func runSingle(ctx context.Context, o options, sc *sb.Scenario, w io.Writer) err
 	if single.Note != "" {
 		fmt.Fprintf(w, "paper:      %s\n", single.Note)
 	}
+	if len(single.Metrics) > 0 {
+		if err := printMetrics(w, res.Metrics); err != nil {
+			return err
+		}
+	}
 	if o.heatmap {
 		fmt.Fprintln(w)
 		if err := rec.RenderHeatmap(w, 40); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// printMetrics renders each collector summary: the scalar line, an ASCII
+// histogram for distributions, and a sparkline per bounded series.
+func printMetrics(w io.Writer, ms map[string]sb.MetricSummary) error {
+	names := make([]string, 0, len(ms))
+	for name := range ms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := ms[name]
+		fmt.Fprintf(w, "\nmetric %s (%s)", s.Name, s.Kind)
+		if line := s.ScalarLine(); line != "" {
+			fmt.Fprintf(w, ": %s", line)
+		}
+		if len(s.Scalars) == 0 && s.Hist == nil && len(s.Series) == 0 {
+			fmt.Fprint(w, ": per-round series are per cell; rerun as a one-point scenario to plot them")
+		}
+		fmt.Fprintln(w)
+		if s.Hist != nil {
+			if err := sb.RenderHistogram(w, "", s.Hist.Bars(), 40); err != nil {
+				return err
+			}
+		}
+		for _, ser := range s.Series {
+			fmt.Fprintf(w, "  %s/%s, stride %d over %d rounds ", s.Name, ser.Key, ser.Stride, ser.Rounds)
+			if err := sb.RenderSeries(w, "", ser.Values, 72); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -255,6 +303,12 @@ func runSweep(ctx context.Context, sc *sb.Scenario, w io.Writer) error {
 	fmt.Fprintf(w, "\ncells:      %d completed, %d failed of %d\n", agg.Completed, agg.Failed, agg.Requested)
 	if agg.Completed > 0 {
 		fmt.Fprintf(w, "max load:   mean %.1f, max %d\n", agg.MaxLoad.Mean, int(agg.MaxLoad.Max))
+	}
+	if len(sc.Metrics) > 0 && len(agg.Metrics) > 0 {
+		fmt.Fprintf(w, "\naggregated metrics over %d clean cells:", agg.Completed)
+		if err := printMetrics(w, agg.Metrics); err != nil {
+			return err
+		}
 	}
 	if err != nil {
 		return err

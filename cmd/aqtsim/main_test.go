@@ -62,6 +62,50 @@ func TestProtocols(t *testing.T) {
 	}
 }
 
+func TestMetricsFlag(t *testing.T) {
+	out, err := runCLI(t, "-rounds", "200", "-metrics", "load_series,load_hist,latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"metric latency (hist)", "p50=", "p99=",
+		"metric load_hist (hist)",
+		"metric load_series (series)", "stride",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The metric set is part of the workload: it shows in the canonical
+	// dump and changes the scenario digest.
+	dump, err := runCLI(t, "-rounds", "200", "-metrics", "latency", "-dump-scenario")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump, `"metrics"`) || !strings.Contains(dump, `"latency"`) {
+		t.Errorf("dump lacks the metrics axis:\n%s", dump)
+	}
+	plain, err := runCLI(t, "-rounds", "200", "-digest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMetrics, err := runCLI(t, "-rounds", "200", "-metrics", "latency", "-digest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == withMetrics {
+		t.Error("scenario digest blind to the metrics axis")
+	}
+
+	if _, err := runCLI(t, "-rounds", "50", "-metrics", "nope"); err == nil || !strings.Contains(err.Error(), "unknown metric") {
+		t.Errorf("unknown metric error = %v", err)
+	}
+	if _, err := runCLI(t, "-scenario", "testdata-nonexistent.json", "-metrics", "latency"); err == nil || !strings.Contains(err.Error(), "-metrics") {
+		t.Errorf("-scenario plus -metrics should conflict, got %v", err)
+	}
+}
+
 func TestJSONOutput(t *testing.T) {
 	out, err := runCLI(t, "-json", "-rounds", "50")
 	if err != nil {

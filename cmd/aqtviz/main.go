@@ -111,7 +111,21 @@ func runScenarioDemo(ctx context.Context, path string) error {
 		return err
 	}
 	fmt.Println()
-	return sb.RenderSparkline(os.Stdout, rec.MaxLoadSeries(), 72)
+	if err := sb.RenderSparkline(os.Stdout, rec.MaxLoadSeries(), 72); err != nil {
+		return err
+	}
+	// Scenarios that select the load_series metric also plot the bounded
+	// series — the whole-run view that stays O(cap) at any horizon.
+	if ls, ok := res.Metrics["load_series"]; ok && len(single.Metrics) > 0 {
+		fmt.Println()
+		for _, ser := range ls.Series {
+			label := fmt.Sprintf("load_series/%s stride %d over %d rounds", ser.Key, ser.Stride, ser.Rounds)
+			if err := sb.RenderSeries(os.Stdout, label, ser.Values, 72); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func runDemo(ctx context.Context, n, d, rounds, bandwidth int) error {

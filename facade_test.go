@@ -192,6 +192,89 @@ func TestFacadeSurface(t *testing.T) {
 		}
 	})
 
+	t.Run("metrics", func(t *testing.T) {
+		if got := sb.RegisteredMetrics(); len(got) < 5 {
+			t.Errorf("RegisteredMetrics = %v, want the 5 built-ins", got)
+		}
+		hist, err := sb.NewMetric("load_hist", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series, err := sb.NewMetric("load_series", map[string]any{"cap": 16, "tail": 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := sb.NewPath(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv, err := sb.NewRandomAdversary(nw, sb.Bound{Rho: sb.NewRat(1, 2), Sigma: 1}, nil, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sb.RunContext(context.Background(),
+			sb.NewSpec(nw, sb.NewPPTS(), adv, 60, sb.WithMetrics(hist, series)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Metrics) != 2 {
+			t.Fatalf("Result.Metrics = %v", res.Metrics)
+		}
+		ls := res.Metrics["load_series"]
+		if s, ok := ls.SeriesByKey("max"); !ok || s.Rounds != 60 {
+			t.Errorf("load_series summary: %+v", ls)
+		}
+		merged, err := sb.MergeMetricSummaries([]map[string]sb.MetricSummary{res.Metrics, res.Metrics})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged["load_hist"].Hist == nil || merged["load_hist"].Hist.Count != 2*res.Metrics["load_hist"].Hist.Count {
+			t.Errorf("merged load_hist: %+v", merged["load_hist"])
+		}
+		var buf bytes.Buffer
+		if err := sb.RenderHistogram(&buf, "t", res.Metrics["load_hist"].Hist.Bars(), 20); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Error("empty histogram rendering")
+		}
+
+		// A custom collector registered through the facade is immediately
+		// selectable from scenario JSON.
+		err = sb.RegisterMetric(sb.RegistryMetric{
+			Name: "facade-test-rounds",
+			Doc:  "registered through the facade in a test",
+			Build: func(sb.RegistryParams) (sb.MetricCollector, error) {
+				return &roundCounter{}, nil
+			},
+		})
+		if err != nil && !strings.Contains(err.Error(), "duplicate") {
+			t.Fatal(err)
+		}
+		sc, err := sb.ParseScenario([]byte(`{
+			"topology": {"name": "path", "params": {"n": 8}},
+			"protocol": {"name": "ppts"},
+			"adversary": {"name": "stream"},
+			"bound": {"rho": "1/2", "sigma": 1},
+			"rounds": 25,
+			"metrics": [{"name": "facade-test-rounds"}]
+		}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg, err := sc.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg.Completed != 1 {
+			t.Fatalf("custom-metric scenario: %+v (first err: %v)", agg, agg.FirstErr())
+		}
+		got := agg.Cells[0].Result.Metrics["facade-test-rounds"]
+		if got.Scalar("rounds") != 25 {
+			t.Errorf("custom collector summary = %+v, want rounds=25", got)
+		}
+	})
+
 	t.Run("rendering", func(t *testing.T) {
 		var buf bytes.Buffer
 		if err := sb.RenderSparkline(&buf, []int{1, 3, 2, 5}, 20); err != nil {
@@ -200,5 +283,26 @@ func TestFacadeSurface(t *testing.T) {
 		if buf.Len() == 0 {
 			t.Error("empty sparkline")
 		}
+		buf.Reset()
+		if err := sb.RenderSeries(&buf, "forwards", []int{0, 2, 1}, 20); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "forwards") {
+			t.Errorf("series rendering lacks its label: %q", buf.String())
+		}
 	})
+}
+
+// roundCounter is a minimal custom collector exercising the extension
+// hook: it counts rounds through the facade-exported hook types.
+type roundCounter struct {
+	sb.MetricNopCollector
+	rounds int
+}
+
+func (c *roundCounter) Name() string                  { return "facade-test-rounds" }
+func (c *roundCounter) OnRoundEnd(int, sb.MetricView) { c.rounds++ }
+func (c *roundCounter) Summarize() sb.MetricSummary {
+	return sb.MetricSummary{Name: "facade-test-rounds", Kind: "scalar",
+		Scalars: map[string]int{"rounds": c.rounds}}
 }

@@ -7,11 +7,11 @@ import (
 	"smallbuffers/internal/adversary"
 	"smallbuffers/internal/baseline"
 	"smallbuffers/internal/core"
+	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/network"
 	"smallbuffers/internal/rat"
 	"smallbuffers/internal/sim"
 	"smallbuffers/internal/stats"
-	"smallbuffers/internal/trace"
 )
 
 // E11Latency measures the flip side the paper leaves implicit: the
@@ -54,9 +54,9 @@ func E11Latency() Experiment {
 				if err != nil {
 					return nil, err
 				}
-				lat := trace.NewLatencyRecorder()
-				res, err := sim.Run(ctx, sim.NewSpec(nw, proto, adv, 3000,
-					sim.WithObservers(lat)))
+				// The default metric set carries the latency
+				// distribution; no observer plumbing needed.
+				res, err := sim.Run(ctx, sim.NewSpec(nw, proto, adv, 3000))
 				if err != nil {
 					return nil, err
 				}
@@ -64,8 +64,9 @@ func E11Latency() Experiment {
 					ok = false
 				}
 				avg, _ := res.AvgLatency()
+				lat := res.Metrics[metrics.NameLatency]
 				table.AddRow(res.Protocol, res.MaxLoad, res.Delivered,
-					avg, lat.P(50), lat.P(99), res.MaxLatency)
+					avg, lat.Scalar("p50"), lat.Scalar("p99"), res.MaxLatency)
 				rows = append(rows, row{res.Protocol, res.MaxLoad, avg})
 			}
 			// Expected shape: greedy latency ≤ peak-to-sink latency, and the

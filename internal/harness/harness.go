@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/network"
 	"smallbuffers/internal/sim"
 	"smallbuffers/internal/stats"
@@ -156,6 +157,13 @@ type Sweep struct {
 	// run's instrumentation (fresh per run — observers are stateful).
 	Observers  func(c Cell, nw *network.Network) []sim.Observer
 	Invariants func(c Cell, nw *network.Network) []sim.Invariant
+
+	// Metrics, when set, builds the per-cell metric collectors (fresh per
+	// run — collectors are stateful); their summaries ride each cell's
+	// Result.Metrics, the wire records, and the results digest. A build
+	// error fails the cell. Unset means the default {max_load, latency}
+	// set.
+	Metrics func(c Cell, nw *network.Network) ([]metrics.Collector, error)
 }
 
 // validate checks the axes before expansion. Axis names must be unique:
@@ -374,7 +382,7 @@ func (s *Sweep) runCell(ctx context.Context, eng **sim.Engine, c Cell) CellResul
 	if err != nil {
 		return CellResult{Cell: c, Err: fmt.Errorf("harness: %v: adversary: %w", c, err)}
 	}
-	opts := make([]sim.Option, 0, 3)
+	opts := make([]sim.Option, 0, 4)
 	if s.VerifyAdversary {
 		opts = append(opts, sim.WithVerifyAdversary())
 	}
@@ -383,6 +391,13 @@ func (s *Sweep) runCell(ctx context.Context, eng **sim.Engine, c Cell) CellResul
 	}
 	if s.Invariants != nil {
 		opts = append(opts, sim.WithInvariants(s.Invariants(c, nw)...))
+	}
+	if s.Metrics != nil {
+		cs, err := s.Metrics(c, nw)
+		if err != nil {
+			return CellResult{Cell: c, Err: fmt.Errorf("harness: %v: metrics: %w", c, err)}
+		}
+		opts = append(opts, sim.WithMetrics(cs...))
 	}
 	spec := sim.NewSpec(nw, p, a, c.Rounds, opts...)
 
@@ -454,6 +469,12 @@ type SweepResult struct {
 	MaxLoad    stats.Summary
 	AvgLatency stats.Summary
 	Delivered  stats.Summary
+
+	// Metrics aggregates the clean cells' metric summaries per collector
+	// name, folded in cell-index order (see metrics.Merge: histograms
+	// merge bucket-wise with re-derived quantiles, scalars merge by
+	// maximum except anchored argmax groups, series drop).
+	Metrics map[string]metrics.Summary
 }
 
 // FirstErr returns the lowest-indexed cell error, or nil.
@@ -490,6 +511,22 @@ func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
 		}
 	}
 	sort.Slice(agg.Cells, func(i, j int) bool { return agg.Cells[i].Cell.Index < agg.Cells[j].Cell.Index })
+	// Merge metric summaries in cell-index order — anchored merges break
+	// ties toward the earlier fold argument, so the order must be
+	// canonical (and match the service tier, which merges sorted
+	// records), never worker-completion order. Same-name summaries
+	// always merge cleanly (one collector per name per cell); an error
+	// would mean mixed kinds under one name, which the registry rules
+	// out — drop the aggregate rather than the sweep.
+	var perCell []map[string]metrics.Summary
+	for _, cr := range agg.Cells {
+		if cr.Err == nil && len(cr.Result.Metrics) > 0 {
+			perCell = append(perCell, cr.Result.Metrics)
+		}
+	}
+	if merged, err := metrics.MergeAll(perCell); err == nil {
+		agg.Metrics = merged
+	}
 	if err := ctx.Err(); err != nil {
 		agg.Interrupted = true
 		return agg, err

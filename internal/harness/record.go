@@ -4,7 +4,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"sort"
+
+	"smallbuffers/internal/metrics"
 )
 
 // CellRecord is the wire form of one executed cell: the cell label plus
@@ -13,19 +16,34 @@ import (
 // over — they deliberately carry no floats and no wall-clock data, so the
 // same scenario always produces byte-identical records at any worker
 // count, on any machine.
+//
+// Metrics carries the run's collector summaries (integer-only by
+// construction, sorted by collector name): the scenario-selected set, or
+// the default {max_load, latency} pair.
 type CellRecord struct {
-	Index           int    `json:"index"`
-	Cell            string `json:"cell"`
-	MaxLoad         int    `json:"max_load"`
-	MaxLoadNode     int    `json:"max_load_node"`
-	MaxLoadRound    int    `json:"max_load_round"`
-	MaxPhysicalLoad int    `json:"max_physical_load"`
-	Injected        int    `json:"injected"`
-	Delivered       int    `json:"delivered"`
-	Residual        int    `json:"residual"`
-	MaxLatency      int    `json:"max_latency"`
-	TotalLatency    int    `json:"total_latency"`
-	Err             string `json:"error,omitempty"`
+	Index           int               `json:"index"`
+	Cell            string            `json:"cell"`
+	MaxLoad         int               `json:"max_load"`
+	MaxLoadNode     int               `json:"max_load_node"`
+	MaxLoadRound    int               `json:"max_load_round"`
+	MaxPhysicalLoad int               `json:"max_physical_load"`
+	Injected        int               `json:"injected"`
+	Delivered       int               `json:"delivered"`
+	Residual        int               `json:"residual"`
+	MaxLatency      int               `json:"max_latency"`
+	TotalLatency    int               `json:"total_latency"`
+	Metrics         []metrics.Summary `json:"metrics,omitempty"`
+	Err             string            `json:"error,omitempty"`
+}
+
+// MetricByName returns the record's summary for the named collector.
+func (r CellRecord) MetricByName(name string) (metrics.Summary, bool) {
+	for _, s := range r.Metrics {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return metrics.Summary{}, false
 }
 
 // Record renders the cell result in wire form. Failed cells carry the
@@ -45,6 +63,7 @@ func (r CellResult) Record() CellRecord {
 	rec.Residual = r.Result.Residual
 	rec.MaxLatency = r.Result.MaxLatency
 	rec.TotalLatency = r.Result.TotalLatency
+	rec.Metrics = metrics.Records(r.Result.Metrics)
 	return rec
 }
 
@@ -69,14 +88,28 @@ func RecordsSorted(recs []CellRecord) []CellRecord {
 	return out
 }
 
+// RecordsVersion is the wire version of the records-digest scheme,
+// folded into every digest so digests from different schema generations
+// never compare equal by accident. History:
+//
+//	v1 — scalar-only records (pre-metrics).
+//	v2 — records carry canonical metric summaries (the "metrics" field);
+//	     the digest input gained this version header.
+//
+// Bump it whenever CellRecord's wire form changes; persisted corpus
+// digests must be regenerated in the same change.
+const RecordsVersion = 2
+
 // RecordsDigest is the canonical content address of a set of cell
-// records: "sha256:<hex>" over their JSON encodings, one per line, sorted
-// by cell index. Two executions of the same scenario — local or behind the
-// service tier, at any worker count — produce the same digest, which is
-// what the CI corpus gate and the remote-vs-local comparisons key on.
+// records: "sha256:<hex>" over a version header ("v<RecordsVersion>")
+// followed by their JSON encodings, one per line, sorted by cell index.
+// Two executions of the same scenario — local or behind the service
+// tier, at any worker count — produce the same digest, which is what the
+// CI corpus gate and the remote-vs-local comparisons key on.
 func RecordsDigest(recs []CellRecord) string {
 	sorted := RecordsSorted(recs)
 	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n", RecordsVersion)
 	for _, rec := range sorted {
 		line, err := json.Marshal(rec)
 		if err != nil {

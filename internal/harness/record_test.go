@@ -2,9 +2,14 @@ package harness
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
+
+	"smallbuffers/internal/metrics"
 )
 
 func TestRecordsDigestOrderInvariant(t *testing.T) {
@@ -31,6 +36,26 @@ func TestRecordsDigestSensitive(t *testing.T) {
 	failed := []CellRecord{{Index: 0, Cell: "a", Err: "x"}}
 	if RecordsDigest(base) == RecordsDigest(failed) {
 		t.Error("digest blind to a cell failure")
+	}
+	withMetrics := []CellRecord{{Index: 0, Cell: "a", MaxLoad: 3,
+		Metrics: []metrics.Summary{{Name: "load_hist", Kind: metrics.KindHist, Hist: &metrics.HistRecord{Count: 1, Exact: []int{1}}}}}}
+	if RecordsDigest(base) == RecordsDigest(withMetrics) {
+		t.Error("digest blind to metric summaries")
+	}
+}
+
+// TestRecordsDigestVersionGate pins the digest scheme: the version
+// header is part of the hash input, so a schema bump (RecordsVersion)
+// invalidates every stored digest instead of colliding with old ones.
+func TestRecordsDigestVersionGate(t *testing.T) {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n", RecordsVersion)
+	want := "sha256:" + hex.EncodeToString(h.Sum(nil))
+	if got := RecordsDigest(nil); got != want {
+		t.Errorf("empty digest = %s, want the v%d header hash %s", got, RecordsVersion, want)
+	}
+	if RecordsVersion != 2 {
+		t.Errorf("RecordsVersion = %d; the v2 scheme carries metric summaries — bumping it requires regenerating stored digests", RecordsVersion)
 	}
 }
 

@@ -1,0 +1,318 @@
+package metrics
+
+import "smallbuffers/internal/network"
+
+// Registry names of the built-in collectors.
+const (
+	NameMaxLoad        = "max_load"
+	NameLoadSeries     = "load_series"
+	NameLoadHist       = "load_hist"
+	NameLatency        = "latency"
+	NameLinkUtilSeries = "link_util_series"
+)
+
+// MaxLoadCollector reproduces the engine's historical headline scalars:
+// the maximum visible occupancy over all rounds and nodes (sampled at L_t
+// and post-forwarding), the first node/round attaining it, the physical
+// maximum including staged packets, and the per-node maxima. It is the
+// source of Result.MaxLoad and friends — always on, whether selected or
+// not.
+type MaxLoadCollector struct {
+	NopCollector
+	maxLoad     int
+	node        network.NodeID
+	round       int
+	maxPhysical int
+	perNode     []int
+}
+
+// NewMaxLoad returns an empty max_load collector.
+func NewMaxLoad() *MaxLoadCollector { return &MaxLoadCollector{} }
+
+// Name implements Collector.
+func (c *MaxLoadCollector) Name() string { return NameMaxLoad }
+
+// OnSample implements Collector: fold the configuration's occupancies
+// into the maxima. Strictly-greater updates locate the *first* maximum
+// (lowest round, then lowest node), matching the engine's historical
+// behavior exactly.
+func (c *MaxLoadCollector) OnSample(round int, _ Point, v View) {
+	n := v.Net().Len()
+	if len(c.perNode) < n {
+		c.perNode = append(c.perNode, make([]int, n-len(c.perNode))...)
+	}
+	for u := 0; u < n; u++ {
+		load := v.Load(network.NodeID(u))
+		if load > c.perNode[u] {
+			c.perNode[u] = load
+		}
+		if load > c.maxLoad {
+			c.maxLoad = load
+			c.node = network.NodeID(u)
+			c.round = round
+		}
+		if phys := load + v.Staged(network.NodeID(u)); phys > c.maxPhysical {
+			c.maxPhysical = phys
+		}
+	}
+}
+
+// MaxLoad returns the maximum visible occupancy so far.
+func (c *MaxLoadCollector) MaxLoad() int { return c.maxLoad }
+
+// MaxLoadNode returns the node of the first maximum.
+func (c *MaxLoadCollector) MaxLoadNode() network.NodeID { return c.node }
+
+// MaxLoadRound returns the round of the first maximum.
+func (c *MaxLoadCollector) MaxLoadRound() int { return c.round }
+
+// MaxPhysicalLoad returns the maximum occupancy including staged packets.
+func (c *MaxLoadCollector) MaxPhysicalLoad() int { return c.maxPhysical }
+
+// PerNodeMax returns the per-node maxima (shared; callers must copy
+// before mutating).
+func (c *MaxLoadCollector) PerNodeMax() []int { return c.perNode }
+
+// Summarize implements Collector. The summary anchors node/round on
+// max_load, so cross-run merges keep the argmax position attributed to
+// the run the grid maximum actually occurred in; max_physical_load is an
+// independent maximum and merges element-wise.
+func (c *MaxLoadCollector) Summarize() Summary {
+	return Summary{Name: NameMaxLoad, Kind: KindScalar,
+		Anchor: "max_load", Anchored: []string{"max_load_node", "max_load_round"},
+		Scalars: map[string]int{
+			"max_load":          c.maxLoad,
+			"max_load_node":     int(c.node),
+			"max_load_round":    c.round,
+			"max_physical_load": c.maxPhysical,
+		}}
+}
+
+// LoadSeriesCollector records occupancy behavior over time as two bounded
+// series: "max" (the per-round maximum node occupancy, over both sample
+// points) and "total" (the visible L_t occupancy summed over nodes).
+// Memory stays O(cap) regardless of the horizon — small buffers for the
+// simulator itself.
+type LoadSeriesCollector struct {
+	NopCollector
+	maxSeries   *BoundedSeries
+	totalSeries *BoundedSeries
+	roundMax    int
+	roundTotal  int
+}
+
+// NewLoadSeries returns a load_series collector bounded to capPoints
+// downsampled points and a tailCap-round exact tail per series.
+func NewLoadSeries(capPoints, tailCap int) *LoadSeriesCollector {
+	return &LoadSeriesCollector{
+		maxSeries:   NewBoundedSeries("max", AggMax, capPoints, tailCap),
+		totalSeries: NewBoundedSeries("total", AggMax, capPoints, tailCap),
+	}
+}
+
+// Name implements Collector.
+func (c *LoadSeriesCollector) Name() string { return NameLoadSeries }
+
+// OnSample implements Collector.
+func (c *LoadSeriesCollector) OnSample(_ int, p Point, v View) {
+	n := v.Net().Len()
+	total := 0
+	for u := 0; u < n; u++ {
+		load := v.Load(network.NodeID(u))
+		if load > c.roundMax {
+			c.roundMax = load
+		}
+		total += load
+	}
+	if p == LT {
+		c.roundTotal = total
+	}
+}
+
+// OnRoundEnd implements Collector: finalize the round's points.
+func (c *LoadSeriesCollector) OnRoundEnd(int, View) {
+	c.maxSeries.Append(c.roundMax)
+	c.totalSeries.Append(c.roundTotal)
+	c.roundMax, c.roundTotal = 0, 0
+}
+
+// Summarize implements Collector.
+func (c *LoadSeriesCollector) Summarize() Summary {
+	return Summary{Name: NameLoadSeries, Kind: KindSeries,
+		Series: []SeriesRecord{c.maxSeries.Record(), c.totalSeries.Record()}}
+}
+
+// LoadHistCollector accumulates the occupancy distribution: every node's
+// visible load at the paper's measurement point L_t, every round — n·T
+// samples in O(1) memory. Where the max_load collector answers "how bad
+// did it get", the histogram answers "how bad is it usually" (the lens
+// of the buffer-sizing literature).
+type LoadHistCollector struct {
+	NopCollector
+	hist *Hist
+}
+
+// NewLoadHist returns an empty load_hist collector.
+func NewLoadHist() *LoadHistCollector { return &LoadHistCollector{hist: NewHist()} }
+
+// Name implements Collector.
+func (c *LoadHistCollector) Name() string { return NameLoadHist }
+
+// OnSample implements Collector: fold every node's L_t occupancy.
+func (c *LoadHistCollector) OnSample(_ int, p Point, v View) {
+	if p != LT {
+		return
+	}
+	n := v.Net().Len()
+	for u := 0; u < n; u++ {
+		c.hist.Add(v.Load(network.NodeID(u)))
+	}
+}
+
+// Summarize implements Collector.
+func (c *LoadHistCollector) Summarize() Summary {
+	rec := c.hist.Record()
+	return Summary{Name: NameLoadHist, Kind: KindHist, Hist: rec, Scalars: map[string]int{
+		"p50": rec.Quantile(50),
+		"p90": rec.Quantile(90),
+		"p99": rec.Quantile(99),
+	}}
+}
+
+// LatencyCollector accumulates the delivery-latency distribution
+// (delivery round − injection round, per delivered packet) with exact
+// count/sum/max and histogram-derived percentiles. It is the source of
+// Result.MaxLatency and Result.TotalLatency — always on, whether
+// selected or not.
+type LatencyCollector struct {
+	NopCollector
+	hist *Hist
+}
+
+// NewLatency returns an empty latency collector.
+func NewLatency() *LatencyCollector { return &LatencyCollector{hist: NewHist()} }
+
+// Name implements Collector.
+func (c *LatencyCollector) Name() string { return NameLatency }
+
+// OnForward implements Collector: fold delivered moves.
+func (c *LatencyCollector) OnForward(round int, moves []Move) {
+	for _, m := range moves {
+		if m.Delivered {
+			c.hist.Add(round - m.Inject)
+		}
+	}
+}
+
+// Count returns the number of recorded deliveries.
+func (c *LatencyCollector) Count() int { return c.hist.Count() }
+
+// MaxLatency returns the exact maximum delivery latency.
+func (c *LatencyCollector) MaxLatency() int { return c.hist.Max() }
+
+// TotalLatency returns the exact sum of delivery latencies.
+func (c *LatencyCollector) TotalLatency() int { return c.hist.Sum() }
+
+// Quantile returns the p-th latency percentile (see HistRecord.Quantile).
+func (c *LatencyCollector) Quantile(p float64) int { return c.hist.Quantile(p) }
+
+// Summarize implements Collector.
+func (c *LatencyCollector) Summarize() Summary {
+	rec := c.hist.Record()
+	return Summary{Name: NameLatency, Kind: KindHist, Hist: rec, Scalars: map[string]int{
+		"count": rec.Count,
+		"sum":   rec.Sum,
+		"max":   rec.Max,
+		"p50":   rec.Quantile(50),
+		"p90":   rec.Quantile(90),
+		"p99":   rec.Quantile(99),
+	}}
+}
+
+// LinkUtilCollector records link activity over time: a bounded "forwards"
+// series (packets forwarded per round, summed when downsampled, so every
+// point is an exact interval total) plus the busiest link by utilization
+// (total forwards relative to the link's rounds × bandwidth budget; ties
+// break to the lowest NodeID, matching Result.MaxLinkUtilization).
+type LinkUtilCollector struct {
+	NopCollector
+	series        *BoundedSeries
+	roundForwards int
+	perLink       []int
+	bandwidths    []int
+	hasLink       []bool
+}
+
+// NewLinkUtilSeries returns a link_util_series collector bounded to
+// capPoints downsampled points and a tailCap-round exact tail.
+func NewLinkUtilSeries(capPoints, tailCap int) *LinkUtilCollector {
+	return &LinkUtilCollector{series: NewBoundedSeries("forwards", AggSum, capPoints, tailCap)}
+}
+
+// Name implements Collector.
+func (c *LinkUtilCollector) Name() string { return NameLinkUtilSeries }
+
+// OnSample implements Collector: capture the link structure once.
+func (c *LinkUtilCollector) OnSample(_ int, p Point, v View) {
+	if c.perLink != nil || p != LT {
+		return
+	}
+	n := v.Net().Len()
+	c.perLink = make([]int, n)
+	c.bandwidths = make([]int, n)
+	c.hasLink = make([]bool, n)
+	for u := 0; u < n; u++ {
+		if v.Net().Next(network.NodeID(u)) != network.None {
+			c.hasLink[u] = true
+			c.bandwidths[u] = v.Bandwidth(network.NodeID(u))
+		}
+	}
+}
+
+// OnForward implements Collector.
+func (c *LinkUtilCollector) OnForward(_ int, moves []Move) {
+	c.roundForwards += len(moves)
+	for _, m := range moves {
+		if int(m.From) < len(c.perLink) {
+			c.perLink[m.From]++
+		}
+	}
+}
+
+// OnRoundEnd implements Collector.
+func (c *LinkUtilCollector) OnRoundEnd(int, View) {
+	c.series.Append(c.roundForwards)
+	c.roundForwards = 0
+}
+
+// Summarize implements Collector. busiest_link is −1 when the topology
+// has no links or nothing was forwarded. The summary anchors the
+// busiest-link identity on busiest_forwards, so cross-run merges report
+// one coherent link picture (the run with the most-loaded busiest link)
+// while total_forwards merges element-wise.
+func (c *LinkUtilCollector) Summarize() Summary {
+	busiest, total := -1, 0
+	for u, f := range c.perLink {
+		total += f
+		if f == 0 || !c.hasLink[u] {
+			continue
+		}
+		// Compare utilizations f/B exactly by cross-multiplication (the
+		// shared rounds factor cancels); strict inequality keeps the
+		// lowest NodeID on ties.
+		if busiest < 0 || f*c.bandwidths[busiest] > c.perLink[busiest]*c.bandwidths[u] {
+			busiest = u
+		}
+	}
+	scalars := map[string]int{
+		"busiest_link":   busiest,
+		"total_forwards": total,
+	}
+	if busiest >= 0 {
+		scalars["busiest_forwards"] = c.perLink[busiest]
+		scalars["busiest_bandwidth"] = c.bandwidths[busiest]
+	}
+	return Summary{Name: NameLinkUtilSeries, Kind: KindSeries,
+		Anchor: "busiest_forwards", Anchored: []string{"busiest_link", "busiest_bandwidth"},
+		Scalars: scalars, Series: []SeriesRecord{c.series.Record()}}
+}

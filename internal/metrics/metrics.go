@@ -1,0 +1,301 @@
+// Package metrics is the measurement tier of the execution API: typed
+// collectors observe a run through narrow hooks and distill it into
+// Summary values — small, integer-only, deterministic records that travel
+// unchanged through the harness, the service tier, and result digests.
+//
+// The paper's results are statements about buffer-occupancy behavior over
+// time (L_t sampled every round, maxima versus bandwidth, delivery-latency
+// distributions), so measurement cannot be a closed struct of scalars:
+// every new question would mean editing sim, harness, service, and the
+// CLIs in lockstep. Instead, a Collector is a value selected by name from
+// the component registry, the engine drives whatever set the run's Spec
+// names, and the distilled Summaries flow engine → harness → service →
+// CLIs as data.
+//
+// The package deliberately depends only on the leaf model packages
+// (network), never on sim: sim imports metrics to populate
+// Result.Metrics, so the observation surface is mirrored here as the
+// minimal View and Move types, which the engine satisfies and adapts.
+//
+// # Determinism
+//
+// Every Summary payload is integers: exact scalars, bounded integer
+// series, and integer histogram buckets. Quantiles are derived from
+// histograms by deterministic rules (exact below the histogram's exact
+// range, bucket lower bounds above it). Two executions of the same
+// workload — at any worker count, on any machine — produce byte-identical
+// summaries, which is what lets metric records fold into results digests.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"smallbuffers/internal/network"
+)
+
+// View is the read-only slice of engine state collectors observe: a
+// metrics-local mirror of sim.View (plus the staging count) so sim can
+// depend on metrics without an import cycle. *sim.Engine satisfies it.
+type View interface {
+	// Round returns the current (0-based) round number.
+	Round() int
+	// Net returns the topology.
+	Net() *network.Network
+	// Load returns |L(v)|, the number of packets visibly buffered at v.
+	Load(v network.NodeID) int
+	// Bandwidth returns B(v), the capacity of v's outgoing link.
+	Bandwidth(v network.NodeID) int
+	// Staged returns the number of packets injected at v but not yet
+	// visible to a phased protocol (zero for unphased protocols).
+	Staged(v network.NodeID) int
+}
+
+// Point identifies an occupancy sample point within a round.
+type Point int
+
+const (
+	// LT is the paper's measurement point: after the injection step,
+	// before the forwarding step.
+	LT Point = iota
+	// PostForward samples after the forwarding step (receivers that did
+	// not forward can peak here).
+	PostForward
+)
+
+// Move mirrors sim.Move with exactly the fields collectors consume: the
+// link it crossed, whether it was a delivery, and the packet's injection
+// round (for latency accounting).
+type Move struct {
+	From, To  network.NodeID
+	Delivered bool
+	// Inject is the round the moved packet was injected.
+	Inject int
+}
+
+// Collector observes one run and distills it into a Summary. Collectors
+// are stateful and single-run: build a fresh instance per run (the
+// registry's Build does). Summarize must be pure and repeatable — the
+// engine snapshots summaries mid-run for partial Results.
+type Collector interface {
+	// Name is the collector's registry name; it keys the Summary in
+	// Result.Metrics.
+	Name() string
+	// OnSample fires at each occupancy sample point: once at L_t and once
+	// post-forwarding, every round, in that order.
+	OnSample(round int, p Point, v View)
+	// OnForward fires after the forwarding step with the applied moves.
+	// Rounds that move no packets skip the call. The moves slice is a
+	// scratch buffer the engine reuses every round: it is valid only for
+	// the duration of the call, so collectors that need it later must
+	// copy it.
+	OnForward(round int, moves []Move)
+	// OnRoundEnd fires at the end of each round with the post-forwarding
+	// configuration; per-round series points are finalized here.
+	OnRoundEnd(round int, v View)
+	// Summarize distills the observations so far into a Summary.
+	Summarize() Summary
+}
+
+// NopCollector is a Collector with no-op hooks, for embedding.
+type NopCollector struct{}
+
+// OnSample implements Collector.
+func (NopCollector) OnSample(int, Point, View) {}
+
+// OnForward implements Collector.
+func (NopCollector) OnForward(int, []Move) {}
+
+// OnRoundEnd implements Collector.
+func (NopCollector) OnRoundEnd(int, View) {}
+
+// Summary kinds, as reported in the "kind" field of the wire form.
+const (
+	KindScalar = "scalar" // named integer scalars only
+	KindSeries = "series" // bounded per-round series (plus scalars)
+	KindHist   = "hist"   // histogram with derived quantile scalars
+)
+
+// Summary is a collector's distilled output in canonical wire form:
+// named integer scalars, optional bounded series, and an optional
+// histogram. All payloads are integers and all map keys marshal sorted,
+// so the JSON encoding is deterministic and digest-stable.
+type Summary struct {
+	Name    string         `json:"name"`
+	Kind    string         `json:"kind"`
+	Scalars map[string]int `json:"scalars,omitempty"`
+	Series  []SeriesRecord `json:"series,omitempty"`
+	Hist    *HistRecord    `json:"hist,omitempty"`
+	// Anchor optionally names the scalar that decides cross-run merges
+	// of the Anchored key group: the run with the greater anchor value
+	// contributes the anchor and every Anchored scalar, keeping
+	// argmax-position scalars (max_load_node, busiest_link, …)
+	// attributed to the run the maximum actually occurred in. All other
+	// scalars merge element-wise by maximum.
+	Anchor   string   `json:"anchor,omitempty"`
+	Anchored []string `json:"anchored,omitempty"`
+}
+
+// Scalar returns the named scalar (zero if absent).
+func (s Summary) Scalar(key string) int { return s.Scalars[key] }
+
+// SeriesByKey returns the series with the given key, if present.
+func (s Summary) SeriesByKey(key string) (SeriesRecord, bool) {
+	for _, sr := range s.Series {
+		if sr.Key == key {
+			return sr, true
+		}
+	}
+	return SeriesRecord{}, false
+}
+
+// Merge folds two same-name summaries from different runs into one
+// aggregate — the cross-cell aggregation the harness, the service
+// summary event, and aqtbench's corpus percentiles use. The rules are
+// deterministic per payload:
+//
+//   - histograms merge bucket-wise, and every quantile scalar (p50, p90,
+//     p99) plus count/sum/min/max is re-derived from the merged histogram;
+//   - scalars merge by element-wise maximum (the aggregate of per-run
+//     maxima is the grid maximum) — except the anchored group: when
+//     Anchor names a scalar, the run with the greater anchor value
+//     contributes the anchor and every Anchored key, so argmax-position
+//     scalars (max_load_node, max_load_round, busiest_link, …) stay
+//     attributed to the run the maximum actually occurred in; anchor
+//     ties keep the first argument, so callers must fold in a canonical
+//     order (the harness and service both fold in cell-index order);
+//   - series are dropped — per-round series from different runs have no
+//     canonical alignment, so an aggregate carries none.
+//
+// Merging summaries with different names or kinds is an error.
+func Merge(a, b Summary) (Summary, error) {
+	if a.Name != b.Name || a.Kind != b.Kind {
+		return Summary{}, fmt.Errorf("metrics: cannot merge %s/%s with %s/%s", a.Name, a.Kind, b.Name, b.Kind)
+	}
+	out := Summary{Name: a.Name, Kind: a.Kind, Anchor: a.Anchor, Anchored: a.Anchored}
+	if a.Hist != nil || b.Hist != nil {
+		h := &HistRecord{}
+		h.merge(a.Hist)
+		h.merge(b.Hist)
+		out.Hist = h
+		out.Scalars = histScalars(h, scalarKeys(a.Scalars, b.Scalars))
+		return out, nil
+	}
+	keys := scalarKeys(a.Scalars, b.Scalars)
+	if len(keys) > 0 {
+		out.Scalars = make(map[string]int, len(keys))
+		for _, k := range keys {
+			out.Scalars[k] = max(a.Scalars[k], b.Scalars[k])
+		}
+	}
+	if anchor := a.Anchor; anchor != "" && anchor == b.Anchor && len(out.Scalars) > 0 {
+		winner := a
+		if b.Scalars[anchor] > a.Scalars[anchor] {
+			winner = b
+		}
+		for _, k := range append([]string{anchor}, winner.Anchored...) {
+			if v, ok := winner.Scalars[k]; ok {
+				out.Scalars[k] = v
+			} else {
+				delete(out.Scalars, k)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MergeAll folds a set of same-shaped summary maps (one per run) into one
+// aggregate map. Runs that lack a name other runs carry still contribute
+// to the names they have.
+func MergeAll(runs []map[string]Summary) (map[string]Summary, error) {
+	out := make(map[string]Summary)
+	for _, m := range runs {
+		for name, s := range m {
+			prev, ok := out[name]
+			if !ok {
+				out[name] = s
+				continue
+			}
+			merged, err := Merge(prev, s)
+			if err != nil {
+				return nil, err
+			}
+			out[name] = merged
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// scalarKeys is the sorted union of the two scalar key sets.
+func scalarKeys(a, b map[string]int) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// histScalars re-derives the conventional histogram scalars for the keys
+// the inputs carried: quantiles from the merged buckets, count/sum/max
+// from the merged totals. Unknown keys fall back to the merged maximum
+// semantics and are simply dropped (they cannot be re-derived).
+func histScalars(h *HistRecord, keys []string) map[string]int {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(keys))
+	for _, k := range keys {
+		switch k {
+		case "p50":
+			out[k] = h.Quantile(50)
+		case "p90":
+			out[k] = h.Quantile(90)
+		case "p99":
+			out[k] = h.Quantile(99)
+		case "count":
+			out[k] = h.Count
+		case "sum":
+			out[k] = h.Sum
+		case "min":
+			out[k] = h.Min
+		case "max":
+			out[k] = h.Max
+		}
+	}
+	return out
+}
+
+// SortedNames returns the summary map's keys in sorted order — the
+// canonical iteration order for tables and wire records.
+func SortedNames(m map[string]Summary) []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Records renders a summary map as a canonical list, sorted by name —
+// the wire form harness.CellRecord embeds.
+func Records(m map[string]Summary) []Summary {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Summary, 0, len(m))
+	for _, name := range SortedNames(m) {
+		out = append(out, m[name])
+	}
+	return out
+}

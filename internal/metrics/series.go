@@ -1,0 +1,136 @@
+package metrics
+
+import "fmt"
+
+// Aggregation names for downsampled series points.
+const (
+	AggMax = "max" // a point is the maximum of the rounds it covers
+	AggSum = "sum" // a point is the sum over the rounds it covers
+)
+
+// SeriesRecord is the canonical wire form of one bounded per-round
+// series: Values[i] aggregates rounds [i·Stride, (i+1)·Stride) under Agg
+// (the final point may cover fewer rounds), and Tail holds the exact
+// per-round values of the last min(len(Tail), Rounds) rounds so the most
+// recent behavior is always available at full resolution.
+type SeriesRecord struct {
+	Key    string `json:"key"`
+	Agg    string `json:"agg"`
+	Stride int    `json:"stride"`
+	Rounds int    `json:"rounds"`
+	Values []int  `json:"values,omitempty"`
+	Tail   []int  `json:"tail,omitempty"`
+}
+
+// BoundedSeries folds an unbounded per-round sequence into O(cap) memory:
+// a stride-doubling downsampled view of the whole run (when the buffer
+// fills, adjacent points merge pairwise and the stride doubles — the
+// simulator's own small-buffers discipline) plus an exact ring-buffer
+// tail of the most recent rounds. Appending is amortized O(1) and never
+// allocates after construction, so a 10⁶-round run costs the same memory
+// as a 10³-round one.
+type BoundedSeries struct {
+	key    string
+	agg    string
+	cap    int
+	stride int
+	vals   []int
+	pend   int // accumulator for the in-progress point
+	pendN  int // rounds folded into pend
+	n      int // total values appended
+	tail   []int
+	tailN  int // values in the ring (≤ cap(tail))
+	tailAt int // next write position
+}
+
+// NewBoundedSeries returns a bounded series with at most cap downsampled
+// points (rounded up to the next even number, minimum 2) and an exact
+// tail of tailCap rounds (0 disables the tail).
+func NewBoundedSeries(key, agg string, capPoints, tailCap int) *BoundedSeries {
+	if capPoints < 2 {
+		capPoints = 2
+	}
+	if capPoints%2 == 1 {
+		capPoints++
+	}
+	if tailCap < 0 {
+		tailCap = 0
+	}
+	s := &BoundedSeries{key: key, agg: agg, cap: capPoints, stride: 1,
+		vals: make([]int, 0, capPoints)}
+	if tailCap > 0 {
+		s.tail = make([]int, tailCap)
+	}
+	return s
+}
+
+// Append folds the next round's value into the series.
+func (s *BoundedSeries) Append(v int) {
+	s.n++
+	if s.tail != nil {
+		s.tail[s.tailAt] = v
+		s.tailAt = (s.tailAt + 1) % len(s.tail)
+		if s.tailN < len(s.tail) {
+			s.tailN++
+		}
+	}
+	if s.pendN == 0 {
+		s.pend = v
+	} else {
+		s.pend = s.fold(s.pend, v)
+	}
+	s.pendN++
+	if s.pendN < s.stride {
+		return
+	}
+	s.vals = append(s.vals, s.pend)
+	s.pendN = 0
+	if len(s.vals) == s.cap {
+		// Compact: merge adjacent pairs in place and double the stride.
+		for i := 0; i < s.cap/2; i++ {
+			s.vals[i] = s.fold(s.vals[2*i], s.vals[2*i+1])
+		}
+		s.vals = s.vals[:s.cap/2]
+		s.stride *= 2
+	}
+}
+
+func (s *BoundedSeries) fold(a, b int) int {
+	if s.agg == AggSum {
+		return a + b
+	}
+	return max(a, b)
+}
+
+// Len returns the number of values appended so far.
+func (s *BoundedSeries) Len() int { return s.n }
+
+// Record renders the series in canonical wire form. The in-progress
+// partial point (covering the trailing n mod stride rounds) is included
+// as the final value, so the record is a pure function of the appended
+// sequence.
+func (s *BoundedSeries) Record() SeriesRecord {
+	rec := SeriesRecord{Key: s.key, Agg: s.agg, Stride: s.stride, Rounds: s.n}
+	rec.Values = make([]int, 0, len(s.vals)+1)
+	rec.Values = append(rec.Values, s.vals...)
+	if s.pendN > 0 {
+		rec.Values = append(rec.Values, s.pend)
+	}
+	if s.tailN > 0 {
+		rec.Tail = make([]int, s.tailN)
+		start := (s.tailAt - s.tailN + len(s.tail)) % len(s.tail)
+		for i := 0; i < s.tailN; i++ {
+			rec.Tail[i] = s.tail[(start+i)%len(s.tail)]
+		}
+	}
+	return rec
+}
+
+// Cap returns the configured point bound (records never carry more than
+// Cap values plus the partial point).
+func (s *BoundedSeries) Cap() int { return s.cap }
+
+// String renders a compact description for debugging.
+func (s *BoundedSeries) String() string {
+	return fmt.Sprintf("series(%s/%s: %d rounds, stride %d, %d points)", s.key, s.agg, s.n, s.stride, len(s.vals))
+}

@@ -8,6 +8,7 @@ import (
 	"smallbuffers/internal/core"
 	"smallbuffers/internal/local"
 	"smallbuffers/internal/lowerbound"
+	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/network"
 	"smallbuffers/internal/sim"
 )
@@ -23,6 +24,7 @@ func init() {
 	registerProtocols()
 	registerAdversaries()
 	registerInvariants()
+	registerMetrics()
 }
 
 func registerTopologies() {
@@ -340,6 +342,76 @@ func registerInvariants() {
 		Params: Schema{{Name: "bound", Kind: Int, Doc: "maximum allowed buffer occupancy", Required: true}},
 		Build: func(nw *network.Network, p Params) (sim.Invariant, error) {
 			return core.MaxLoadInvariant(nw, p.Int("bound")), nil
+		},
+	}))
+}
+
+// seriesSchema is the bound shared by the series-producing collectors:
+// cap downsampled points (stride-doubled over the whole run) plus an
+// exact tail of the most recent rounds. Both are capped at
+// maxSeriesParam — these params size allocations and scenarios arrive
+// over the network (aqtserve), so an unbounded value would let one POST
+// exhaust the daemon's memory.
+const maxSeriesParam = 1 << 16
+
+var seriesSchema = Schema{
+	{Name: "cap", Kind: Int, Doc: "maximum downsampled points retained, ≤ 65536 (memory stays O(cap) at any horizon)", Default: 512},
+	{Name: "tail", Kind: Int, Doc: "exact per-round tail length, ≤ 65536 (0 disables the tail)", Default: 64},
+}
+
+// seriesParams validates the shared series bounds.
+func seriesParams(p Params) (capPoints, tail int, err error) {
+	capPoints, tail = p.Int("cap"), p.Int("tail")
+	if capPoints > maxSeriesParam || tail > maxSeriesParam {
+		return 0, 0, fmt.Errorf("series cap/tail %d/%d exceed the %d limit", capPoints, tail, maxSeriesParam)
+	}
+	return capPoints, tail, nil
+}
+
+func registerMetrics() {
+	mustRegister(RegisterMetric(Metric{
+		Name: metrics.NameMaxLoad,
+		Doc:  "the historical headline scalars: maximum visible/physical occupancy and its first node/round",
+		Build: func(Params) (metrics.Collector, error) {
+			return metrics.NewMaxLoad(), nil
+		},
+	}))
+	mustRegister(RegisterMetric(Metric{
+		Name:   metrics.NameLoadSeries,
+		Doc:    "per-round max/total occupancy as a bounded series (stride-doubling + exact tail)",
+		Params: seriesSchema,
+		Build: func(p Params) (metrics.Collector, error) {
+			capPoints, tail, err := seriesParams(p)
+			if err != nil {
+				return nil, err
+			}
+			return metrics.NewLoadSeries(capPoints, tail), nil
+		},
+	}))
+	mustRegister(RegisterMetric(Metric{
+		Name: metrics.NameLoadHist,
+		Doc:  "occupancy distribution over all nodes and rounds at L_t (exact low buckets + log2 tail)",
+		Build: func(Params) (metrics.Collector, error) {
+			return metrics.NewLoadHist(), nil
+		},
+	}))
+	mustRegister(RegisterMetric(Metric{
+		Name: metrics.NameLatency,
+		Doc:  "delivery-latency distribution with p50/p90/p99/max",
+		Build: func(Params) (metrics.Collector, error) {
+			return metrics.NewLatency(), nil
+		},
+	}))
+	mustRegister(RegisterMetric(Metric{
+		Name:   metrics.NameLinkUtilSeries,
+		Doc:    "packets forwarded per round as a bounded series, plus the busiest link by utilization",
+		Params: seriesSchema,
+		Build: func(p Params) (metrics.Collector, error) {
+			capPoints, tail, err := seriesParams(p)
+			if err != nil {
+				return nil, err
+			}
+			return metrics.NewLinkUtilSeries(capPoints, tail), nil
 		},
 	}))
 }

@@ -37,6 +37,7 @@ type CatalogDesc struct {
 	Adversaries []EntryDesc `json:"adversaries"`
 	Policies    []EntryDesc `json:"policies"`
 	Invariants  []EntryDesc `json:"invariants"`
+	Metrics     []EntryDesc `json:"metrics"`
 }
 
 // Catalog snapshots the registry in serializable form, every section
@@ -80,6 +81,13 @@ func Catalog() CatalogDesc {
 			continue
 		}
 		c.Invariants = append(c.Invariants, EntryDesc{Name: e.Name, Doc: e.Doc, Params: describeSchema(e.Params)})
+	}
+	for _, name := range MetricNames() {
+		e, err := LookupMetric(name)
+		if err != nil {
+			continue
+		}
+		c.Metrics = append(c.Metrics, EntryDesc{Name: e.Name, Doc: e.Doc, Params: describeSchema(e.Params)})
 	}
 	return c
 }

@@ -19,6 +19,9 @@ func TestCatalogCoversRegistry(t *testing.T) {
 	if len(c.Invariants) != len(InvariantNames()) {
 		t.Errorf("catalog lists %d invariants, registry has %d", len(c.Invariants), len(InvariantNames()))
 	}
+	if len(c.Metrics) != len(MetricNames()) {
+		t.Errorf("catalog lists %d metrics, registry has %d", len(c.Metrics), len(MetricNames()))
+	}
 	for i := 1; i < len(c.Protocols); i++ {
 		if c.Protocols[i-1].Name >= c.Protocols[i].Name {
 			t.Errorf("protocols not sorted: %q before %q", c.Protocols[i-1].Name, c.Protocols[i].Name)

@@ -22,6 +22,7 @@ import (
 
 	"smallbuffers/internal/adversary"
 	"smallbuffers/internal/baseline"
+	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/network"
 	"smallbuffers/internal/sim"
 )
@@ -106,6 +107,18 @@ type Invariant struct {
 	Build  func(nw *network.Network, p Params) (sim.Invariant, error)
 }
 
+// Metric is a registered measurement collector: scenarios select metrics
+// by name (the "metrics" axis) and every selected run gets a fresh
+// collector instance, whose Summary rides Result.Metrics, cell records,
+// and result digests. Build must return a new collector per call —
+// collectors are stateful and single-run.
+type Metric struct {
+	Name   string
+	Doc    string
+	Params Schema
+	Build  func(p Params) (metrics.Collector, error)
+}
+
 // table is one mutex-guarded name→entry catalog.
 type table[T any] struct {
 	kind    string
@@ -162,6 +175,7 @@ var (
 	adversaries = newTable[Adversary]("adversary")
 	policies    = newTable[Policy]("greedy policy")
 	invariants  = newTable[Invariant]("invariant")
+	metricsTbl  = newTable[Metric]("metric")
 )
 
 // RegisterTopology adds a topology family under its name; duplicate names
@@ -191,6 +205,14 @@ func RegisterPolicy(p Policy) error { return policies.register(p.Name, p) }
 // RegisterInvariant adds a named per-round predicate.
 func RegisterInvariant(i Invariant) error { return invariants.register(i.Name, i) }
 
+// RegisterMetric adds a measurement collector under its name.
+func RegisterMetric(m Metric) error {
+	if m.Build == nil {
+		return fmt.Errorf("registry: metric %q has no Build", m.Name)
+	}
+	return metricsTbl.register(m.Name, m)
+}
+
 // LookupTopology resolves a topology by name.
 func LookupTopology(name string) (Topology, error) { return topologies.lookup(name) }
 
@@ -206,6 +228,9 @@ func LookupPolicy(name string) (Policy, error) { return policies.lookup(name) }
 // LookupInvariant resolves an invariant by name.
 func LookupInvariant(name string) (Invariant, error) { return invariants.lookup(name) }
 
+// LookupMetric resolves a measurement collector by name.
+func LookupMetric(name string) (Metric, error) { return metricsTbl.lookup(name) }
+
 // TopologyNames enumerates the registered topology names, sorted.
 func TopologyNames() []string { return topologies.names() }
 
@@ -220,6 +245,9 @@ func PolicyNames() []string { return policies.names() }
 
 // InvariantNames enumerates the registered invariant names, sorted.
 func InvariantNames() []string { return invariants.names() }
+
+// MetricNames enumerates the registered metric names, sorted.
+func MetricNames() []string { return metricsTbl.names() }
 
 // mustRegister panics on registration errors; built-in registration runs
 // at init time where a failure is a programming error.

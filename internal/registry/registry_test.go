@@ -32,6 +32,30 @@ func TestBuiltinCatalog(t *testing.T) {
 	if _, err := LookupInvariant("max-load"); err != nil {
 		t.Errorf("LookupInvariant(max-load): %v", err)
 	}
+	wantMetrics := []string{"latency", "link_util_series", "load_hist", "load_series", "max_load"}
+	if got := MetricNames(); strings.Join(got, ",") != strings.Join(wantMetrics, ",") {
+		t.Errorf("metrics = %v, want %v", got, wantMetrics)
+	}
+	m, err := LookupMetric("load_series")
+	if err != nil {
+		t.Fatalf("LookupMetric(load_series): %v", err)
+	}
+	p, err := m.Params.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := m.Build(p); err != nil || c.Name() != "load_series" {
+		t.Errorf("Build(load_series) = %v, %v", c, err)
+	}
+	// cap/tail size allocations and arrive over the network: oversized
+	// values must be rejected, not allocated.
+	huge, err := m.Params.Resolve(map[string]any{"tail": 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Build(huge); err == nil {
+		t.Error("Build accepted a 2^30-round tail")
+	}
 }
 
 func TestLookupDidYouMean(t *testing.T) {

@@ -30,6 +30,10 @@ type Flags struct {
 	Bandwidth int
 	Seed      int64
 	Verify    bool
+	// Metrics selects measurement collectors by registry name (with
+	// default parameters); empty leaves the scenario's metric set unset,
+	// i.e. the default {max_load, latency} pair.
+	Metrics []string
 }
 
 // FromFlags assembles and validates a one-point scenario from a flat flag
@@ -65,6 +69,10 @@ func FromFlags(f Flags) (*Scenario, error) {
 	}
 	if f.Bandwidth > 1 {
 		sc.Bandwidths = []int{f.Bandwidth}
+	}
+	// Unknown names fail in Validate below, same as every other axis.
+	for _, name := range f.Metrics {
+		sc.Metrics = append(sc.Metrics, Component{Name: name})
 	}
 	if err := sc.Validate(); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 // Package scenario makes simulation workloads data: a Scenario is a
 // serializable description of what to run — topology, protocol, adversary,
-// (ρ,σ) bound, horizon, bandwidths, seeds, and invariant set — that
+// (ρ,σ) bound, horizon, bandwidths, seeds, invariant set, and metric
+// set — that
 // marshals to and from JSON, validates against the component registry
 // (internal/registry), compiles to a sim.Spec when every axis is a single
 // point, and lifts to a harness.Sweep when any axis is a list. Reproducing
@@ -37,6 +38,7 @@ import (
 
 	"smallbuffers/internal/adversary"
 	"smallbuffers/internal/harness"
+	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/network"
 	"smallbuffers/internal/rat"
 	"smallbuffers/internal/registry"
@@ -86,6 +88,11 @@ type Scenario struct {
 	// Invariants are per-round predicates resolved by name (e.g.
 	// "max-load" with a bound parameter); a violation aborts the run.
 	Invariants []Component
+	// Metrics selects the measurement collectors by registry name; every
+	// run of the scenario (each sweep cell) gets fresh instances and
+	// reports their summaries in its result records. Empty means the
+	// default {max_load, latency} set.
+	Metrics []Component
 
 	validated bool
 }
@@ -112,6 +119,8 @@ type scenarioJSON struct {
 	Verify      bool            `json:"verify,omitempty"`
 	Invariant   json.RawMessage `json:"invariant,omitempty"`
 	Invariants  json.RawMessage `json:"invariants,omitempty"`
+	Metric      json.RawMessage `json:"metric,omitempty"`
+	Metrics     json.RawMessage `json:"metrics,omitempty"`
 }
 
 // Parse decodes and validates a scenario from JSON bytes.
@@ -146,6 +155,9 @@ func Parse(data []byte) (*Scenario, error) {
 		return nil, err
 	}
 	if sc.Invariants, err = axisList[Component]("invariant", w.Invariant, w.Invariants); err != nil {
+		return nil, err
+	}
+	if sc.Metrics, err = axisList[Component]("metric", w.Metric, w.Metrics); err != nil {
 		return nil, err
 	}
 	if err := sc.Validate(); err != nil {
@@ -247,6 +259,11 @@ func (sc *Scenario) Marshal() ([]byte, error) {
 	}
 	if len(sc.Invariants) > 0 { // invariants always marshal as a list
 		if w.Invariants, err = json.Marshal(sc.Invariants); err != nil {
+			return nil, err
+		}
+	}
+	if len(sc.Metrics) > 0 { // metrics always marshal as a list
+		if w.Metrics, err = json.Marshal(sc.Metrics); err != nil {
 			return nil, err
 		}
 	}
@@ -372,6 +389,24 @@ func (sc *Scenario) Validate() error {
 		if err := normalize(&sc.Invariants[i], e.Params); err != nil {
 			return fmt.Errorf("scenario: invariant %q: %w", e.Name, err)
 		}
+	}
+	for i := range sc.Metrics {
+		e, err := registry.LookupMetric(sc.Metrics[i].Name)
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if err := normalize(&sc.Metrics[i], e.Params); err != nil {
+			return fmt.Errorf("scenario: metric %q: %w", e.Name, err)
+		}
+	}
+	// Metric names must be unique — summaries key on the collector name,
+	// so two entries of the same metric would silently shadow each other.
+	seenMetrics := map[string]bool{}
+	for _, m := range sc.Metrics {
+		if seenMetrics[m.Name] {
+			return fmt.Errorf("scenario: duplicate metric %q", m.Name)
+		}
+		seenMetrics[m.Name] = true
 	}
 
 	// Canonicalize bounds: exact, reduced, non-negative σ.
@@ -508,15 +543,22 @@ type Single struct {
 	Note       string
 	Verify     bool
 	Invariants []sim.Invariant
+	// Metrics are the scenario-selected collector instances. Collectors
+	// are stateful and single-run: a Single materializes one run, so its
+	// Spec must be executed at most once.
+	Metrics []metrics.Collector
 }
 
 // Spec assembles the run description, folding in the scenario's
-// invariants and verification flag plus any extra options (observers,
-// deadlines).
+// invariants, metric collectors, and verification flag plus any extra
+// options (observers, deadlines).
 func (s *Single) Spec(extra ...sim.Option) sim.Spec {
-	opts := make([]sim.Option, 0, 2+len(extra))
+	opts := make([]sim.Option, 0, 3+len(extra))
 	if len(s.Invariants) > 0 {
 		opts = append(opts, sim.WithInvariants(s.Invariants...))
+	}
+	if len(s.Metrics) > 0 {
+		opts = append(opts, sim.WithMetrics(s.Metrics...))
 	}
 	if s.Verify {
 		opts = append(opts, sim.WithVerifyAdversary())
@@ -615,6 +657,9 @@ func (sc *Scenario) CompileSingle() (*Single, error) {
 	if single.Invariants, err = sc.buildInvariants(single.Net); err != nil {
 		return nil, err
 	}
+	if single.Metrics, err = sc.buildMetrics(); err != nil {
+		return nil, err
+	}
 	return single, nil
 }
 
@@ -648,6 +693,32 @@ func (sc *Scenario) buildInvariants(nw *network.Network) ([]sim.Invariant, error
 			return nil, fmt.Errorf("scenario: invariant %q: %w", e.Name, err)
 		}
 		out = append(out, inv)
+	}
+	return out, nil
+}
+
+// buildMetrics materializes fresh collector instances from the
+// scenario's metric set. Fresh per call — collectors are stateful and
+// single-run, so every sweep cell rebuilds its own.
+func (sc *Scenario) buildMetrics() ([]metrics.Collector, error) {
+	if len(sc.Metrics) == 0 {
+		return nil, nil
+	}
+	out := make([]metrics.Collector, 0, len(sc.Metrics))
+	for _, c := range sc.Metrics {
+		e, err := registry.LookupMetric(c.Name)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		p, err := resolved(c, e.Params)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		col, err := e.Build(p)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: metric %q: %w", e.Name, err)
+		}
+		out = append(out, col)
 	}
 	return out, nil
 }
@@ -785,6 +856,11 @@ func (sc *Scenario) Sweep() (*harness.Sweep, error) {
 				return []sim.Invariant{func(sim.View) error { return err }}
 			}
 			return invs
+		}
+	}
+	if len(sc.Metrics) > 0 {
+		sw.Metrics = func(harness.Cell, *network.Network) ([]metrics.Collector, error) {
+			return sc.buildMetrics()
 		}
 	}
 	return sw, nil

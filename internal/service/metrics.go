@@ -7,11 +7,13 @@ import (
 	"time"
 )
 
-// metrics is the service's instrumentation: lock-free counters for the
-// run lifecycle and the cache, rendered in Prometheus text exposition
+// promMetrics is the service's instrumentation: lock-free counters for
+// the run lifecycle and the cache, rendered in Prometheus text exposition
 // format by write. Gauges that depend on mutex-guarded state (cache size,
 // queue depth) are sampled by the server at scrape time and passed in.
-type metrics struct {
+// (Simulation measurement is a different thing entirely — see
+// internal/metrics.)
+type promMetrics struct {
 	start time.Time
 
 	runsStarted   atomic.Int64 // runs accepted and enqueued (cache misses)
@@ -39,7 +41,7 @@ type snapshot struct {
 }
 
 // write renders the metrics in Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, s snapshot) {
+func (m *promMetrics) write(w io.Writer, s snapshot) {
 	uptime := time.Since(m.start).Seconds()
 	cells := m.cellsCompleted.Load()
 	cellsPerSec := 0.0

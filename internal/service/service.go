@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"smallbuffers/internal/harness"
+	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/registry"
 	"smallbuffers/internal/scenario"
 )
@@ -96,16 +97,20 @@ const (
 )
 
 // Summary aggregates a finished run: grid counts, the results digest
-// (see harness.RecordsDigest), and the headline statistics over clean
-// cells.
+// (see harness.RecordsDigest), the headline statistics over clean cells,
+// and the merged metric summaries (per collector name, histograms merged
+// bucket-wise with re-derived quantiles — see metrics.Merge), so a
+// streaming client gets the grid-wide latency/occupancy distributions in
+// the summary event without refolding the cell frames.
 type Summary struct {
-	Requested     int     `json:"requested"`
-	Completed     int     `json:"completed"`
-	Failed        int     `json:"failed"`
-	ResultsDigest string  `json:"results_digest"`
-	MaxLoadMean   float64 `json:"max_load_mean"`
-	MaxLoadMax    int     `json:"max_load_max"`
-	DeliveredMean float64 `json:"delivered_mean"`
+	Requested     int               `json:"requested"`
+	Completed     int               `json:"completed"`
+	Failed        int               `json:"failed"`
+	ResultsDigest string            `json:"results_digest"`
+	MaxLoadMean   float64           `json:"max_load_mean"`
+	MaxLoadMax    int               `json:"max_load_max"`
+	DeliveredMean float64           `json:"delivered_mean"`
+	Metrics       []metrics.Summary `json:"metrics,omitempty"`
 }
 
 // Report is the wire form of a run: identity, lifecycle state, and (when
@@ -219,7 +224,7 @@ func (r *run) report(includeCells bool) Report {
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
-	metrics metrics
+	metrics promMetrics
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -242,7 +247,7 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
-		metrics:  metrics{start: time.Now()},
+		metrics:  promMetrics{start: time.Now()},
 		baseCtx:  ctx,
 		stop:     cancel,
 		queue:    make(chan *run, cfg.QueueDepth),
@@ -393,6 +398,7 @@ func (s *Server) finish(r *run, ctxErr error) {
 func summarize(requested int, recs []harness.CellRecord) *Summary {
 	sum := &Summary{Requested: requested, ResultsDigest: harness.RecordsDigest(recs)}
 	var loadSum, delivSum int
+	var perCell []map[string]metrics.Summary
 	for _, rec := range recs {
 		if rec.Err != "" {
 			sum.Failed++
@@ -404,10 +410,23 @@ func summarize(requested int, recs []harness.CellRecord) *Summary {
 		if rec.MaxLoad > sum.MaxLoadMax {
 			sum.MaxLoadMax = rec.MaxLoad
 		}
+		if len(rec.Metrics) > 0 {
+			m := make(map[string]metrics.Summary, len(rec.Metrics))
+			for _, s := range rec.Metrics {
+				m[s.Name] = s
+			}
+			perCell = append(perCell, m)
+		}
 	}
 	if sum.Completed > 0 {
 		sum.MaxLoadMean = float64(loadSum) / float64(sum.Completed)
 		sum.DeliveredMean = float64(delivSum) / float64(sum.Completed)
+	}
+	// One collector per name per cell, so same-name summaries merge
+	// cleanly; on the impossible mixed-kind error the aggregate is
+	// dropped, never the summary.
+	if merged, err := metrics.MergeAll(perCell); err == nil {
+		sum.Metrics = metrics.Records(merged)
 	}
 	return sum
 }

@@ -195,6 +195,72 @@ func TestSubmitMatchesLocalRunAndCaches(t *testing.T) {
 	}
 }
 
+// TestMetricScenarioServedMatchesLocal is the metrics acceptance gate at
+// the service tier: a scenario selecting load_series/load_hist/latency
+// produces the same results digest served (at several sweep-worker
+// counts) as locally, the cell records carry the selected summaries, and
+// the run summary carries the merged grid-wide distributions.
+func TestMetricScenarioServedMatchesLocal(t *testing.T) {
+	body := `{
+		"name": "metrics-acceptance",
+		"topology": {"name": "path", "params": {"n": 24}},
+		"protocol": {"name": "ppts"},
+		"adversary": {"name": "random", "params": {"d": 4}},
+		"bound": {"rho": "1", "sigma": 2},
+		"rounds": 200,
+		"seeds": [1, 2, 3],
+		"metrics": [{"name": "load_series"}, {"name": "load_hist"}, {"name": "latency"}]
+	}`
+	sc, err := scenario.Parse([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := agg.Digest()
+
+	for _, sweepWorkers := range []int{1, 3} {
+		_, ts := newTestServer(t, Config{Workers: 2, SweepWorkers: sweepWorkers})
+		code, rep := post(t, ts.URL, body)
+		if code != http.StatusOK || rep.Summary == nil {
+			t.Fatalf("POST (SweepWorkers=%d) = %d: %+v", sweepWorkers, code, rep)
+		}
+		if rep.ResultsDigest != local {
+			t.Errorf("SweepWorkers=%d: served digest %s ≠ local %s", sweepWorkers, rep.ResultsDigest, local)
+		}
+		totalCount := 0
+		for _, cell := range rep.Cells {
+			if len(cell.Metrics) != 3 {
+				t.Fatalf("cell %d carries %d metric summaries, want 3", cell.Index, len(cell.Metrics))
+			}
+			lat, ok := cell.MetricByName("latency")
+			if !ok || lat.Scalar("count") != cell.Delivered {
+				t.Errorf("cell %d latency summary %v disagrees with delivered %d", cell.Index, lat.Scalars, cell.Delivered)
+			}
+			totalCount += lat.Scalar("count")
+		}
+		merged := map[string]bool{}
+		for _, m := range rep.Summary.Metrics {
+			merged[m.Name] = true
+			if m.Name == "latency" {
+				if m.Scalar("count") != totalCount {
+					t.Errorf("summary latency count %d, cells sum to %d", m.Scalar("count"), totalCount)
+				}
+				if m.Hist == nil || m.Hist.Count != totalCount {
+					t.Errorf("summary latency histogram not merged: %+v", m.Hist)
+				}
+			}
+		}
+		for _, name := range []string{"latency", "load_hist", "load_series"} {
+			if !merged[name] {
+				t.Errorf("summary metrics missing %s: %+v", name, rep.Summary.Metrics)
+			}
+		}
+	}
+}
+
 // TestAcceptanceConcurrency is the ISSUE's race gate: ≥50 concurrent
 // in-flight requests against a 4-worker pool, mixing fresh digests,
 // cache joins, streaming clients, and mid-stream disconnects.

@@ -24,6 +24,7 @@ import (
 
 	"smallbuffers/internal/adversary"
 	"smallbuffers/internal/buffer"
+	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/network"
 	"smallbuffers/internal/packet"
 )
@@ -138,7 +139,10 @@ type Config struct {
 	Invariants []Invariant
 }
 
-// Result summarizes a run.
+// Result summarizes a run. The historical scalar fields remain and are
+// sourced from the always-on max_load and latency collectors (see
+// internal/metrics); richer measurements land in Metrics, keyed by
+// collector name.
 type Result struct {
 	Protocol string
 	Rounds   int
@@ -169,6 +173,11 @@ type Result struct {
 	// during the run; with the run's bandwidths it yields per-link
 	// utilization (see LinkUtilization).
 	PerLinkForwards []int
+	// Metrics holds the distilled summaries of the run's metric
+	// collectors, keyed by collector name: the spec-selected set
+	// (WithMetrics), or the default {max_load, latency} pair whose
+	// scalars also populate the historical fields above.
+	Metrics map[string]metrics.Summary
 	// linkCapacity[v] = Rounds · B(v), the link's total transmission budget,
 	// captured at Reset so utilization survives the Result being detached
 	// from its engine.
@@ -187,7 +196,17 @@ func (r Result) LinkUtilization(v network.NodeID) (float64, bool) {
 }
 
 // MaxLinkUtilization returns the busiest link and its utilization, or
-// ok=false when no link transmitted.
+// ok=false when no link has a transmission budget at all (all-sink
+// forests, zero-round runs, Results not produced by the engine). A run
+// whose links have budget but forwarded nothing reports the first link
+// at utilization 0 with ok=true.
+//
+// On equal utilization the lowest NodeID wins. The tie-break is part of
+// the API contract — nodes are scanned in ascending order and only a
+// strictly greater utilization displaces the incumbent — so on runs
+// that forwarded at least one packet this names the same busiest link
+// as the link_util_series collector (which reports busiest_link=-1 for
+// all-idle runs instead).
 func (r Result) MaxLinkUtilization() (network.NodeID, float64, bool) {
 	best, arg, ok := 0.0, network.NodeID(0), false
 	for v := range r.PerLinkForwards {
@@ -224,6 +243,18 @@ type Engine struct {
 	round    int
 	nextID   packet.ID
 	res      Result
+
+	// collectors is every collector the engine drives this run: the
+	// spec-selected set plus the internal max_load/latency pair when the
+	// spec does not already carry them. reported is the subset whose
+	// summaries populate Result.Metrics (the selected set, or the two
+	// defaults). maxLoadC and latencyC source the historical Result
+	// scalars.
+	collectors  []metrics.Collector
+	reported    []metrics.Collector
+	maxLoadC    *metrics.MaxLoadCollector
+	latencyC    *metrics.LatencyCollector
+	moveScratch []metrics.Move
 }
 
 var _ View = (*Engine)(nil)
@@ -300,13 +331,49 @@ func (e *Engine) Reset(spec Spec) error {
 	e.stagedN = 0
 	e.round = 0
 	e.nextID = 0
-	// PerNodeMax and the link counters are handed out inside the returned
-	// Result, so they cannot be recycled: fresh slices per run keep prior
-	// results immutable.
+
+	// Bind the run's metric collectors: the spec's set runs as-is, and
+	// the engine adds internal max_load/latency collectors when the spec
+	// does not already name them — the historical Result scalars are
+	// sourced from those two, selected or not. Collectors are stateful
+	// and single-run, so the spec must hand the engine fresh instances
+	// (the scenario and harness layers always do).
+	e.maxLoadC, e.latencyC = nil, nil
+	e.collectors = append(e.collectors[:0], spec.collectors...)
+	for _, c := range spec.collectors {
+		switch x := c.(type) {
+		case *metrics.MaxLoadCollector:
+			if e.maxLoadC == nil {
+				e.maxLoadC = x
+			}
+		case *metrics.LatencyCollector:
+			if e.latencyC == nil {
+				e.latencyC = x
+			}
+		}
+	}
+	if e.maxLoadC == nil {
+		e.maxLoadC = metrics.NewMaxLoad()
+		e.collectors = append(e.collectors, e.maxLoadC)
+	}
+	if e.latencyC == nil {
+		e.latencyC = metrics.NewLatency()
+		e.collectors = append(e.collectors, e.latencyC)
+	}
+	if len(spec.collectors) > 0 {
+		e.reported = e.collectors[:len(spec.collectors)]
+	} else {
+		// Default metric set: the two collectors behind the historical
+		// scalars.
+		e.reported = e.collectors
+	}
+
+	// The link counters are handed out inside the returned Result, so
+	// they cannot be recycled: fresh slices per run keep prior results
+	// immutable.
 	e.res = Result{
 		Protocol:        spec.protocol.Name(),
 		Rounds:          spec.rounds,
-		PerNodeMax:      make([]int, n),
 		PerLinkForwards: make([]int, n),
 		linkCapacity:    make([]int, n),
 	}
@@ -357,11 +424,26 @@ func (e *Engine) Step() (done bool, err error) {
 // completed Run it is the final summary; after a cancelled run it covers
 // the rounds that executed. The snapshot is independent of the engine:
 // resuming the run does not mutate previously returned Results.
+//
+// The historical scalar fields are sourced from the run's always-on
+// max_load and latency collectors; Metrics carries the full summaries of
+// the reported collector set.
 func (e *Engine) Result() Result {
 	res := e.res
+	res.MaxLoad = e.maxLoadC.MaxLoad()
+	res.MaxLoadNode = e.maxLoadC.MaxLoadNode()
+	res.MaxLoadRound = e.maxLoadC.MaxLoadRound()
+	res.MaxPhysicalLoad = e.maxLoadC.MaxPhysicalLoad()
+	res.MaxLatency = e.latencyC.MaxLatency()
+	res.TotalLatency = e.latencyC.TotalLatency()
 	res.Residual = res.Injected - res.Delivered
-	res.PerNodeMax = append([]int(nil), e.res.PerNodeMax...)
+	res.PerNodeMax = make([]int, e.spec.net.Len())
+	copy(res.PerNodeMax, e.maxLoadC.PerNodeMax())
 	res.PerLinkForwards = append([]int(nil), e.res.PerLinkForwards...)
+	res.Metrics = make(map[string]metrics.Summary, len(e.reported))
+	for _, c := range e.reported {
+		res.Metrics[c.Name()] = c.Summarize()
+	}
 	return res
 }
 
@@ -452,7 +534,7 @@ func (e *Engine) step(t int) error {
 	}
 
 	// Sample L_t (post-injection, pre-forwarding).
-	e.sampleLoads(t)
+	e.sample(t, metrics.LT)
 
 	// Forwarding step.
 	decisions, err := e.spec.protocol.Decide(e)
@@ -463,13 +545,26 @@ func (e *Engine) step(t int) error {
 	if err != nil {
 		return err
 	}
+	if len(moves) > 0 {
+		ms := e.moveScratch[:0]
+		for _, m := range moves {
+			ms = append(ms, metrics.Move{From: m.From, To: m.To, Delivered: m.Delivered, Inject: m.Pkt.Inject})
+		}
+		e.moveScratch = ms
+		for _, c := range e.collectors {
+			c.OnForward(t, ms)
+		}
+	}
 	for _, ob := range e.spec.observers {
 		ob.OnForward(t, moves)
 	}
 
 	// Sample post-forwarding occupancy too (receivers that did not forward
-	// can peak here).
-	e.sampleLoads(t)
+	// can peak here), then seal the round for the collectors.
+	e.sample(t, metrics.PostForward)
+	for _, c := range e.collectors {
+		c.OnRoundEnd(t, e)
+	}
 
 	for _, inv := range e.spec.invariants {
 		if err := inv(e); err != nil {
@@ -514,17 +609,13 @@ func (e *Engine) apply(t int, decisions []Forward) ([]Move, error) {
 		}
 		return moves[i].Pkt.ID < moves[j].Pkt.ID
 	})
-	// Insert phase.
+	// Insert phase. Latency accounting lives in the latency collector,
+	// which receives the same moves after apply returns.
 	for i := range moves {
 		m := &moves[i]
 		e.res.PerLinkForwards[m.From]++
 		if m.Delivered {
 			e.res.Delivered++
-			lat := t - m.Pkt.Inject
-			e.res.TotalLatency += lat
-			if lat > e.res.MaxLatency {
-				e.res.MaxLatency = lat
-			}
 			continue
 		}
 		p := m.Pkt
@@ -534,21 +625,10 @@ func (e *Engine) apply(t int, decisions []Forward) ([]Move, error) {
 	return moves, nil
 }
 
-// sampleLoads folds the current occupancies into the result maxima.
-func (e *Engine) sampleLoads(t int) {
-	for v := range e.buffers {
-		load := e.buffers[v].Len()
-		if load > e.res.PerNodeMax[v] {
-			e.res.PerNodeMax[v] = load
-		}
-		if load > e.res.MaxLoad {
-			e.res.MaxLoad = load
-			e.res.MaxLoadNode = network.NodeID(v)
-			e.res.MaxLoadRound = t
-		}
-		if phys := load + len(e.staged[v]); phys > e.res.MaxPhysicalLoad {
-			e.res.MaxPhysicalLoad = phys
-		}
+// sample dispatches one occupancy sample point to the run's collectors.
+func (e *Engine) sample(t int, p metrics.Point) {
+	for _, c := range e.collectors {
+		c.OnSample(t, p, e)
 	}
 }
 

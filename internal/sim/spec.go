@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/network"
 )
 
@@ -21,6 +22,7 @@ type Spec struct {
 
 	observers       []Observer
 	invariants      []Invariant
+	collectors      []metrics.Collector
 	verifyAdversary bool
 	deadline        time.Duration
 }
@@ -47,6 +49,15 @@ func WithObservers(obs ...Observer) Option {
 // run. Invariants power the bound assertions in tests and experiments.
 func WithInvariants(invs ...Invariant) Option {
 	return func(s *Spec) { s.invariants = append(s.invariants, invs...) }
+}
+
+// WithMetrics selects the run's metric collectors; their summaries
+// populate Result.Metrics, keyed by collector name. Collectors are
+// stateful and single-run — hand each Spec fresh instances. Without this
+// option the default set {max_load, latency} reports (the engine runs
+// those two regardless, to source the historical Result scalars).
+func WithMetrics(cs ...metrics.Collector) Option {
+	return func(s *Spec) { s.collectors = append(s.collectors, cs...) }
 }
 
 // WithVerifyAdversary re-checks every injection against the adversary's

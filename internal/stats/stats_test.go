@@ -99,6 +99,77 @@ func TestQuickSummaryInvariants(t *testing.T) {
 	}
 }
 
+func TestQuantiles(t *testing.T) {
+	var s Summary
+	for v := 1; v <= 100; v++ {
+		s.AddInt(v)
+	}
+	got := s.Quantiles(50, 90, 99, 100)
+	want := []float64{50, 90, 99, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Quantiles[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Agreement with Percentile, point for point.
+	for _, p := range []float64{0, 25, 50, 75, 99.9} {
+		if q := s.Quantiles(p)[0]; q != s.Percentile(p) {
+			t.Errorf("Quantiles(%g) = %g, Percentile = %g", p, q, s.Percentile(p))
+		}
+	}
+	var empty Summary
+	if got := empty.Quantiles(50, 99); got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty Quantiles = %v", got)
+	}
+}
+
+// TestHistogramGolden pins the exact rendering: fixed-width bars scaled
+// to the maximum count, aligned labels and counts.
+func TestHistogramGolden(t *testing.T) {
+	var sb strings.Builder
+	err := Histogram(&sb, "occupancy", []HistBar{
+		{Label: "0", Count: 8},
+		{Label: "1", Count: 4},
+		{Label: "2–3", Count: 1},
+		{Label: "4+", Count: 0},
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"occupancy\n" +
+		"0    ████████ 8\n" +
+		"1    ████     4\n" +
+		"2–3  █        1\n" +
+		"4+            0\n"
+	if sb.String() != want {
+		t.Errorf("histogram rendering:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestHistogramHalfCellsAndEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Histogram(&sb, "", []HistBar{
+		{Label: "a", Count: 3},
+		{Label: "b", Count: 1},
+	}, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"a  ███ 3\n" +
+		"b  █   1\n"
+	if sb.String() != want {
+		t.Errorf("got:\n%q\nwant:\n%q", sb.String(), want)
+	}
+	sb.Reset()
+	if err := Histogram(&sb, "t", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "t\n" {
+		t.Errorf("empty histogram rendered %q", sb.String())
+	}
+}
+
 func TestRatioAndCheckMark(t *testing.T) {
 	if got := Ratio(3, 4); got != "0.75×" {
 		t.Errorf("Ratio = %q", got)

@@ -148,6 +148,13 @@ func (r *Recorder) MaxLoadSeries() []int {
 
 // RenderSparkline draws a compact per-round max-load series.
 func RenderSparkline(w io.Writer, series []int, width int) error {
+	return RenderSeries(w, "max load per round", series, width)
+}
+
+// RenderSeries draws an arbitrary integer series as a unicode sparkline
+// labeled "<label> (peak …): …"; wider series downsample by bucket
+// maximum.
+func RenderSeries(w io.Writer, label string, series []int, width int) error {
 	if len(series) == 0 {
 		_, err := fmt.Fprintln(w, "(empty series)")
 		return err
@@ -181,6 +188,10 @@ func RenderSparkline(w io.Writer, series []int, width int) error {
 		}
 		sb.WriteRune(ticks[idx])
 	}
-	_, err := fmt.Fprintf(w, "max load per round (peak %d): %s\n", maxVal, sb.String())
+	prefix := ""
+	if label != "" {
+		prefix = label + " "
+	}
+	_, err := fmt.Fprintf(w, "%s(peak %d): %s\n", prefix, maxVal, sb.String())
 	return err
 }

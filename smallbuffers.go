@@ -26,6 +26,13 @@
 //     against a name-based component registry (LoadScenario,
 //     Scenario.Run, RegisterProtocol/RegisterAdversary extension hooks;
 //     see testdata/scenarios/ and the "Scenario files" section of
+//     README.md);
+//   - a metrics tier: measurement as data — typed collectors selected by
+//     registry name (WithMetrics, the scenario "metrics" axis) distill
+//     runs into deterministic integer summaries (bounded occupancy
+//     series, occupancy/latency histograms with percentiles, link
+//     utilization) that flow through Result.Metrics, sweep records, the
+//     service tier, and result digests (see the "Metrics" section of
 //     README.md).
 //
 // # Quick start
@@ -76,6 +83,7 @@ import (
 	"smallbuffers/internal/harness"
 	"smallbuffers/internal/local"
 	"smallbuffers/internal/lowerbound"
+	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/network"
 	"smallbuffers/internal/opt"
 	"smallbuffers/internal/packet"
@@ -425,6 +433,12 @@ func WithInvariants(invs ...Invariant) RunOption { return sim.WithInvariants(inv
 // declared (ρ,σ) bound.
 func WithVerifyAdversary() RunOption { return sim.WithVerifyAdversary() }
 
+// WithMetrics selects the run's metric collectors; their summaries land
+// in Result.Metrics keyed by collector name. Collectors are stateful and
+// single-run — build fresh instances per run (NewMetric). Without this
+// option the default {max_load, latency} set reports.
+func WithMetrics(cs ...MetricCollector) RunOption { return sim.WithMetrics(cs...) }
+
 // WithDeadline sets a wall-clock budget for the run; when it expires the
 // run stops between rounds with context.DeadlineExceeded.
 func WithDeadline(d time.Duration) RunOption { return sim.WithDeadline(d) }
@@ -488,6 +502,96 @@ func RenderFigure1(w io.Writer, h *Hierarchy, src, dst int) error {
 // MaxLoadSeries) as a unicode sparkline.
 func RenderSparkline(w io.Writer, series []int, width int) error {
 	return trace.RenderSparkline(w, series, width)
+}
+
+// RenderSeries draws an arbitrary integer series (e.g. a MetricSeries'
+// Values) as a labeled unicode sparkline.
+func RenderSeries(w io.Writer, label string, series []int, width int) error {
+	return trace.RenderSeries(w, label, series, width)
+}
+
+// --- Metrics (measurement as data) ---
+//
+// Measurement is data, like workloads: a MetricCollector observes a run
+// through typed hooks and distills it into a MetricSummary — an
+// integer-only, deterministic record that rides Result.Metrics, sweep
+// cell records, the service tier's streams, and result digests.
+// Collectors are selected by registry name (the scenario "metrics" axis,
+// aqtsim -metrics) or attached directly with WithMetrics.
+
+type (
+	// MetricCollector observes one run and distills it into a
+	// MetricSummary; implementations register with RegisterMetric.
+	MetricCollector = metrics.Collector
+	// MetricSummary is a collector's canonical integer-only output:
+	// named scalars, bounded series, and histograms.
+	MetricSummary = metrics.Summary
+	// MetricSeries is one bounded per-round series: stride-doubled
+	// values over the whole run plus an exact recent tail.
+	MetricSeries = metrics.SeriesRecord
+	// MetricHist is a histogram with exact low buckets, a log2 tail, and
+	// deterministic integer quantiles.
+	MetricHist = metrics.HistRecord
+	// RegistryMetric describes a registrable measurement collector.
+	RegistryMetric = registry.Metric
+	// HistBar is one labeled count of an ASCII histogram rendering.
+	HistBar = stats.HistBar
+	// MetricView is the read-only engine state a collector observes
+	// (a narrow mirror of View, plus phased-staging counts).
+	MetricView = metrics.View
+	// MetricPoint identifies an occupancy sample point within a round
+	// (MetricSampleLT, MetricSamplePostForward).
+	MetricPoint = metrics.Point
+	// MetricMove is one applied forwarding decision as collectors see
+	// it. OnForward's moves slice is an engine-reused scratch buffer —
+	// copy it if your collector retains it past the call.
+	MetricMove = metrics.Move
+	// MetricNopCollector is an embeddable no-op MetricCollector.
+	MetricNopCollector = metrics.NopCollector
+)
+
+// Occupancy sample points, as passed to MetricCollector.OnSample.
+const (
+	// MetricSampleLT is the paper's measurement point L_t:
+	// post-injection, pre-forwarding.
+	MetricSampleLT = metrics.LT
+	// MetricSamplePostForward samples after the forwarding step.
+	MetricSamplePostForward = metrics.PostForward
+)
+
+// NewMetric builds a fresh collector from the registry by name, with the
+// given parameters resolved against its schema (nil means defaults) —
+// e.g. NewMetric("load_series", map[string]any{"cap": 256}).
+func NewMetric(name string, params map[string]any) (MetricCollector, error) {
+	e, err := registry.LookupMetric(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.Params.Resolve(params)
+	if err != nil {
+		return nil, err
+	}
+	return e.Build(p)
+}
+
+// RegisterMetric registers a measurement collector under a new stable
+// name, selectable from scenario files and the CLIs.
+func RegisterMetric(m RegistryMetric) error { return registry.RegisterMetric(m) }
+
+// RegisteredMetrics enumerates the registered metric names, sorted.
+func RegisteredMetrics() []string { return registry.MetricNames() }
+
+// MergeMetricSummaries aggregates same-shaped summary maps from several
+// runs: histograms merge bucket-wise with re-derived quantiles, scalars
+// merge by maximum, series drop (no canonical cross-run alignment).
+func MergeMetricSummaries(runs []map[string]MetricSummary) (map[string]MetricSummary, error) {
+	return metrics.MergeAll(runs)
+}
+
+// RenderHistogram draws labeled counts as fixed-width ASCII bars (see
+// MetricHist.Bars for histogram summaries).
+func RenderHistogram(w io.Writer, title string, bars []HistBar, width int) error {
+	return stats.Histogram(w, title, bars, width)
 }
 
 // --- Scenarios (workloads as data) ---
