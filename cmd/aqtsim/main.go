@@ -71,6 +71,14 @@ type options struct {
 	seed      int64
 	m         int
 
+	fault    string
+	faultP   string
+	period   int
+	down     int
+	node     int
+	at       int
+	faultFor int
+
 	rounds  int
 	verify  bool
 	heatmap bool
@@ -102,6 +110,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs.IntVar(&o.d, "d", 4, "destination count (random/burst/greedykiller)")
 	fs.Int64Var(&o.seed, "seed", 1, "random adversary seed")
 	fs.IntVar(&o.m, "m", 4, "lowerbound base m")
+	fs.StringVar(&o.fault, "fault", "", "registered fault model (drop, link_flap, node_crash); empty runs loss-free")
+	fs.StringVar(&o.faultP, "p", "1/100", "fault probability (rational in [0,1]; drop/link_flap)")
+	fs.IntVar(&o.period, "period", 32, "link_flap window length in rounds")
+	fs.IntVar(&o.down, "down", 8, "link_flap downed rounds per window")
+	fs.IntVar(&o.node, "node", 0, "node_crash victim node")
+	fs.IntVar(&o.at, "at", 0, "node_crash start round")
+	fs.IntVar(&o.faultFor, "for", 64, "node_crash outage length in rounds")
 	fs.IntVar(&o.rounds, "rounds", 2000, "rounds to simulate (lowerbound: pattern length)")
 	fs.BoolVar(&o.verify, "verify", true, "re-check the adversary against its declared (ρ,σ) bound")
 	fs.StringVar(&o.metrics, "metrics", "", "comma-separated metric collectors (e.g. load_series,load_hist,latency); stats tables print after the run")
@@ -191,6 +206,8 @@ func buildScenario(o options) (*sb.Scenario, error) {
 			"len": o.armLen, "height": o.height,
 			"ell": o.ell, "drain": o.drain,
 			"d": o.d, "m": o.m,
+			"p": o.faultP, "period": o.period, "down": o.down,
+			"node": o.node, "at": o.at, "for": o.faultFor,
 		},
 		Rho:       o.rho,
 		Sigma:     o.sigma,
@@ -199,6 +216,7 @@ func buildScenario(o options) (*sb.Scenario, error) {
 		Seed:      o.seed,
 		Verify:    o.verify,
 		Metrics:   metricNames,
+		Fault:     o.fault,
 	})
 }
 
@@ -223,6 +241,14 @@ func runSingle(ctx context.Context, o options, sc *sb.Scenario, w io.Writer) err
 		single.TopologyLabel, single.Net.Len(), single.Net.BottleneckBandwidth())
 	fmt.Fprintf(w, "demand:     %v over %d rounds (%d injected, %d delivered, %d residual)\n",
 		single.Bound, res.Rounds, res.Injected, res.Delivered, res.Residual)
+	if single.Faults != nil {
+		goodput := "-"
+		if res.Injected > 0 {
+			goodput = fmt.Sprintf("%.0f%%", 100*float64(res.Delivered)/float64(res.Injected))
+		}
+		fmt.Fprintf(w, "faults:     %s (%d dropped in transit, goodput %s)\n",
+			single.FaultLabel, res.Dropped, goodput)
+	}
 	fmt.Fprintf(w, "max load:   %d (buffer %d, round %d); physical %d\n",
 		res.MaxLoad, res.MaxLoadNode, res.MaxLoadRound, res.MaxPhysicalLoad)
 	if avg, okAvg := res.AvgLatency(); okAvg {
@@ -288,7 +314,7 @@ func runSweep(ctx context.Context, sc *sb.Scenario, w io.Writer) error {
 	if agg == nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-64s %9s %9s %11s\n", "cell", "max load", "delivered", "avg latency")
+	fmt.Fprintf(w, "%-64s %9s %9s %9s %11s\n", "cell", "max load", "delivered", "dropped", "avg latency")
 	for _, cr := range agg.Cells {
 		if cr.Err != nil {
 			fmt.Fprintf(w, "%-64s error: %v\n", cr.Cell, cr.Err)
@@ -298,7 +324,7 @@ func runSweep(ctx context.Context, sc *sb.Scenario, w io.Writer) error {
 		if avg, ok := cr.Result.AvgLatency(); ok {
 			lat = fmt.Sprintf("%.1f", avg)
 		}
-		fmt.Fprintf(w, "%-64s %9d %9d %11s\n", cr.Cell, cr.Result.MaxLoad, cr.Result.Delivered, lat)
+		fmt.Fprintf(w, "%-64s %9d %9d %9d %11s\n", cr.Cell, cr.Result.MaxLoad, cr.Result.Delivered, cr.Result.Dropped, lat)
 	}
 	fmt.Fprintf(w, "\ncells:      %d completed, %d failed of %d\n", agg.Completed, agg.Failed, agg.Requested)
 	if agg.Completed > 0 {

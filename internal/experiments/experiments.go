@@ -19,6 +19,7 @@
 //	E10 §1 ([9],[17])   the price of locality: PTS vs downhill protocols
 //	E11 complement      the latency price of space-optimal forwarding
 //	E12 title/§1        space vs link bandwidth B on capacitated links
+//	E13 Prop 3.1+faults buffer headroom under loss: drop p vs load/goodput
 package experiments
 
 import (
@@ -65,10 +66,11 @@ func All() []Experiment {
 		E10Locality(),
 		E11Latency(),
 		E12Bandwidth(),
+		E13Faults(),
 	}
 }
 
-// ByID finds an experiment by its identifier ("E1" … "E12", "F1").
+// ByID finds an experiment by its identifier ("E1" … "E13", "F1").
 func ByID(id string) (Experiment, error) {
 	for _, e := range All() {
 		if e.ID == id {

@@ -10,7 +10,7 @@ import (
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	wantIDs := []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	wantIDs := []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	if len(all) != len(wantIDs) {
 		t.Fatalf("All() = %d experiments, want %d", len(all), len(wantIDs))
 	}

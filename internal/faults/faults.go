@@ -1,0 +1,136 @@
+// Package faults is the fault-injection tier of the execution API: small
+// deterministic models that perturb the forwarding step of a run — lossy
+// links that drop packets in transit, links that flap on seeded on/off
+// schedules, nodes that stop forwarding for a window. The paper's AQT
+// model is loss-free, but the buffer-sizing literature around it is not
+// (Spang et al. size router buffers around drops; Even–Medina route on
+// grids with bounded buffers and loss), so the fault layer is what lets
+// the reproduction ask: how much extra headroom does a protocol need when
+// the network misbehaves?
+//
+// # Determinism
+//
+// A fault schedule must be a pure function of the cell seed, never of
+// execution order: sweeps shard cells across workers, engines are reused,
+// and results fold into content digests, so two runs of the same cell at
+// any worker count must see the identical schedule. Models therefore draw
+// no state from a sequential RNG. Instead each model holds a Stream — a
+// keyed hash derived from the cell seed under a fixed domain-separation
+// tag — and answers every query by hashing its coordinates (round, node,
+// packet ID, window index). The answer for coordinate (t, v, pkt) is the
+// same no matter how many queries came before it, which also makes the
+// schedules coupled across parameter sweeps: raising a drop probability
+// strictly grows the set of dropped coordinates, so headroom curves are
+// sampled on nested fault sets rather than independently re-randomized
+// ones.
+//
+// The engine queries a model at two points in the forward phase:
+// LinkUp(t, v) gates node v's outgoing link for round t (a downed link
+// forwards zero regardless of bandwidth — the protocol's decisions over
+// it are nullified and the packets stay buffered), and Drops(t, v, pkt)
+// is consulted per forwarded packet (a dropped packet leaves the buffer
+// but never arrives).
+package faults
+
+import (
+	"fmt"
+	"math/bits"
+
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/rat"
+)
+
+// Model is a deterministic fault process queried by the engine during the
+// forwarding step. Implementations must be pure functions of their
+// parameters and the seed handed to Reset: the engine may query any
+// coordinate in any order, and the same coordinate must always produce
+// the same answer.
+type Model interface {
+	// Name identifies the model in reports and cell labels.
+	Name() string
+	// Reset binds the model to a topology and the run's seed. It is
+	// called once before the run (and again when an engine is reused).
+	Reset(nw *network.Network, seed int64) error
+	// LinkUp reports whether node v's outgoing link operates in round t.
+	// A downed link forwards zero packets regardless of bandwidth.
+	LinkUp(round int, v network.NodeID) bool
+	// Drops reports whether the packet with the given ID, forwarded over
+	// v's outgoing link in round t, is lost in transit.
+	Drops(round int, v network.NodeID, pkt int) bool
+}
+
+// domainTag separates the fault sub-stream from every other consumer of
+// the cell seed (adversary RNGs hash raw seeds through their own paths),
+// so attaching a fault model never perturbs the traffic it is applied to.
+// The value spells "faults/1"; bump the suffix if the keying scheme ever
+// changes incompatibly.
+const domainTag uint64 = 0x6661756c74732f31
+
+// Query purposes, mixed into the key so distinct question kinds sample
+// independent coordinates even at equal (round, node) arguments.
+const (
+	keyDrop uint64 = 1 + iota
+	keyFlap
+)
+
+// Stream is a stateless keyed-hash randomness source: a pure function
+// from integer coordinates to uniform 64-bit values, derived from a seed
+// under the package's domain tag. Streams are values; copying is cheap
+// and safe.
+type Stream struct {
+	state uint64
+}
+
+// NewStream derives the fault sub-stream for a cell seed.
+func NewStream(seed int64) Stream {
+	return Stream{state: mix64(uint64(seed) ^ domainTag)}
+}
+
+// Draw hashes the coordinates into a uniform 64-bit value.
+func (s Stream) Draw(keys ...uint64) uint64 {
+	h := s.state
+	for _, k := range keys {
+		h = mix64(h ^ k)
+	}
+	return h
+}
+
+// Bernoulli reports an event of exact rational probability num/den at the
+// given coordinates. The comparison is exact (128-bit product against the
+// denominator), so p=0 never fires and p=1 always fires, and for fixed
+// coordinates the event set is monotone in num/den: every coordinate that
+// fires at probability p also fires at every p' ≥ p.
+func (s Stream) Bernoulli(num, den uint64, keys ...uint64) bool {
+	if den == 0 {
+		return false
+	}
+	// ⌊u·den/2⁶⁴⌋ < num ⇔ u < num/den·2⁶⁴, so the event has probability
+	// num/den to within 2⁻⁶⁴, is exactly never at 0 and always at 1, and
+	// is monotone in the threshold for a fixed draw.
+	q, _ := bits.Mul64(s.Draw(keys...), den)
+	return q < num
+}
+
+// mix64 is the splitmix64 finalizer: an invertible avalanche of a 64-bit
+// word, the standard way to turn coordinate xors into uniform values.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// checkProbability validates a probability parameter: an exact rational
+// in [0, 1].
+func checkProbability(p rat.Rat) error {
+	if p.Sign() < 0 || rat.One.Less(p) {
+		return fmt.Errorf("probability %v outside [0, 1]", p)
+	}
+	return nil
+}
+
+// probNumDen splits a validated probability into uint64 numerator and
+// denominator for Stream.Bernoulli.
+func probNumDen(p rat.Rat) (num, den uint64) {
+	return uint64(p.Num()), uint64(p.Den())
+}

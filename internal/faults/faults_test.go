@@ -1,0 +1,183 @@
+package faults
+
+import (
+	"testing"
+
+	"smallbuffers/internal/network"
+	"smallbuffers/internal/rat"
+)
+
+func TestStreamIsPure(t *testing.T) {
+	s := NewStream(42)
+	a := s.Draw(keyDrop, 7, 3, 11)
+	// Interleave unrelated queries; the original coordinate must not move.
+	s.Draw(keyFlap, 1, 2)
+	s.Draw(keyDrop, 7, 3, 12)
+	if b := s.Draw(keyDrop, 7, 3, 11); b != a {
+		t.Fatalf("same coordinate drew %d then %d", a, b)
+	}
+	if other := NewStream(43).Draw(keyDrop, 7, 3, 11); other == a {
+		t.Fatalf("seeds 42 and 43 drew the same value %d", a)
+	}
+}
+
+func TestBernoulliExtremesAndRate(t *testing.T) {
+	s := NewStream(7)
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if s.Bernoulli(0, 1, keyDrop, uint64(i)) {
+			t.Fatalf("p=0 fired at coordinate %d", i)
+		}
+		if !s.Bernoulli(1, 1, keyDrop, uint64(i)) {
+			t.Fatalf("p=1 missed at coordinate %d", i)
+		}
+		if s.Bernoulli(1, 4, keyDrop, uint64(i)) {
+			hits++
+		}
+	}
+	// 1/4 of 20000 is 5000; allow ±5σ ≈ ±306.
+	if hits < 4694 || hits > 5306 {
+		t.Fatalf("p=1/4 fired %d/%d times", hits, trials)
+	}
+}
+
+func TestBernoulliMonotoneCoupling(t *testing.T) {
+	s := NewStream(99)
+	for i := 0; i < 5000; i++ {
+		lo := s.Bernoulli(1, 10, keyDrop, uint64(i))
+		hi := s.Bernoulli(1, 4, keyDrop, uint64(i))
+		if lo && !hi {
+			t.Fatalf("coordinate %d fires at p=1/10 but not at p=1/4", i)
+		}
+	}
+}
+
+func TestDropModel(t *testing.T) {
+	nw := network.MustPath(4)
+	if _, err := NewDrop(rat.MustParse("3/2")); err == nil {
+		t.Fatal("p=3/2 accepted")
+	}
+	if _, err := NewDrop(rat.MustParse("-1/2")); err == nil {
+		t.Fatal("p=-1/2 accepted")
+	}
+	d, err := NewDrop(rat.MustParse("1/5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Reset(nw, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !d.LinkUp(0, 0) {
+		t.Fatal("drop model took a link down")
+	}
+	// Determinism: the same coordinate answers identically forever.
+	first := d.Drops(3, 1, 17)
+	for i := 0; i < 100; i++ {
+		d.Drops(i, 0, i)
+	}
+	if d.Drops(3, 1, 17) != first {
+		t.Fatal("drop decision changed under interleaved queries")
+	}
+	// Reseeding changes the schedule (on at least one of many coordinates).
+	var a, b []bool
+	for i := 0; i < 200; i++ {
+		a = append(a, d.Drops(0, 0, i))
+	}
+	if err := d.Reset(nw, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		b = append(b, d.Drops(0, 0, i))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical drop schedules")
+	}
+}
+
+func TestLinkFlapModel(t *testing.T) {
+	nw := network.MustPath(4)
+	if _, err := NewLinkFlap(rat.MustParse("1/2"), 0, 0); err == nil {
+		t.Fatal("period=0 accepted")
+	}
+	if _, err := NewLinkFlap(rat.MustParse("1/2"), MaxWindow+1, 1); err == nil {
+		t.Fatal("period beyond MaxWindow accepted")
+	}
+	if _, err := NewLinkFlap(rat.MustParse("1/2"), 10, 11); err == nil {
+		t.Fatal("down > period accepted")
+	}
+	f, err := NewLinkFlap(rat.One, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Reset(nw, 5); err != nil {
+		t.Fatal(err)
+	}
+	// p=1: every window loses its first `down` rounds on every link.
+	for round := 0; round < 40; round++ {
+		up := f.LinkUp(round, 1)
+		wantUp := round%10 >= 3
+		if up != wantUp {
+			t.Fatalf("round %d: LinkUp=%v, want %v", round, up, wantUp)
+		}
+	}
+	if f.Drops(0, 0, 0) {
+		t.Fatal("link_flap dropped an in-flight packet")
+	}
+	// down=0 is always up even at p=1.
+	f0, err := NewLinkFlap(rat.One, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f0.Reset(nw, 5); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 40; round++ {
+		if !f0.LinkUp(round, 2) {
+			t.Fatalf("down=0 took link 2 down at round %d", round)
+		}
+	}
+}
+
+func TestNodeCrashModel(t *testing.T) {
+	nw := network.MustPath(4)
+	if _, err := NewNodeCrash(1, -1, 5); err == nil {
+		t.Fatal("negative at accepted")
+	}
+	if _, err := NewNodeCrash(1, 0, MaxWindow+1); err == nil {
+		t.Fatal("duration beyond MaxWindow accepted")
+	}
+	c, err := NewNodeCrash(2, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reset(nw, 0); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := NewNodeCrash(9, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Reset(nw, 0); err == nil {
+		t.Fatal("node outside topology accepted at Reset")
+	}
+	for round := 0; round < 12; round++ {
+		for v := network.NodeID(0); v < 4; v++ {
+			up := c.LinkUp(round, v)
+			wantUp := !(v == 2 && round >= 5 && round < 8)
+			if up != wantUp {
+				t.Fatalf("round %d node %d: LinkUp=%v, want %v", round, v, up, wantUp)
+			}
+		}
+	}
+	if c.Drops(6, 2, 0) {
+		t.Fatal("node_crash dropped an in-flight packet")
+	}
+}

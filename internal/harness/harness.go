@@ -26,8 +26,10 @@ import (
 	"sync"
 
 	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/faults"
 	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/network"
+	"smallbuffers/internal/rat"
 	"smallbuffers/internal/sim"
 	"smallbuffers/internal/stats"
 )
@@ -73,6 +75,30 @@ func RandomAdversary(dests []network.NodeID) AdversarySpec {
 	}}
 }
 
+// FaultSpec is one point on the fault axis. New receives the cell's
+// topology and derived seed and must return a fresh model already bound
+// via Model.Reset — fault models are stateless-per-coordinate but carry
+// their seed, and every cell gets its own instance.
+type FaultSpec struct {
+	Name string
+	New  func(nw *network.Network, seed int64) (faults.Model, error)
+}
+
+// DropFault is the FaultSpec for i.i.d. per-link loss with probability p
+// (labelled with p's exact value, e.g. "drop(1/20)").
+func DropFault(p rat.Rat) FaultSpec {
+	return FaultSpec{Name: fmt.Sprintf("drop(%v)", p), New: func(nw *network.Network, seed int64) (faults.Model, error) {
+		m, err := faults.NewDrop(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Reset(nw, seed); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}}
+}
+
 // Cell identifies one point of the sweep grid: the names of its coordinates
 // plus the resolved seed and horizon.
 type Cell struct {
@@ -86,6 +112,9 @@ type Cell struct {
 	// Bandwidth is the uniform link bandwidth imposed on the cell's
 	// topology; 0 means "as built" (the topology's own bandwidths).
 	Bandwidth int
+	// Faults names the cell's fault-axis entry; "" means the loss-free
+	// paper model (no fault axis, or none applied).
+	Faults string
 	// Seed is the grid seed; DerivedSeed is what the adversary factory
 	// receives — a deterministic hash of BaseSeed and the cell coordinates,
 	// so distinct cells never share an RNG stream even at equal grid seeds.
@@ -94,12 +123,18 @@ type Cell struct {
 	Rounds      int
 }
 
-// String renders a compact cell label for tables and errors.
+// String renders a compact cell label for tables and errors. Optional
+// axes (bandwidth, faults) appear only when set, so labels of sweeps that
+// never touch them are unchanged.
 func (c Cell) String() string {
+	mid := ""
 	if c.Bandwidth > 0 {
-		return fmt.Sprintf("%s/%s/%s/%v/B=%d/seed=%d/T=%d", c.Protocol, c.Topology, c.Adversary, c.Bound, c.Bandwidth, c.Seed, c.Rounds)
+		mid = fmt.Sprintf("/B=%d", c.Bandwidth)
 	}
-	return fmt.Sprintf("%s/%s/%s/%v/seed=%d/T=%d", c.Protocol, c.Topology, c.Adversary, c.Bound, c.Seed, c.Rounds)
+	if c.Faults != "" {
+		mid += "/faults=" + c.Faults
+	}
+	return fmt.Sprintf("%s/%s/%s/%v%s/seed=%d/T=%d", c.Protocol, c.Topology, c.Adversary, c.Bound, mid, c.Seed, c.Rounds)
 }
 
 // CellResult pairs a cell with its run outcome. Err is non-nil when the
@@ -130,6 +165,18 @@ type Sweep struct {
 	// replay identical traffic, so a bandwidth sweep is a paired comparison
 	// of the same demand under different link speeds.
 	Bandwidths []int
+
+	// Faults is the optional fault axis: each entry attaches its model to
+	// every cell it expands into. Empty means every cell runs the
+	// loss-free paper model. Like Bandwidths, the fault name is NOT folded
+	// into the derived adversary seed — cells differing only in the fault
+	// entry replay identical traffic, so a fault sweep is a paired
+	// comparison of the same demand under different loss processes (a
+	// loss-free baseline inside a fault sweep is the drop model at p=0).
+	// Fault models draw their schedules from the cell's derived seed
+	// through a domain-separated sub-stream (internal/faults), so
+	// attaching one never perturbs the adversary's randomness.
+	Faults []FaultSpec
 
 	// RoundsFor derives the horizon from the cell's topology (e.g. 6·n);
 	// it replaces the Rounds axis.
@@ -212,12 +259,22 @@ func (s *Sweep) validate() error {
 			return fmt.Errorf("harness: bandwidth axis entries must be ≥ 1, got %d", b)
 		}
 	}
+	for _, f := range s.Faults {
+		if f.Name == "" || f.New == nil {
+			return fmt.Errorf("harness: fault axis entries need a name and a factory")
+		}
+		if names["f:"+f.Name] {
+			return fmt.Errorf("harness: duplicate fault name %q", f.Name)
+		}
+		names["f:"+f.Name] = true
+	}
 	return nil
 }
 
 // Cells expands the grid in row-major order: topology (outermost), then
-// protocol, adversary, bound, seed, rounds. Cells whose horizon comes from
-// RoundsFor carry Rounds == 0 until execution resolves the topology.
+// protocol, adversary, bound, bandwidth, fault, seed, rounds. Cells whose
+// horizon comes from RoundsFor carry Rounds == 0 until execution resolves
+// the topology.
 func (s *Sweep) Cells() ([]Cell, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
@@ -234,30 +291,40 @@ func (s *Sweep) Cells() ([]Cell, error) {
 	if len(bandwidths) == 0 {
 		bandwidths = []int{0} // as built
 	}
-	cells := make([]Cell, 0, len(s.Topologies)*len(s.Protocols)*len(s.Adversaries)*len(s.Bounds)*len(bandwidths)*len(seeds)*len(rounds))
+	faultNames := []string{""}
+	if len(s.Faults) > 0 {
+		faultNames = make([]string, len(s.Faults))
+		for i, f := range s.Faults {
+			faultNames[i] = f.Name
+		}
+	}
+	cells := make([]Cell, 0, len(s.Topologies)*len(s.Protocols)*len(s.Adversaries)*len(s.Bounds)*len(bandwidths)*len(faultNames)*len(seeds)*len(rounds))
 	for _, topo := range s.Topologies {
 		for _, proto := range s.Protocols {
 			for _, adv := range s.Adversaries {
 				for _, bound := range s.Bounds {
 					for _, bw := range bandwidths {
-						for _, seed := range seeds {
-							for _, r := range rounds {
-								c := Cell{
-									Index:     len(cells),
-									Protocol:  proto.Name,
-									Topology:  topo.Name,
-									Adversary: adv.Name,
-									Bound:     bound,
-									Bandwidth: bw,
-									Seed:      seed,
-									Rounds:    r,
+						for _, fname := range faultNames {
+							for _, seed := range seeds {
+								for _, r := range rounds {
+									c := Cell{
+										Index:     len(cells),
+										Protocol:  proto.Name,
+										Topology:  topo.Name,
+										Adversary: adv.Name,
+										Bound:     bound,
+										Bandwidth: bw,
+										Faults:    fname,
+										Seed:      seed,
+										Rounds:    r,
+									}
+									if s.RawSeeds {
+										c.DerivedSeed = seed
+									} else {
+										c.DerivedSeed = deriveSeed(s.BaseSeed, c)
+									}
+									cells = append(cells, c)
 								}
-								if s.RawSeeds {
-									c.DerivedSeed = seed
-								} else {
-									c.DerivedSeed = deriveSeed(s.BaseSeed, c)
-								}
-								cells = append(cells, c)
 							}
 						}
 					}
@@ -270,9 +337,11 @@ func (s *Sweep) Cells() ([]Cell, error) {
 
 // deriveSeed hashes the sweep base seed and the cell coordinates into the
 // seed handed to the cell's adversary. FNV-1a over the canonical cell label
-// is stable across runs, platforms, and worker counts. Bandwidth is
-// deliberately excluded: demand is a property of the adversary, not the
-// links, so cells along the bandwidth axis replay the same injections.
+// is stable across runs, platforms, and worker counts. Bandwidth and the
+// fault entry are deliberately excluded: demand is a property of the
+// adversary, not the links or their failures, so cells along those axes
+// replay the same injections (fault schedules decorrelate from the
+// adversary via the domain-separated sub-stream instead).
 func deriveSeed(base int64, c Cell) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s|%s|%s|%v|%d|%d", base, c.Protocol, c.Topology, c.Adversary, c.Bound, c.Seed, c.Rounds)
@@ -382,7 +451,24 @@ func (s *Sweep) runCell(ctx context.Context, eng **sim.Engine, c Cell) CellResul
 	if err != nil {
 		return CellResult{Cell: c, Err: fmt.Errorf("harness: %v: adversary: %w", c, err)}
 	}
-	opts := make([]sim.Option, 0, 4)
+	opts := make([]sim.Option, 0, 5)
+	if c.Faults != "" {
+		var fs *FaultSpec
+		for i := range s.Faults {
+			if s.Faults[i].Name == c.Faults {
+				fs = &s.Faults[i]
+				break
+			}
+		}
+		if fs == nil {
+			return CellResult{Cell: c, Err: fmt.Errorf("harness: cell %v names unknown fault entry %q", c, c.Faults)}
+		}
+		fm, err := fs.New(nw, c.DerivedSeed)
+		if err != nil {
+			return CellResult{Cell: c, Err: fmt.Errorf("harness: %v: faults: %w", c, err)}
+		}
+		opts = append(opts, sim.WithFaults(fm))
+	}
 	if s.VerifyAdversary {
 		opts = append(opts, sim.WithVerifyAdversary())
 	}

@@ -21,19 +21,25 @@ import (
 // construction, sorted by collector name): the scenario-selected set, or
 // the default {max_load, latency} pair.
 type CellRecord struct {
-	Index           int               `json:"index"`
-	Cell            string            `json:"cell"`
-	MaxLoad         int               `json:"max_load"`
-	MaxLoadNode     int               `json:"max_load_node"`
-	MaxLoadRound    int               `json:"max_load_round"`
-	MaxPhysicalLoad int               `json:"max_physical_load"`
-	Injected        int               `json:"injected"`
-	Delivered       int               `json:"delivered"`
-	Residual        int               `json:"residual"`
-	MaxLatency      int               `json:"max_latency"`
-	TotalLatency    int               `json:"total_latency"`
-	Metrics         []metrics.Summary `json:"metrics,omitempty"`
-	Err             string            `json:"error,omitempty"`
+	Index           int    `json:"index"`
+	Cell            string `json:"cell"`
+	MaxLoad         int    `json:"max_load"`
+	MaxLoadNode     int    `json:"max_load_node"`
+	MaxLoadRound    int    `json:"max_load_round"`
+	MaxPhysicalLoad int    `json:"max_physical_load"`
+	Injected        int    `json:"injected"`
+	Delivered       int    `json:"delivered"`
+	Residual        int    `json:"residual"`
+	MaxLatency      int    `json:"max_latency"`
+	TotalLatency    int    `json:"total_latency"`
+	// Faults names the cell's fault-axis entry and Dropped counts packets
+	// its model lost in transit. Both are omitted for loss-free cells, so
+	// the record bytes of scenarios without a faults axis are unchanged
+	// from v2 (see RecordsVersion).
+	Faults  string            `json:"faults,omitempty"`
+	Dropped int               `json:"dropped,omitempty"`
+	Metrics []metrics.Summary `json:"metrics,omitempty"`
+	Err     string            `json:"error,omitempty"`
 }
 
 // MetricByName returns the record's summary for the named collector.
@@ -63,6 +69,8 @@ func (r CellResult) Record() CellRecord {
 	rec.Residual = r.Result.Residual
 	rec.MaxLatency = r.Result.MaxLatency
 	rec.TotalLatency = r.Result.TotalLatency
+	rec.Faults = r.Cell.Faults
+	rec.Dropped = r.Result.Dropped
 	rec.Metrics = metrics.Records(r.Result.Metrics)
 	return rec
 }
@@ -95,21 +103,41 @@ func RecordsSorted(recs []CellRecord) []CellRecord {
 //	v1 — scalar-only records (pre-metrics).
 //	v2 — records carry canonical metric summaries (the "metrics" field);
 //	     the digest input gained this version header.
+//	v3 — records may carry a fault axis ("faults"/"dropped" fields). The
+//	     version is gated on use: digests over records none of which
+//	     carry a fault entry keep the v2 header (their bytes are
+//	     unchanged — the new fields marshal only when set), so every
+//	     pre-fault corpus digest remains valid, while any faulted record
+//	     set digests under v3.
 //
 // Bump it whenever CellRecord's wire form changes; persisted corpus
-// digests must be regenerated in the same change.
-const RecordsVersion = 2
+// digests must be regenerated in the same change (unless the change is
+// version-gated like v3).
+const RecordsVersion = 3
+
+// recordsVersionFor picks the digest header version for a record set:
+// the pre-fault v2 for loss-free record sets, RecordsVersion as soon as
+// any record carries a fault entry.
+func recordsVersionFor(recs []CellRecord) int {
+	for _, rec := range recs {
+		if rec.Faults != "" {
+			return RecordsVersion
+		}
+	}
+	return 2
+}
 
 // RecordsDigest is the canonical content address of a set of cell
-// records: "sha256:<hex>" over a version header ("v<RecordsVersion>")
-// followed by their JSON encodings, one per line, sorted by cell index.
-// Two executions of the same scenario — local or behind the service
-// tier, at any worker count — produce the same digest, which is what the
-// CI corpus gate and the remote-vs-local comparisons key on.
+// records: "sha256:<hex>" over a version header ("v<RecordsVersion>",
+// version-gated — see recordsVersionFor) followed by their JSON
+// encodings, one per line, sorted by cell index. Two executions of the
+// same scenario — local or behind the service tier, at any worker count —
+// produce the same digest, which is what the CI corpus gate and the
+// remote-vs-local comparisons key on.
 func RecordsDigest(recs []CellRecord) string {
 	sorted := RecordsSorted(recs)
 	h := sha256.New()
-	fmt.Fprintf(h, "v%d\n", RecordsVersion)
+	fmt.Fprintf(h, "v%d\n", recordsVersionFor(sorted))
 	for _, rec := range sorted {
 		line, err := json.Marshal(rec)
 		if err != nil {

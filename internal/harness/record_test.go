@@ -46,16 +46,32 @@ func TestRecordsDigestSensitive(t *testing.T) {
 
 // TestRecordsDigestVersionGate pins the digest scheme: the version
 // header is part of the hash input, so a schema bump (RecordsVersion)
-// invalidates every stored digest instead of colliding with old ones.
+// invalidates every stored digest instead of colliding with old ones —
+// except that v3 is gated on use: record sets without a fault entry keep
+// digesting under the v2 header (their bytes are unchanged), so stored
+// pre-fault corpus digests stay valid.
 func TestRecordsDigestVersionGate(t *testing.T) {
-	h := sha256.New()
-	fmt.Fprintf(h, "v%d\n", RecordsVersion)
-	want := "sha256:" + hex.EncodeToString(h.Sum(nil))
-	if got := RecordsDigest(nil); got != want {
-		t.Errorf("empty digest = %s, want the v%d header hash %s", got, RecordsVersion, want)
+	headerHash := func(v int) string {
+		h := sha256.New()
+		fmt.Fprintf(h, "v%d\n", v)
+		return "sha256:" + hex.EncodeToString(h.Sum(nil))
 	}
-	if RecordsVersion != 2 {
-		t.Errorf("RecordsVersion = %d; the v2 scheme carries metric summaries — bumping it requires regenerating stored digests", RecordsVersion)
+	if got := RecordsDigest(nil); got != headerHash(2) {
+		t.Errorf("empty digest = %s, want the v2 header hash %s", got, headerHash(2))
+	}
+	if RecordsVersion != 3 {
+		t.Errorf("RecordsVersion = %d; the v3 scheme carries fault fields — bumping it requires regenerating stored digests", RecordsVersion)
+	}
+	lossFree := []CellRecord{{Index: 0, Cell: "a", MaxLoad: 3}}
+	faulted := []CellRecord{{Index: 0, Cell: "a", MaxLoad: 3, Faults: "drop(1/20)", Dropped: 2}}
+	if v := recordsVersionFor(lossFree); v != 2 {
+		t.Errorf("loss-free records digest under v%d, want v2", v)
+	}
+	if v := recordsVersionFor(faulted); v != RecordsVersion {
+		t.Errorf("faulted records digest under v%d, want v%d", v, RecordsVersion)
+	}
+	if RecordsDigest(lossFree) == RecordsDigest(faulted) {
+		t.Error("digest blind to fault fields")
 	}
 }
 

@@ -71,6 +71,16 @@ type Move struct {
 	Delivered bool
 	// Inject is the round the moved packet was injected.
 	Inject int
+	// Dropped marks a packet lost in transit by the run's fault model: it
+	// left From's buffer and consumed the link, but never arrived (and
+	// Delivered is false even if To was its destination).
+	Dropped bool
+}
+
+// Injection mirrors packet.Injection with the fields collectors consume:
+// the source node the adversary injected at and the packet's destination.
+type Injection struct {
+	Src, Dst network.NodeID
 }
 
 // Collector observes one run and distills it into a Summary. Collectors
@@ -81,6 +91,11 @@ type Collector interface {
 	// Name is the collector's registry name; it keys the Summary in
 	// Result.Metrics.
 	Name() string
+	// OnInject fires after the injection step with the packets the
+	// adversary injected this round; rounds that inject nothing skip the
+	// call. Like OnForward's moves, the slice is an engine-owned scratch
+	// buffer, valid only for the duration of the call.
+	OnInject(round int, injs []Injection)
 	// OnSample fires at each occupancy sample point: once at L_t and once
 	// post-forwarding, every round, in that order.
 	OnSample(round int, p Point, v View)
@@ -99,6 +114,9 @@ type Collector interface {
 
 // NopCollector is a Collector with no-op hooks, for embedding.
 type NopCollector struct{}
+
+// OnInject implements Collector.
+func (NopCollector) OnInject(int, []Injection) {}
 
 // OnSample implements Collector.
 func (NopCollector) OnSample(int, Point, View) {}

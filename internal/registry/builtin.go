@@ -6,6 +6,7 @@ import (
 	"smallbuffers/internal/adversary"
 	"smallbuffers/internal/baseline"
 	"smallbuffers/internal/core"
+	"smallbuffers/internal/faults"
 	"smallbuffers/internal/local"
 	"smallbuffers/internal/lowerbound"
 	"smallbuffers/internal/metrics"
@@ -25,6 +26,7 @@ func init() {
 	registerAdversaries()
 	registerInvariants()
 	registerMetrics()
+	registerFaults()
 }
 
 func registerTopologies() {
@@ -412,6 +414,84 @@ func registerMetrics() {
 				return nil, err
 			}
 			return metrics.NewLinkUtilSeries(capPoints, tail), nil
+		},
+	}))
+	mustRegister(RegisterMetric(Metric{
+		Name:   metrics.NameDropRate,
+		Doc:    "packets lost in transit by the fault model: totals, drop permille, per-round drop series",
+		Params: seriesSchema,
+		Build: func(p Params) (metrics.Collector, error) {
+			capPoints, tail, err := seriesParams(p)
+			if err != nil {
+				return nil, err
+			}
+			return metrics.NewDropRate(capPoints, tail), nil
+		},
+	}))
+	mustRegister(RegisterMetric(Metric{
+		Name:   metrics.NameGoodput,
+		Doc:    "delivered-versus-injected flow: exact totals, goodput permille, per-round bounded series of both",
+		Params: seriesSchema,
+		Build: func(p Params) (metrics.Collector, error) {
+			capPoints, tail, err := seriesParams(p)
+			if err != nil {
+				return nil, err
+			}
+			return metrics.NewGoodput(capPoints, tail), nil
+		},
+	}))
+	mustRegister(RegisterMetric(Metric{
+		Name: metrics.NameDelivery,
+		Doc:  "the packet ledger: delivered/dropped/in-flight counts that always sum to injected",
+		Build: func(Params) (metrics.Collector, error) {
+			return metrics.NewDelivery(), nil
+		},
+	}))
+	mustRegister(RegisterMetric(Metric{
+		Name: metrics.NameInjectionConcentration,
+		Doc:  "adversary spatial profile via the OnInject hook: distinct sources and the hottest source's share",
+		Build: func(Params) (metrics.Collector, error) {
+			return metrics.NewInjectionConcentration(), nil
+		},
+	}))
+}
+
+// registerFaults registers the fault-injection models. Every parameter is
+// bounded at build time — probabilities are exact rationals validated into
+// [0, 1] and window lengths are capped at faults.MaxWindow (the same 2¹⁶
+// limit as the series params) — because fault specs arrive over the
+// network through aqtserve's POST /v1/runs.
+func registerFaults() {
+	mustRegister(RegisterFault(Fault{
+		Name:   faults.DropName,
+		Doc:    "each forwarded packet is lost in transit i.i.d. with probability p",
+		Params: Schema{{Name: "p", Kind: RatKind, Doc: "drop probability in [0,1], e.g. \"1/20\"", Required: true}},
+		Build: func(p Params) (faults.Model, error) {
+			return faults.NewDrop(p.Rat("p"))
+		},
+	}))
+	mustRegister(RegisterFault(Fault{
+		Name: faults.LinkFlapName,
+		Doc:  "transient link outages: per (link, window) a seeded coin p downs the link for the first `down` rounds of the window",
+		Params: Schema{
+			{Name: "p", Kind: RatKind, Doc: "per-window outage probability in [0,1]", Required: true},
+			{Name: "period", Kind: Int, Doc: "window length in rounds, 1..65536", Default: 32},
+			{Name: "down", Kind: Int, Doc: "outage length in rounds, 0..period", Default: 8},
+		},
+		Build: func(p Params) (faults.Model, error) {
+			return faults.NewLinkFlap(p.Rat("p"), p.Int("period"), p.Int("down"))
+		},
+	}))
+	mustRegister(RegisterFault(Fault{
+		Name: faults.NodeCrashName,
+		Doc:  "one node forwards nothing during rounds [at, at+for)",
+		Params: Schema{
+			{Name: "node", Kind: Int, Doc: "the crashing node", Required: true},
+			{Name: "at", Kind: Int, Doc: "first silent round", Default: 0},
+			{Name: "for", Kind: Int, Doc: "outage length in rounds, 0..65536", Default: 64},
+		},
+		Build: func(p Params) (faults.Model, error) {
+			return faults.NewNodeCrash(network.NodeID(p.Int("node")), p.Int("at"), p.Int("for"))
 		},
 	}))
 }

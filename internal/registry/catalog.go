@@ -38,6 +38,7 @@ type CatalogDesc struct {
 	Policies    []EntryDesc `json:"policies"`
 	Invariants  []EntryDesc `json:"invariants"`
 	Metrics     []EntryDesc `json:"metrics"`
+	Faults      []EntryDesc `json:"faults"`
 }
 
 // Catalog snapshots the registry in serializable form, every section
@@ -88,6 +89,13 @@ func Catalog() CatalogDesc {
 			continue
 		}
 		c.Metrics = append(c.Metrics, EntryDesc{Name: e.Name, Doc: e.Doc, Params: describeSchema(e.Params)})
+	}
+	for _, name := range FaultNames() {
+		e, err := LookupFault(name)
+		if err != nil {
+			continue
+		}
+		c.Faults = append(c.Faults, EntryDesc{Name: e.Name, Doc: e.Doc, Params: describeSchema(e.Params)})
 	}
 	return c
 }

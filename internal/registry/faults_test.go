@@ -1,0 +1,64 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuiltinFaultCatalog(t *testing.T) {
+	want := []string{"drop", "link_flap", "node_crash"}
+	if got := FaultNames(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("faults = %v, want %v", got, want)
+	}
+	f, err := LookupFault("drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Params.Resolve(map[string]any{"p": "1/20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Build(p)
+	if err != nil || m.Name() != "drop" {
+		t.Fatalf("Build(drop) = %v, %v", m, err)
+	}
+	if _, err := f.Params.Resolve(nil); err == nil {
+		t.Error("drop accepted a missing required p")
+	}
+	c := Catalog()
+	if len(c.Faults) != 3 {
+		t.Errorf("Catalog().Faults has %d entries, want 3", len(c.Faults))
+	}
+}
+
+// TestFaultParamsBounded is the hardening gate: fault params arrive over
+// the network through aqtserve, so probabilities outside [0,1] and
+// degenerate window lengths must fail at Build, before anything runs.
+func TestFaultParamsBounded(t *testing.T) {
+	cases := []struct {
+		fault  string
+		params map[string]any
+	}{
+		{"drop", map[string]any{"p": "3/2"}},
+		{"drop", map[string]any{"p": "-1/100"}},
+		{"link_flap", map[string]any{"p": "2"}},
+		{"link_flap", map[string]any{"p": "1/2", "period": 0}},
+		{"link_flap", map[string]any{"p": "1/2", "period": 1 << 20}},
+		{"link_flap", map[string]any{"p": "1/2", "period": 8, "down": 9}},
+		{"node_crash", map[string]any{"node": 0, "at": -1}},
+		{"node_crash", map[string]any{"node": 0, "for": 1 << 20}},
+	}
+	for _, tc := range cases {
+		f, err := LookupFault(tc.fault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := f.Params.Resolve(tc.params)
+		if err != nil {
+			continue // rejected at coercion is fine too
+		}
+		if _, err := f.Build(p); err == nil {
+			t.Errorf("%s accepted degenerate params %v", tc.fault, tc.params)
+		}
+	}
+}

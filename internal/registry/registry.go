@@ -22,6 +22,7 @@ import (
 
 	"smallbuffers/internal/adversary"
 	"smallbuffers/internal/baseline"
+	"smallbuffers/internal/faults"
 	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/network"
 	"smallbuffers/internal/sim"
@@ -119,6 +120,20 @@ type Metric struct {
 	Build  func(p Params) (metrics.Collector, error)
 }
 
+// Fault is a registered fault-injection model: scenarios attach one by
+// name (the "faults" axis) and every faulted run gets a fresh model
+// instance, bound to the run's topology and derived seed via Model.Reset
+// before the engine starts. Build must validate its parameters against
+// the registry-side bounds (probabilities in [0,1], window lengths
+// capped) — fault params arrive over the network through aqtserve, so a
+// hostile scenario must not be able to request degenerate schedules.
+type Fault struct {
+	Name   string
+	Doc    string
+	Params Schema
+	Build  func(p Params) (faults.Model, error)
+}
+
 // table is one mutex-guarded name→entry catalog.
 type table[T any] struct {
 	kind    string
@@ -176,6 +191,7 @@ var (
 	policies    = newTable[Policy]("greedy policy")
 	invariants  = newTable[Invariant]("invariant")
 	metricsTbl  = newTable[Metric]("metric")
+	faultsTbl   = newTable[Fault]("fault model")
 )
 
 // RegisterTopology adds a topology family under its name; duplicate names
@@ -213,6 +229,14 @@ func RegisterMetric(m Metric) error {
 	return metricsTbl.register(m.Name, m)
 }
 
+// RegisterFault adds a fault-injection model under its name.
+func RegisterFault(f Fault) error {
+	if f.Build == nil {
+		return fmt.Errorf("registry: fault model %q has no Build", f.Name)
+	}
+	return faultsTbl.register(f.Name, f)
+}
+
 // LookupTopology resolves a topology by name.
 func LookupTopology(name string) (Topology, error) { return topologies.lookup(name) }
 
@@ -231,6 +255,9 @@ func LookupInvariant(name string) (Invariant, error) { return invariants.lookup(
 // LookupMetric resolves a measurement collector by name.
 func LookupMetric(name string) (Metric, error) { return metricsTbl.lookup(name) }
 
+// LookupFault resolves a fault model by name.
+func LookupFault(name string) (Fault, error) { return faultsTbl.lookup(name) }
+
 // TopologyNames enumerates the registered topology names, sorted.
 func TopologyNames() []string { return topologies.names() }
 
@@ -248,6 +275,9 @@ func InvariantNames() []string { return invariants.names() }
 
 // MetricNames enumerates the registered metric names, sorted.
 func MetricNames() []string { return metricsTbl.names() }
+
+// FaultNames enumerates the registered fault model names, sorted.
+func FaultNames() []string { return faultsTbl.names() }
 
 // mustRegister panics on registration errors; built-in registration runs
 // at init time where a failure is a programming error.

@@ -32,7 +32,8 @@ func TestBuiltinCatalog(t *testing.T) {
 	if _, err := LookupInvariant("max-load"); err != nil {
 		t.Errorf("LookupInvariant(max-load): %v", err)
 	}
-	wantMetrics := []string{"latency", "link_util_series", "load_hist", "load_series", "max_load"}
+	wantMetrics := []string{"delivery", "drop_rate", "goodput", "injection_concentration",
+		"latency", "link_util_series", "load_hist", "load_series", "max_load"}
 	if got := MetricNames(); strings.Join(got, ",") != strings.Join(wantMetrics, ",") {
 		t.Errorf("metrics = %v, want %v", got, wantMetrics)
 	}

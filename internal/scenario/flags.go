@@ -34,6 +34,10 @@ type Flags struct {
 	// default parameters); empty leaves the scenario's metric set unset,
 	// i.e. the default {max_load, latency} pair.
 	Metrics []string
+	// Fault selects a fault model by registry name; its parameters (p,
+	// period, down, node, at, for) ride the flat Params namespace like any
+	// component's. Empty means loss-free.
+	Fault string
 }
 
 // FromFlags assembles and validates a one-point scenario from a flat flag
@@ -73,6 +77,13 @@ func FromFlags(f Flags) (*Scenario, error) {
 	// Unknown names fail in Validate below, same as every other axis.
 	for _, name := range f.Metrics {
 		sc.Metrics = append(sc.Metrics, Component{Name: name})
+	}
+	if f.Fault != "" {
+		faultEntry, err := registry.LookupFault(f.Fault)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		sc.Faults = []Component{componentFor(f.Fault, faultEntry.Params, f.Params)}
 	}
 	if err := sc.Validate(); err != nil {
 		return nil, err

@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/faults"
 	"smallbuffers/internal/harness"
 	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/network"
@@ -93,6 +94,11 @@ type Scenario struct {
 	// reports their summaries in its result records. Empty means the
 	// default {max_load, latency} set.
 	Metrics []Component
+	// Faults is a sweep axis of fault models by registry name ("drop",
+	// "link_flap", "node_crash"); each cell runs under one entry's model,
+	// freshly built and bound to the cell's topology and seed. Empty means
+	// loss-free — byte-identical to the pre-fault behaviour.
+	Faults []Component
 
 	validated bool
 }
@@ -121,6 +127,8 @@ type scenarioJSON struct {
 	Invariants  json.RawMessage `json:"invariants,omitempty"`
 	Metric      json.RawMessage `json:"metric,omitempty"`
 	Metrics     json.RawMessage `json:"metrics,omitempty"`
+	Fault       json.RawMessage `json:"fault,omitempty"`
+	Faults      json.RawMessage `json:"faults,omitempty"`
 }
 
 // Parse decodes and validates a scenario from JSON bytes.
@@ -158,6 +166,9 @@ func Parse(data []byte) (*Scenario, error) {
 		return nil, err
 	}
 	if sc.Metrics, err = axisList[Component]("metric", w.Metric, w.Metrics); err != nil {
+		return nil, err
+	}
+	if sc.Faults, err = axisList[Component]("fault", w.Fault, w.Faults); err != nil {
 		return nil, err
 	}
 	if err := sc.Validate(); err != nil {
@@ -266,6 +277,9 @@ func (sc *Scenario) Marshal() ([]byte, error) {
 		if w.Metrics, err = json.Marshal(sc.Metrics); err != nil {
 			return nil, err
 		}
+	}
+	if w.Fault, w.Faults, err = axisJSON(sc.Faults); err != nil {
+		return nil, err
 	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
@@ -399,6 +413,15 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("scenario: metric %q: %w", e.Name, err)
 		}
 	}
+	for i := range sc.Faults {
+		e, err := registry.LookupFault(sc.Faults[i].Name)
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if err := normalize(&sc.Faults[i], e.Params); err != nil {
+			return fmt.Errorf("scenario: fault %q: %w", e.Name, err)
+		}
+	}
 	// Metric names must be unique — summaries key on the collector name,
 	// so two entries of the same metric would silently shadow each other.
 	seenMetrics := map[string]bool{}
@@ -428,6 +451,7 @@ func (sc *Scenario) Validate() error {
 	// silently re-run the same point and double-weight it in aggregates.
 	for axis, comps := range map[string][]Component{
 		"topology": sc.Topologies, "protocol": sc.Protocols, "adversary": sc.Adversaries,
+		"fault": sc.Faults,
 	} {
 		seen := map[string]bool{}
 		for _, c := range comps {
@@ -522,7 +546,8 @@ func (sc *Scenario) selfHosting() (bool, error) {
 // scenario describes one run rather than a sweep grid.
 func (sc *Scenario) IsSingle() bool {
 	return len(sc.Topologies) <= 1 && len(sc.Protocols) <= 1 && len(sc.Adversaries) <= 1 &&
-		len(sc.Bounds) <= 1 && len(sc.Rounds) <= 1 && len(sc.Bandwidths) <= 1 && len(sc.Seeds) <= 1
+		len(sc.Bounds) <= 1 && len(sc.Rounds) <= 1 && len(sc.Bandwidths) <= 1 && len(sc.Seeds) <= 1 &&
+		len(sc.Faults) <= 1
 }
 
 // Single is a fully materialized one-point scenario: the built topology,
@@ -547,18 +572,27 @@ type Single struct {
 	// are stateful and single-run: a Single materializes one run, so its
 	// Spec must be executed at most once.
 	Metrics []metrics.Collector
+	// Faults is the scenario's fault model, already bound (Reset) to the
+	// built topology and the run's seed; nil means loss-free. Like the
+	// collectors it is stateless-per-query but freshly built per run.
+	Faults faults.Model
+	// FaultLabel names the fault entry for reports ("drop(p=1/20)").
+	FaultLabel string
 }
 
 // Spec assembles the run description, folding in the scenario's
 // invariants, metric collectors, and verification flag plus any extra
 // options (observers, deadlines).
 func (s *Single) Spec(extra ...sim.Option) sim.Spec {
-	opts := make([]sim.Option, 0, 3+len(extra))
+	opts := make([]sim.Option, 0, 4+len(extra))
 	if len(s.Invariants) > 0 {
 		opts = append(opts, sim.WithInvariants(s.Invariants...))
 	}
 	if len(s.Metrics) > 0 {
 		opts = append(opts, sim.WithMetrics(s.Metrics...))
+	}
+	if s.Faults != nil {
+		opts = append(opts, sim.WithFaults(s.Faults))
 	}
 	if s.Verify {
 		opts = append(opts, sim.WithVerifyAdversary())
@@ -660,6 +694,14 @@ func (sc *Scenario) CompileSingle() (*Single, error) {
 	if single.Metrics, err = sc.buildMetrics(); err != nil {
 		return nil, err
 	}
+	if len(sc.Faults) == 1 {
+		fm, err := sc.buildFault(sc.Faults[0], single.Net, single.Seed)
+		if err != nil {
+			return nil, err
+		}
+		single.Faults = fm
+		single.FaultLabel = sc.Faults[0].label()
+	}
 	return single, nil
 }
 
@@ -721,6 +763,29 @@ func (sc *Scenario) buildMetrics() ([]metrics.Collector, error) {
 		out = append(out, col)
 	}
 	return out, nil
+}
+
+// buildFault materializes one fault-axis entry: a fresh model built from
+// its registry entry and bound (Reset) to the given topology and seed.
+// Fresh per call — fault schedules are keyed off the bound seed, so every
+// sweep cell rebuilds its own.
+func (sc *Scenario) buildFault(c Component, nw *network.Network, seed int64) (faults.Model, error) {
+	e, err := registry.LookupFault(c.Name)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	p, err := resolved(c, e.Params)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	m, err := e.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: fault %q: %w", e.Name, err)
+	}
+	if err := m.Reset(nw, seed); err != nil {
+		return nil, fmt.Errorf("scenario: fault %q: %w", e.Name, err)
+	}
+	return m, nil
 }
 
 // bound parses the i-th declared bound.
@@ -862,6 +927,15 @@ func (sc *Scenario) Sweep() (*harness.Sweep, error) {
 		sw.Metrics = func(harness.Cell, *network.Network) ([]metrics.Collector, error) {
 			return sc.buildMetrics()
 		}
+	}
+	for _, c := range sc.Faults {
+		comp := c
+		sw.Faults = append(sw.Faults, harness.FaultSpec{
+			Name: comp.label(),
+			New: func(nw *network.Network, seed int64) (faults.Model, error) {
+				return sc.buildFault(comp, nw, seed)
+			},
+		})
 	}
 	return sw, nil
 }

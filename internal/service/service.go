@@ -103,14 +103,17 @@ const (
 // streaming client gets the grid-wide latency/occupancy distributions in
 // the summary event without refolding the cell frames.
 type Summary struct {
-	Requested     int               `json:"requested"`
-	Completed     int               `json:"completed"`
-	Failed        int               `json:"failed"`
-	ResultsDigest string            `json:"results_digest"`
-	MaxLoadMean   float64           `json:"max_load_mean"`
-	MaxLoadMax    int               `json:"max_load_max"`
-	DeliveredMean float64           `json:"delivered_mean"`
-	Metrics       []metrics.Summary `json:"metrics,omitempty"`
+	Requested     int     `json:"requested"`
+	Completed     int     `json:"completed"`
+	Failed        int     `json:"failed"`
+	ResultsDigest string  `json:"results_digest"`
+	MaxLoadMean   float64 `json:"max_load_mean"`
+	MaxLoadMax    int     `json:"max_load_max"`
+	DeliveredMean float64 `json:"delivered_mean"`
+	// DroppedTotal counts packets lost in transit across clean cells;
+	// omitted for loss-free runs so their summary bytes are unchanged.
+	DroppedTotal int               `json:"dropped_total,omitempty"`
+	Metrics      []metrics.Summary `json:"metrics,omitempty"`
 }
 
 // Report is the wire form of a run: identity, lifecycle state, and (when
@@ -407,6 +410,7 @@ func summarize(requested int, recs []harness.CellRecord) *Summary {
 		sum.Completed++
 		loadSum += rec.MaxLoad
 		delivSum += rec.Delivered
+		sum.DroppedTotal += rec.Dropped
 		if rec.MaxLoad > sum.MaxLoadMax {
 			sum.MaxLoadMax = rec.MaxLoad
 		}

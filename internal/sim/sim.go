@@ -59,6 +59,10 @@ type Move struct {
 	Pkt       packet.Packet
 	From, To  network.NodeID
 	Delivered bool
+	// Dropped marks a packet lost in transit by the run's fault model: it
+	// left From's buffer and consumed the link, but never arrived
+	// (Delivered is false even if To was its destination).
+	Dropped bool
 }
 
 // Protocol is a centralized online forwarding algorithm.
@@ -161,7 +165,11 @@ type Result struct {
 
 	Injected  int
 	Delivered int
-	// Residual is Injected − Delivered at the end of the run.
+	// Dropped counts packets lost in transit by the run's fault model
+	// (zero for the loss-free paper model).
+	Dropped int
+	// Residual is Injected − Delivered − Dropped at the end of the run:
+	// the packets still buffered somewhere.
 	Residual int
 
 	// MaxLatency and TotalLatency aggregate delivery times (delivery round
@@ -255,6 +263,7 @@ type Engine struct {
 	maxLoadC    *metrics.MaxLoadCollector
 	latencyC    *metrics.LatencyCollector
 	moveScratch []metrics.Move
+	injScratch  []metrics.Injection
 }
 
 var _ View = (*Engine)(nil)
@@ -436,7 +445,7 @@ func (e *Engine) Result() Result {
 	res.MaxPhysicalLoad = e.maxLoadC.MaxPhysicalLoad()
 	res.MaxLatency = e.latencyC.MaxLatency()
 	res.TotalLatency = e.latencyC.TotalLatency()
-	res.Residual = res.Injected - res.Delivered
+	res.Residual = res.Injected - res.Delivered - res.Dropped
 	res.PerNodeMax = make([]int, e.spec.net.Len())
 	copy(res.PerNodeMax, e.maxLoadC.PerNodeMax())
 	res.PerLinkForwards = append([]int(nil), e.res.PerLinkForwards...)
@@ -500,6 +509,16 @@ func (e *Engine) step(t int) error {
 		newPkts = append(newPkts, p)
 	}
 	e.res.Injected += len(newPkts)
+	if len(newPkts) > 0 {
+		is := e.injScratch[:0]
+		for _, p := range newPkts {
+			is = append(is, metrics.Injection{Src: p.Src, Dst: p.Dst})
+		}
+		e.injScratch = is
+		for _, c := range e.collectors {
+			c.OnInject(t, is)
+		}
+	}
 	for _, ob := range e.spec.observers {
 		ob.OnInject(t, newPkts)
 	}
@@ -548,7 +567,7 @@ func (e *Engine) step(t int) error {
 	if len(moves) > 0 {
 		ms := e.moveScratch[:0]
 		for _, m := range moves {
-			ms = append(ms, metrics.Move{From: m.From, To: m.To, Delivered: m.Delivered, Inject: m.Pkt.Inject})
+			ms = append(ms, metrics.Move{From: m.From, To: m.To, Delivered: m.Delivered, Dropped: m.Dropped, Inject: m.Pkt.Inject})
 		}
 		e.moveScratch = ms
 		for _, c := range e.collectors {
@@ -577,12 +596,20 @@ func (e *Engine) step(t int) error {
 	return nil
 }
 
-// apply validates and executes a decision set simultaneously.
+// apply validates and executes a decision set simultaneously. The run's
+// fault model (if any) intercepts the forwarding step here: decisions
+// over a downed link are validated but nullified (the packets stay
+// buffered), and forwarded packets the model drops leave their buffer and
+// consume the link without arriving.
 func (e *Engine) apply(t int, decisions []Forward) ([]Move, error) {
+	fm := e.spec.faults
 	sent := make(map[network.NodeID]int, len(decisions))
 	moves := make([]Move, 0, len(decisions))
 	// Remove phase: validate and detach all forwarded packets first so the
-	// moves are simultaneous.
+	// moves are simultaneous. Validation is fault-blind — a decision must
+	// be feasible against the configured bandwidths whether or not the
+	// fault model then nullifies it, so protocols cannot observe faults
+	// through the engine's error behavior.
 	for _, d := range decisions {
 		if !e.spec.net.Valid(d.From) {
 			return nil, fmt.Errorf("sim: decision from invalid node %d", d.From)
@@ -596,11 +623,26 @@ func (e *Engine) apply(t int, decisions []Forward) ([]Move, error) {
 		if to == network.None {
 			return nil, fmt.Errorf("sim: sink node %d cannot forward", d.From)
 		}
+		if fm != nil && !fm.LinkUp(t, d.From) {
+			// Downed link: the decision is nullified, not an error. The
+			// packet must still exist (referencing a phantom packet is a
+			// protocol bug regardless of link state) but stays buffered.
+			if !e.buffers[d.From].Contains(d.Pkt) {
+				return nil, fmt.Errorf("sim: node %d: no packet %d buffered", d.From, d.Pkt)
+			}
+			continue
+		}
 		p, err := e.buffers[d.From].Remove(d.Pkt)
 		if err != nil {
 			return nil, fmt.Errorf("sim: node %d: %w", d.From, err)
 		}
-		moves = append(moves, Move{Pkt: p, From: d.From, To: to, Delivered: to == p.Dst})
+		m := Move{Pkt: p, From: d.From, To: to}
+		if fm != nil && fm.Drops(t, d.From, int(p.ID)) {
+			m.Dropped = true
+		} else {
+			m.Delivered = to == p.Dst
+		}
+		moves = append(moves, m)
 	}
 	// Deterministic arrival order: by source node, then packet ID.
 	sort.Slice(moves, func(i, j int) bool {
@@ -614,6 +656,10 @@ func (e *Engine) apply(t int, decisions []Forward) ([]Move, error) {
 	for i := range moves {
 		m := &moves[i]
 		e.res.PerLinkForwards[m.From]++
+		if m.Dropped {
+			e.res.Dropped++
+			continue
+		}
 		if m.Delivered {
 			e.res.Delivered++
 			continue

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"smallbuffers/internal/adversary"
+	"smallbuffers/internal/faults"
 	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/network"
 )
@@ -23,6 +24,7 @@ type Spec struct {
 	observers       []Observer
 	invariants      []Invariant
 	collectors      []metrics.Collector
+	faults          faults.Model
 	verifyAdversary bool
 	deadline        time.Duration
 }
@@ -60,6 +62,20 @@ func WithMetrics(cs ...metrics.Collector) Option {
 	return func(s *Spec) { s.collectors = append(s.collectors, cs...) }
 }
 
+// WithFaults attaches a fault model to the run's forwarding step: a
+// downed link (Model.LinkUp false) forwards zero packets regardless of
+// bandwidth — the protocol's decisions over it are nullified and the
+// packets stay buffered — and a dropped packet (Model.Drops true) leaves
+// its buffer and consumes the link but never arrives. The model must
+// already be bound to the run's topology and seed via Model.Reset; the
+// harness and scenario layers do this with the cell's derived seed, so
+// fault schedules are reproducible at any sweep-worker count. A nil model
+// (or no option) is the loss-free paper model, byte-identical to runs
+// before faults existed.
+func WithFaults(m faults.Model) Option {
+	return func(s *Spec) { s.faults = m }
+}
+
 // WithVerifyAdversary re-checks every injection against the adversary's
 // declared (ρ,σ) bound; a violation aborts the run. Crafted adversaries are
 // pre-verified, so this is off by default.
@@ -85,6 +101,9 @@ func (s Spec) Adversary() adversary.Adversary { return s.adversary }
 
 // Rounds returns the run horizon.
 func (s Spec) Rounds() int { return s.rounds }
+
+// Faults returns the run's fault model (nil for the loss-free model).
+func (s Spec) Faults() faults.Model { return s.faults }
 
 // Spec converts the legacy struct-literal Config into a Spec.
 //

@@ -31,9 +31,15 @@
 //     registry name (WithMetrics, the scenario "metrics" axis) distill
 //     runs into deterministic integer summaries (bounded occupancy
 //     series, occupancy/latency histograms with percentiles, link
-//     utilization) that flow through Result.Metrics, sweep records, the
-//     service tier, and result digests (see the "Metrics" section of
-//     README.md).
+//     utilization, drop rate, goodput) that flow through Result.Metrics,
+//     sweep records, the service tier, and result digests (see the
+//     "Metrics" section of README.md);
+//   - deterministic fault injection: registry-named fault models — i.i.d.
+//     packet drops, seeded link flaps, node-crash windows — whose
+//     schedules are stateless keyed hashes of the cell seed, so lossy
+//     runs reproduce exactly at any sweep parallelism and fold into
+//     result digests (WithFaults, the scenario "faults" axis, aqtsim
+//     -fault; see the "Faults" section of README.md).
 //
 // # Quick start
 //
@@ -80,6 +86,7 @@ import (
 	"smallbuffers/internal/baseline"
 	"smallbuffers/internal/core"
 	"smallbuffers/internal/experiments"
+	"smallbuffers/internal/faults"
 	"smallbuffers/internal/harness"
 	"smallbuffers/internal/local"
 	"smallbuffers/internal/lowerbound"
@@ -594,6 +601,82 @@ func RenderHistogram(w io.Writer, title string, bars []HistBar, width int) error
 	return stats.Histogram(w, title, bars, width)
 }
 
+// --- Faults (deterministic fault injection) ---
+//
+// A FaultModel perturbs the forwarding fabric — dropping packets in
+// transit or downing links for whole rounds — while leaving injections
+// and protocol decisions untouched. Schedules are stateless keyed hashes
+// of the bound seed, so faulted runs are exactly reproducible at any
+// sweep parallelism, and a nil/absent model is byte-identical to the
+// pre-fault engine. Models are selected by registry name (the scenario
+// "faults" axis, aqtsim -fault) or attached directly with WithFaults.
+
+type (
+	// FaultModel decides, per round and link, whether the link is up and
+	// which departing packets are lost; implementations register with
+	// RegisterFault. Models must be Reset-bound to a topology and seed
+	// before a run.
+	FaultModel = faults.Model
+	// SweepFault is one point on a sweep's fault axis; the axis is
+	// excluded from seed derivation so fault cells replay identical
+	// traffic (paired comparisons).
+	SweepFault = harness.FaultSpec
+	// RegistryFault describes a registrable fault model.
+	RegistryFault = registry.Fault
+)
+
+// WithFaults attaches a fault model to a run. The model must already be
+// bound (FaultModel.Reset) to the run's topology and seed; a Spec without
+// this option runs loss-free, byte-identical to the pre-fault engine.
+func WithFaults(m FaultModel) RunOption { return sim.WithFaults(m) }
+
+// NewDropFault returns the i.i.d. per-link drop model: each packet
+// leaving a buffer is lost in transit with exact probability p ∈ [0,1].
+func NewDropFault(p Rat) (*faults.Drop, error) { return faults.NewDrop(p) }
+
+// NewLinkFlapFault returns the transient-outage model: time is cut into
+// windows of `period` rounds, and with probability p a window's first
+// `down` rounds forward nothing on the affected link.
+func NewLinkFlapFault(p Rat, period, down int) (*faults.LinkFlap, error) {
+	return faults.NewLinkFlap(p, period, down)
+}
+
+// NewNodeCrashFault returns the crash-window model: node v forwards
+// nothing during rounds [at, at+duration).
+func NewNodeCrashFault(v NodeID, at, duration int) (*faults.NodeCrash, error) {
+	return faults.NewNodeCrash(v, at, duration)
+}
+
+// NewFault builds a fresh fault model from the registry by name with the
+// given parameters (nil means defaults), e.g.
+// NewFault("drop", map[string]any{"p": "1/20"}). The model still needs
+// FaultModel.Reset before use; the scenario layer and sweeps do this
+// automatically.
+func NewFault(name string, params map[string]any) (FaultModel, error) {
+	e, err := registry.LookupFault(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.Params.Resolve(params)
+	if err != nil {
+		return nil, err
+	}
+	return e.Build(p)
+}
+
+// SweepDropFault is the fault-axis entry for an i.i.d. drop model with
+// probability p, labeled "drop(p)".
+func SweepDropFault(p Rat) SweepFault { return harness.DropFault(p) }
+
+// RegisterFault registers a fault model under a new stable name,
+// selectable from scenario files and the CLIs. Build must bound-check
+// its parameters — they arrive over the network through the service
+// tier.
+func RegisterFault(f RegistryFault) error { return registry.RegisterFault(f) }
+
+// RegisteredFaults enumerates the registered fault-model names, sorted.
+func RegisteredFaults() []string { return registry.FaultNames() }
+
 // --- Scenarios (workloads as data) ---
 //
 // A Scenario is a serializable description of a workload: topology,
@@ -758,16 +841,23 @@ type OptResult = opt.Result
 
 // --- Reproduction suite ---
 
-// Experiments returns the full reproduction suite (F1, E1–E12).
+// Experiments returns the full reproduction suite (F1, E1–E13).
 func Experiments() []Experiment { return experiments.All() }
 
-// ExperimentByID finds one experiment ("E1" … "E12", "F1").
+// ExperimentByID finds one experiment ("E1" … "E13", "F1").
 func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
 
 // BandwidthExperiment returns the E12 space-vs-bandwidth experiment with a
 // custom link-bandwidth axis; the suite default is {1, 2, 4, 8}.
 func BandwidthExperiment(bandwidths ...int) Experiment {
 	return experiments.E12Bandwidth(bandwidths...)
+}
+
+// FaultsExperiment returns the E13 headroom-under-loss experiment with a
+// custom drop-probability axis; the suite default is
+// {0, 1/100, 1/20, 1/10, 1/4}.
+func FaultsExperiment(dropProbs ...Rat) Experiment {
+	return experiments.E13Faults(dropProbs...)
 }
 
 // RunAllExperiments executes the suite under ctx, writing tables to w; it

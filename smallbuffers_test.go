@@ -202,8 +202,8 @@ func TestPublicAPIOptimal(t *testing.T) {
 }
 
 func TestPublicAPIExperiments(t *testing.T) {
-	if got := len(sb.Experiments()); got != 13 {
-		t.Fatalf("Experiments = %d, want 13", got)
+	if got := len(sb.Experiments()); got != 14 {
+		t.Fatalf("Experiments = %d, want 14", got)
 	}
 	e, err := sb.ExperimentByID("F1")
 	if err != nil {
