@@ -1,0 +1,71 @@
+// Command aqtlint runs the repository's determinism analyzers over Go
+// package patterns:
+//
+//	go run ./cmd/aqtlint ./...
+//
+// The suite mechanically enforces the invariants every digest guarantee
+// rests on: no order-sensitive map iteration in digest paths (detmap), no
+// wall clocks or global rand in the deterministic packages (nowallclock),
+// integer-only wire records (nofloat), cell-seed-derived RNGs (seedflow),
+// and checked hash writes in digest construction (hasherr). A finding can
+// be suppressed — with a written reason — by a trailing or preceding
+//
+//	//aqtlint:allow <analyzer> -- <reason>
+//
+// comment; suppressions without a reason, and stale suppressions, are
+// findings themselves.
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smallbuffers/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: aqtlint [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the determinism analyzer suite over the package patterns\n")
+		fmt.Fprintf(os.Stderr, "(default ./...).\n\nAnalyzers:\n")
+		printAnalyzers(os.Stderr)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		printAnalyzers(os.Stdout)
+		return
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aqtlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(dir, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aqtlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aqtlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "aqtlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func printAnalyzers(w *os.File) {
+	for _, a := range lint.Analyzers {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}

@@ -344,7 +344,7 @@ func (s *Sweep) Cells() ([]Cell, error) {
 // adversary via the domain-separated sub-stream instead).
 func deriveSeed(base int64, c Cell) int64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%s|%s|%v|%d|%d", base, c.Protocol, c.Topology, c.Adversary, c.Bound, c.Seed, c.Rounds)
+	hashWrite(h, fmt.Appendf(nil, "%d|%s|%s|%s|%v|%d|%d", base, c.Protocol, c.Topology, c.Adversary, c.Bound, c.Seed, c.Rounds))
 	// Clear the sign bit: adversary constructors treat seeds as plain
 	// numbers and negative seeds read poorly in reports.
 	return int64(h.Sum64() &^ (1 << 63))

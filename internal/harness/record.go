@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 
 	"smallbuffers/internal/metrics"
@@ -137,7 +138,7 @@ func recordsVersionFor(recs []CellRecord) int {
 func RecordsDigest(recs []CellRecord) string {
 	sorted := RecordsSorted(recs)
 	h := sha256.New()
-	fmt.Fprintf(h, "v%d\n", recordsVersionFor(sorted))
+	hashWrite(h, fmt.Appendf(nil, "v%d\n", recordsVersionFor(sorted)))
 	for _, rec := range sorted {
 		line, err := json.Marshal(rec)
 		if err != nil {
@@ -145,10 +146,19 @@ func RecordsDigest(recs []CellRecord) string {
 			// cannot fail on it.
 			panic(err)
 		}
-		h.Write(line)
-		h.Write([]byte{'\n'})
+		hashWrite(h, line)
+		hashWrite(h, []byte{'\n'})
 	}
 	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// hashWrite feeds b to the hash and checks the error. hash.Hash
+// documents Write as never failing, but digest construction is exactly
+// where a silently dropped byte must be impossible rather than assumed.
+func hashWrite(h io.Writer, b []byte) {
+	if n, err := h.Write(b); err != nil || n != len(b) {
+		panic(fmt.Sprintf("harness: hash write: n=%d err=%v", n, err))
+	}
 }
 
 // Digest returns the results digest of the sweep (see RecordsDigest).

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMap flags `for range` over a map inside any function statically
+// reachable from digest, canonical-marshal, or wire-record code. Map
+// iteration order is randomized per run, so any such loop whose effect
+// depends on order silently breaks digest stability.
+//
+// The one permitted shape is the collect-keys idiom: a key-only range
+// (`for k := range m`) whose body only accumulates into order-insensitive
+// sinks — appends to a slice (sorted afterwards by convention), writes to
+// another map, or counter bumps — optionally behind `if` guards:
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//
+// Anything else — ranging with the value, indexing the map in the body,
+// early returns, calls — must restructure to iterate sorted keys, or
+// carry an //aqtlint:allow detmap with a written order-independence
+// argument.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc:  "map iteration in digest/canonical-marshal paths must collect and sort keys first",
+	Run:  runDetMap,
+}
+
+func runDetMap(pass *Pass) error {
+	reach := digestReach(pass)
+	for decl := range reach {
+		if decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rng.Value != nil {
+				pass.Reportf(rng.Pos(), "range over map with values in digest path %s; iterate sorted keys instead", declName(decl))
+				return true
+			}
+			if !isCollectBody(pass, rng) {
+				pass.Reportf(rng.Pos(), "order-sensitive range over map in digest path %s; collect keys, sort, then iterate", declName(decl))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declName renders a function declaration's name, with receiver type for
+// methods.
+func declName(decl *ast.FuncDecl) string {
+	name := decl.Name.Name
+	if decl.Recv != nil && len(decl.Recv.List) == 1 {
+		t := decl.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + name
+		}
+		if ix, ok := t.(*ast.IndexExpr); ok {
+			if id, ok := ix.X.(*ast.Ident); ok {
+				return id.Name + "." + name
+			}
+		}
+	}
+	return name
+}
+
+// isCollectBody reports whether a key-only map range body is an
+// order-insensitive collector: every statement (recursing through if
+// blocks) is an append into a slice, a map-element write, a counter
+// bump, or a bare continue.
+func isCollectBody(pass *Pass, rng *ast.RangeStmt) bool {
+	var stmtOK func(s ast.Stmt) bool
+	stmtOK = func(s ast.Stmt) bool {
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			return collectAssignOK(st)
+		case *ast.IncDecStmt:
+			return true
+		case *ast.BranchStmt:
+			return st.Label == nil && st.Tok.String() == "continue"
+		case *ast.IfStmt:
+			if st.Init != nil && !stmtOK(st.Init) {
+				return false
+			}
+			for _, bs := range st.Body.List {
+				if !stmtOK(bs) {
+					return false
+				}
+			}
+			switch e := st.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				for _, bs := range e.List {
+					if !stmtOK(bs) {
+						return false
+					}
+				}
+			case *ast.IfStmt:
+				return stmtOK(e)
+			default:
+				return false
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	for _, s := range rng.Body.List {
+		if !stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectAssignOK accepts `x = append(x, ...)`, `m[k] = v`, compound
+// counter updates (`n += 1`), and loop-local defines (`:=` introduces a
+// fresh variable each iteration, so it cannot carry cross-iteration
+// state; only plain `=` to an outer variable can).
+func collectAssignOK(st *ast.AssignStmt) bool {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return false
+	}
+	switch st.Tok.String() {
+	case ":=", "+=", "-=", "|=":
+		return true
+	}
+	if _, ok := st.Lhs[0].(*ast.IndexExpr); ok {
+		return true
+	}
+	if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fixtures are analysistest-style golden trees under testdata/src/<name>:
+// every directory holding .go files type-checks as one package whose
+// import path is its path relative to testdata/src (so a fixture placed
+// at nowallclock/internal/sim/ exercises the deterministic-package
+// scoping). Lines carry expectations as trailing comments:
+//
+//	time.Now() // want "wall-clock"
+//
+// Each quoted string is a regexp that must match a diagnostic reported on
+// that line; diagnostics and expectations must match one-to-one.
+
+// wantRE extracts the quoted expectation regexps from a want comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// CheckFixture loads the fixture tree rooted at srcRoot/name, runs the
+// analyzer over every package in it, and compares diagnostics against the
+// tree's // want comments. It returns one human-readable string per
+// mismatch (unexpected, missing, or wrongly-worded diagnostics); an empty
+// slice means the fixture is golden.
+func CheckFixture(srcRoot, name string, a *Analyzer) ([]string, error) {
+	pkgs, err := LoadFixtureTree(srcRoot, name)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+	// Collect expectations: file -> line -> pending regexps.
+	type exp struct {
+		re   *regexp.Regexp
+		used bool
+	}
+	expect := map[string]map[int][]*exp{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+						pat, err := strconv.Unquote(`"` + m[1] + `"`)
+						if err != nil {
+							return nil, fmt.Errorf("lint: %s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, m[1], err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							return nil, fmt.Errorf("lint: %s:%d: bad want regexp %q: %w", pos.Filename, pos.Line, pat, err)
+						}
+						if expect[pos.Filename] == nil {
+							expect[pos.Filename] = map[int][]*exp{}
+						}
+						expect[pos.Filename][pos.Line] = append(expect[pos.Filename][pos.Line], &exp{re: re})
+					}
+				}
+			}
+		}
+	}
+	var problems []string
+	for _, d := range diags {
+		matched := false
+		for _, e := range expect[d.Pos.Filename][d.Pos.Line] {
+			if !e.used && e.re.MatchString(d.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s", d))
+		}
+	}
+	for file, lines := range expect {
+		for line, exps := range lines {
+			for _, e := range exps {
+				if !e.used {
+					problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", file, line, e.re))
+				}
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// LoadFixtureTree parses and type-checks every package directory under
+// srcRoot/name. Fixture packages may import only the standard library;
+// their export data is materialized with one `go list -export` call.
+func LoadFixtureTree(srcRoot, name string) ([]*Package, error) {
+	root := filepath.Join(srcRoot, name)
+	byDir := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			byDir[dir] = append(byDir[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking fixture %s: %w", root, err)
+	}
+	if len(byDir) == 0 {
+		return nil, fmt.Errorf("lint: fixture %s holds no Go files", root)
+	}
+	dirs := make([]string, 0, len(byDir))
+	for dir := range byDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	pkgFiles := map[string][]*ast.File{}
+	imports := map[string]bool{}
+	for _, dir := range dirs {
+		sort.Strings(byDir[dir])
+		for _, path := range byDir[dir] {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			pkgFiles[dir] = append(pkgFiles[dir], f)
+			for _, imp := range f.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				imports[p] = true
+			}
+		}
+	}
+	exports, err := stdlibExports(imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: fixture imports %q, which has no export data (fixtures may import only the standard library)", path)
+		}
+		return os.Open(f)
+	})
+	var pkgs []*Package
+	for _, dir := range dirs {
+		importPath, err := filepath.Rel(srcRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath = filepath.ToSlash(importPath)
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(importPath, fset, pkgFiles[dir], info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking fixture %s: %w", importPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: importPath,
+			Dir:        dir,
+			Fset:       fset,
+			Files:      pkgFiles[dir],
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// stdlibExports materializes export data for the named stdlib packages
+// (and their dependencies) and returns importPath -> export file.
+func stdlibExports(imports map[string]bool) (map[string]string, error) {
+	exports := map[string]string{}
+	if len(imports) == 0 {
+		return exports, nil
+	}
+	args := []string{"list", "-json", "-export", "-deps"}
+	for p := range imports {
+		args = append(args, p)
+	}
+	sort.Strings(args[4:])
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %v: %v\n%s", args, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HashErr flags discarded hash and encoder errors in digest construction.
+// hash.Hash.Write is documented never to fail, but "documented" is not
+// "checked": a digest built through an interface that silently drops
+// bytes (a short write, a failing encoder) would content-address the
+// wrong record set. Inside functions reachable from digest roots, every
+// hash write (h.Write, fmt.Fprintf(h, ...)) and every encoder Encode must
+// have its error consumed — assigning all results to blanks still counts
+// as discarding.
+var HashErr = &Analyzer{
+	Name: "hasherr",
+	Doc:  "no discarded hash.Hash.Write or encoder errors in digest construction",
+	Run:  runHashErr,
+}
+
+func runHashErr(pass *Pass) error {
+	for decl := range digestReach(pass) {
+		if decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.AssignStmt:
+				if len(st.Rhs) == 1 && allBlank(st.Lhs) {
+					call, _ = ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+				}
+			}
+			if call == nil {
+				return true
+			}
+			if msg := discardedDigestError(pass, call); msg != "" {
+				pass.Reportf(call.Pos(), "%s in digest path %s; check the error (a dropped byte is a wrong digest)", msg, declName(decl))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// allBlank reports whether every lhs expression is the blank identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// discardedDigestError classifies a result-discarding call: a non-empty
+// return value describes the violation.
+func discardedDigestError(pass *Pass, call *ast.CallExpr) string {
+	// h.Write(...) where h's static type is a hash. The receiver
+	// expression's type is checked (not the method's declaring package)
+	// because hash.Hash gets its Write from the embedded io.Writer.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Write" {
+		if tv, ok := pass.Info.Types[sel.X]; ok && isHashType(tv.Type) {
+			return "unchecked hash Write"
+		}
+	}
+	fn := calleeOf(pass.Info, call)
+	if fn == nil {
+		return ""
+	}
+	pkg := pkgPathOf(fn)
+	// fmt.Fprintf/Fprint/Fprintln(h, ...) writing into a hash.
+	if pkg == "fmt" && (fn.Name() == "Fprintf" || fn.Name() == "Fprint" || fn.Name() == "Fprintln") && len(call.Args) > 0 {
+		if tv, ok := pass.Info.Types[call.Args[0]]; ok && isHashType(tv.Type) {
+			return "unchecked fmt." + fn.Name() + " into a hash"
+		}
+	}
+	// Encoder errors: encoding/json and encoding/gob Encode.
+	if fn.Name() == "Encode" && (pkg == "encoding/json" || pkg == "encoding/gob") {
+		return "unchecked " + pkg + " Encode"
+	}
+	return ""
+}
+
+// isHashType reports whether t is (or points to) a type from package
+// hash, or a named type from a crypto/* or hash/* package implementing a
+// Write method — i.e. a hash state being written to.
+func isHashType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path == "hash" {
+		return true
+	}
+	if len(path) >= 5 && path[:5] == "hash/" {
+		return true
+	}
+	if len(path) >= 7 && path[:7] == "crypto/" {
+		return true
+	}
+	return false
+}

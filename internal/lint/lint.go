@@ -1,0 +1,232 @@
+// Package lint is aqtlint: a suite of static analyzers that mechanically
+// enforce the determinism and wire-record invariants this reproduction's
+// guarantees rest on — served digests equal local digests at any worker
+// count, fault schedules nest across drop probabilities, wire records are
+// canonical and integer-only.
+//
+// The suite is built on a small self-contained analysis framework
+// (Analyzer / Pass / Diagnostic, a `go list -export` package loader, and
+// an analysistest-style fixture runner) so it needs nothing beyond the Go
+// standard library and toolchain. The five analyzers are:
+//
+//	detmap      — map iteration in digest/canonical-marshal paths must
+//	              collect-and-sort keys first
+//	nowallclock — no time.Now/time.Since or global math/rand in the
+//	              deterministic packages
+//	nofloat     — no float types or arithmetic in wire-record and digest
+//	              paths (rendering/Prometheus code stays legal)
+//	seedflow    — RNG construction must derive from flowed-in seeds or
+//	              keyed-hash derivers, never ad-hoc rand.NewSource values
+//	hasherr     — no discarded hash.Hash.Write / encoder errors in digest
+//	              construction
+//
+// A diagnostic can be suppressed — with a written reason — by a
+// same-line or preceding-line comment:
+//
+//	//aqtlint:allow <name> -- <reason>
+//
+// Suppressions without a reason are themselves diagnostics: the point of
+// the suite is zero silent exemptions.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzers is the full aqtlint suite, in reporting order.
+var Analyzers = []*Analyzer{DetMap, NoWallClock, NoFloat, SeedFlow, HashErr}
+
+// Analyzer is one named rule. Run inspects a single package and reports
+// findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //aqtlint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the analyzer over one type-checked package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's syntax, parsed with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the package's type information (Defs, Uses, Types,
+	// Selections are populated).
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and the message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// AllowPrefix is the suppression-comment marker. The full form is
+// "//aqtlint:allow <name>[,<name>...] -- <reason>"; it suppresses the
+// named analyzers' diagnostics on its own line and on the following line.
+const AllowPrefix = "aqtlint:allow"
+
+// allowDirective is one parsed suppression comment.
+type allowDirective struct {
+	names  []string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// covers reports whether the directive names the analyzer.
+func (a *allowDirective) covers(analyzer string) bool {
+	for _, n := range a.names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAllow parses a comment's text (without the leading "//"). It
+// returns nil when the comment is not an aqtlint directive. A directive
+// with no names or an empty reason is returned with those fields empty;
+// the caller turns that into a diagnostic.
+func parseAllow(text string) *allowDirective {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, AllowPrefix) {
+		return nil
+	}
+	rest := strings.TrimPrefix(text, AllowPrefix)
+	d := &allowDirective{}
+	body, reason, ok := strings.Cut(rest, "--")
+	if ok {
+		d.reason = strings.TrimSpace(reason)
+	}
+	for _, f := range strings.FieldsFunc(strings.TrimSpace(body), func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		d.names = append(d.names, f)
+	}
+	return d
+}
+
+// Run executes every analyzer over every package, applies //aqtlint:allow
+// suppressions, and returns the surviving diagnostics sorted by position.
+// Malformed suppressions (no analyzer names, or a missing reason) are
+// reported as diagnostics under the pseudo-analyzer "allow".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &pkgDiags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		diags = append(diags, applyAllows(pkg, pkgDiags)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// applyAllows filters a package's diagnostics through its suppression
+// comments and appends diagnostics for malformed directives.
+func applyAllows(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// file -> line -> directives anchored there.
+	byLine := map[string]map[int][]*allowDirective{}
+	var all []*allowDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				d := parseAllow(text)
+				if d == nil {
+					continue
+				}
+				d.pos = pkg.Fset.Position(c.Pos())
+				all = append(all, d)
+				m := byLine[d.pos.Filename]
+				if m == nil {
+					m = map[int][]*allowDirective{}
+					byLine[d.pos.Filename] = m
+				}
+				m[d.pos.Line] = append(m[d.pos.Line], d)
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, dir := range byLine[d.Pos.Filename][line] {
+				if dir.covers(d.Analyzer) && len(dir.names) > 0 && dir.reason != "" {
+					dir.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range all {
+		switch {
+		case len(dir.names) == 0:
+			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "allow",
+				Message: "aqtlint:allow names no analyzer"})
+		case dir.reason == "":
+			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "allow",
+				Message: fmt.Sprintf("aqtlint:allow %s has no reason; write \"//aqtlint:allow %s -- <why>\"",
+					strings.Join(dir.names, ","), strings.Join(dir.names, ","))})
+		case !dir.used:
+			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "allow",
+				Message: fmt.Sprintf("aqtlint:allow %s suppresses nothing here; delete the stale suppression",
+					strings.Join(dir.names, ","))})
+		}
+	}
+	return out
+}

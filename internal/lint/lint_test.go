@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestFixtures runs every analyzer over its golden fixture tree: one
+// positive and one negative shape per rule, plus the suppression paths.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		analyzer *Analyzer
+	}{
+		{"detmap", DetMap},
+		{"nowallclock", NoWallClock},
+		{"nofloat", NoFloat},
+		{"seedflow", SeedFlow},
+		{"hasherr", HashErr},
+		{"allow", NoWallClock},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			problems, err := CheckFixture("testdata/src", tc.fixture, tc.analyzer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range problems {
+				t.Error(p)
+			}
+		})
+	}
+}
+
+// TestParseAllow pins the directive grammar.
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text   string
+		names  []string
+		reason string
+		nil_   bool
+	}{
+		{text: "aqtlint:allow detmap -- keys are sorted upstream", names: []string{"detmap"}, reason: "keys are sorted upstream"},
+		{text: "aqtlint:allow detmap,nofloat -- shared reason", names: []string{"detmap", "nofloat"}, reason: "shared reason"},
+		{text: "aqtlint:allow detmap", names: []string{"detmap"}},
+		{text: "aqtlint:allow -- reason but no analyzer", reason: "reason but no analyzer"},
+		{text: "just a comment", nil_: true},
+		{text: "want \"not a directive\"", nil_: true},
+	}
+	for _, tc := range cases {
+		d := parseAllow(tc.text)
+		if tc.nil_ {
+			if d != nil {
+				t.Errorf("parseAllow(%q) = %+v, want nil", tc.text, d)
+			}
+			continue
+		}
+		if d == nil {
+			t.Errorf("parseAllow(%q) = nil, want directive", tc.text)
+			continue
+		}
+		if len(d.names) != len(tc.names) {
+			t.Errorf("parseAllow(%q) names = %v, want %v", tc.text, d.names, tc.names)
+			continue
+		}
+		for i := range tc.names {
+			if d.names[i] != tc.names[i] {
+				t.Errorf("parseAllow(%q) names = %v, want %v", tc.text, d.names, tc.names)
+			}
+		}
+		if d.reason != tc.reason {
+			t.Errorf("parseAllow(%q) reason = %q, want %q", tc.text, d.reason, tc.reason)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// NoFloat forbids floating-point types and arithmetic on wire-record and
+// digest paths. Summaries and cell records are documented as canonical
+// integer-only: float arithmetic is not bit-reproducible across
+// architectures (Go may fuse multiply-adds into FMA), so a single float
+// feeding a wire record can make the same scenario digest differently on
+// different machines. Rendering, Prometheus, and display code — anything
+// not reachable from a digest root — stays free to use floats.
+//
+// The analyzer flags, inside functions reachable from digest roots:
+// float literals, conversions to float, float arithmetic, and float
+// parameters or results; and, in the deterministic packages, float
+// fields on wire-record struct types (names ending in Record or
+// Summary).
+var NoFloat = &Analyzer{
+	Name: "nofloat",
+	Doc:  "no float types or arithmetic in wire-record and digest paths",
+	Run:  runNoFloat,
+}
+
+// wireRecordRE matches the names of struct types that are canonical wire
+// records.
+var wireRecordRE = regexp.MustCompile(`(Record|Summary)$`)
+
+func runNoFloat(pass *Pass) error {
+	checkWireRecordFields(pass)
+	for decl := range digestReach(pass) {
+		checkSignature(pass, decl)
+		if decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BasicLit:
+				if e.Kind == token.FLOAT {
+					pass.Reportf(e.Pos(), "float literal in digest path %s", declName(decl))
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && isFloat(tv.Type) {
+					pass.Reportf(e.Pos(), "conversion to %s in digest path %s", tv.Type, declName(decl))
+					return false
+				}
+			case *ast.BinaryExpr:
+				if tv, ok := pass.Info.Types[e]; ok && isFloat(tv.Type) && arithmeticOp(e.Op) {
+					pass.Reportf(e.Pos(), "float arithmetic in digest path %s; use integer or exact-rational math", declName(decl))
+					return false
+				}
+			case *ast.ValueSpec:
+				if e.Type != nil {
+					if tv, ok := pass.Info.Types[e.Type]; ok && isFloat(tv.Type) {
+						pass.Reportf(e.Pos(), "float variable in digest path %s", declName(decl))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSignature flags float parameters and results on a digest-path
+// function.
+func checkSignature(pass *Pass, decl *ast.FuncDecl) {
+	fn, ok := pass.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fn.Signature()
+	for _, tup := range []*types.Tuple{sig.Params(), sig.Results()} {
+		for v := range tup.Variables() {
+			if isFloat(v.Type()) {
+				pass.Reportf(decl.Name.Pos(), "%s in signature of digest-path %s; pass integers (e.g. percent as int)", v.Type(), declName(decl))
+			}
+		}
+	}
+}
+
+// checkWireRecordFields flags float fields on wire-record structs. Only
+// the deterministic packages are swept: a *Summary/*Record name outside
+// them (stats.Summary's display statistics, the service tier's run
+// report) is a rendering or reporting type where floats are documented
+// as legal.
+func checkWireRecordFields(pass *Pass) {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || !wireRecordRE.MatchString(ts.Name.Name) {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if tv, ok := pass.Info.Types[field.Type]; ok && isFloat(tv.Type) {
+					pass.Reportf(field.Pos(), "float field on wire record %s; wire records are canonical integer-only", ts.Name.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point or
+// complex basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// arithmeticOp reports whether op computes a value (comparisons are fine:
+// they yield bools, not floats).
+func arithmeticOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,31 @@
+// Package sim exercises the //aqtlint:allow suppression path at a
+// deterministic import path.
+package sim
+
+import "time"
+
+// Deadline carries a well-formed suppression: the diagnostic on the next
+// line is swallowed and the directive is "used".
+func Deadline() time.Time {
+	//aqtlint:allow nowallclock -- deadlines are wall-clock by design; never on the digest path
+	return time.Now()
+}
+
+// SameLine suppresses on the flagged line itself.
+func SameLine() time.Time {
+	return time.Now() //aqtlint:allow nowallclock -- wall-clock by design
+}
+
+// MissingReason is malformed — no "-- reason" — so it suppresses nothing
+// and is itself reported.
+func MissingReason() time.Time {
+	/* want "has no reason" */ //aqtlint:allow nowallclock
+	return time.Now()          // want "time.Now in deterministic package"
+}
+
+// Stale names a real analyzer but covers no diagnostic: reported so
+// exemptions cannot outlive the code they excused.
+func Stale() int {
+	/* want "suppresses nothing" */ //aqtlint:allow nowallclock -- premature suppression
+	return 1
+}

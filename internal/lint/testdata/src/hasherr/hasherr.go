@@ -1,0 +1,43 @@
+// Package hasherr exercises the hasherr analyzer: digest construction
+// must consume hash-write and encoder errors.
+package hasherr
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RecordsDigest is a digest root.
+func RecordsDigest(lines [][]byte) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n", 1) // want "unchecked fmt.Fprintf into a hash"
+	for _, l := range lines {
+		h.Write(l) // want "unchecked hash Write"
+	}
+	_, _ = h.Write(nil) // want "unchecked hash Write"
+	if _, err := h.Write([]byte{'\n'}); err != nil {
+		panic(err)
+	}
+	return h.Sum(nil)
+}
+
+// digestJSON is digest path by name; discarded encoder errors are
+// flagged.
+func digestJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.Encode(v) // want "unchecked encoding/json Encode"
+}
+
+var _ = digestJSON
+
+// renderChecksum is not digest path: the unchecked write is vet's
+// business, not aqtlint's.
+func renderChecksum(b []byte) []byte {
+	h := sha256.New()
+	h.Write(b)
+	return h.Sum(nil)
+}
+
+var _ = renderChecksum

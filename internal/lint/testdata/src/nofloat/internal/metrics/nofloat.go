@@ -1,0 +1,37 @@
+// Package metrics exercises the nofloat analyzer at a deterministic
+// import path: wire records and digest-reachable code must be
+// integer-only.
+package metrics
+
+// LoadSummary is a wire record (name ends in Summary): float fields are
+// flagged wherever they appear.
+type LoadSummary struct {
+	Count int
+	Mean  float64 // want "float field on wire record LoadSummary"
+}
+
+// RenderStats is neither a wire record nor digest path: floats are fine.
+type RenderStats struct {
+	Mean float64
+}
+
+// Summarize is a digest root; quantile becomes digest path by
+// reachability.
+func Summarize(counts []int) map[string]int {
+	return map[string]int{"p50": quantile(len(counts), 50)}
+}
+
+func quantile(count int, p float64) int { // want "float64 in signature of digest-path quantile"
+	rank := int(p/100*float64(count) + 0.5) // want "float arithmetic in digest path quantile"
+	if rank >= count {
+		rank = count - 1
+	}
+	return rank
+}
+
+// renderBar is unreachable from digest roots: display math floats freely.
+func renderBar(frac float64) int {
+	return int(frac * 10)
+}
+
+var _ = renderBar

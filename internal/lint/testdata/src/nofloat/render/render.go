@@ -1,0 +1,15 @@
+// Package render sits outside the deterministic packages: display
+// statistics may use floats, even on types named like wire records.
+package render
+
+// BarSummary is rendering state, not a canonical wire record: its float
+// field is legal here.
+type BarSummary struct {
+	Mean float64
+}
+
+// Scale is unreachable from digest roots and outside the deterministic
+// packages: float math is fine.
+func Scale(s BarSummary, width int) int {
+	return int(s.Mean * float64(width))
+}

@@ -1,0 +1,15 @@
+// Package tool sits outside the deterministic packages (a cmd/ path), so
+// wall-clock and global rand use is legal: nowallclock must stay silent
+// here.
+package tool
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Uptime is service/CLI territory: wall clocks are fine.
+func Uptime(start time.Time) time.Duration {
+	_ = rand.Int()
+	return time.Since(start)
+}

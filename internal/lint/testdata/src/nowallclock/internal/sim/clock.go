@@ -1,0 +1,25 @@
+// Package sim sits at a deterministic import path
+// (.../internal/sim), so wall-clock reads and the global math/rand
+// source are forbidden here.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Step shows the three forbidden shapes.
+func Step() int64 {
+	now := time.Now()                  // want "time.Now in deterministic package"
+	_ = time.Since(now)                // want "time.Since in deterministic package"
+	n := rand.Int63()                  // want "global rand.Int63 in deterministic package"
+	rand.Shuffle(3, func(int, int) {}) // want "global rand.Shuffle"
+	return n
+}
+
+// Seeded shows the legal shape: an explicitly seeded source (seedflow
+// separately vets where the seed comes from).
+func Seeded(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63()
+}

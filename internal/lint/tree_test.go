@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestModuleTreeClean runs every analyzer over the real module — the same
+// sweep `go run ./cmd/aqtlint ./...` performs — and requires zero
+// diagnostics. The suite ships green with no silent exemptions: every
+// allow directive in the tree carries a written reason, and a new
+// violation anywhere fails this test before it reaches CI's lint job.
+func TestModuleTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	diags, err := Run(pkgs, Analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -213,8 +213,9 @@ func (c *LatencyCollector) MaxLatency() int { return c.hist.Max() }
 // TotalLatency returns the exact sum of delivery latencies.
 func (c *LatencyCollector) TotalLatency() int { return c.hist.Sum() }
 
-// Quantile returns the p-th latency percentile (see HistRecord.Quantile).
-func (c *LatencyCollector) Quantile(p float64) int { return c.hist.Quantile(p) }
+// Quantile returns the p-th latency percentile, p an integer percent
+// (see HistRecord.Quantile).
+func (c *LatencyCollector) Quantile(p int) int { return c.hist.Quantile(p) }
 
 // Summarize implements Collector.
 func (c *LatencyCollector) Summarize() Summary {

@@ -1,6 +1,10 @@
 package metrics
 
-import "smallbuffers/internal/network"
+import (
+	"sort"
+
+	"smallbuffers/internal/network"
+)
 
 // Registry names of the flow collectors (the fault-aware measurement
 // family plus the injection-side concentration probe).
@@ -207,9 +211,18 @@ func (c *InjectionConcentrationCollector) OnInject(_ int, injs []Injection) {
 // deterministic. The summary anchors top_source on top_count, keeping the
 // argmax attributed to the run it occurred in across merges.
 func (c *InjectionConcentrationCollector) Summarize() Summary {
+	// Iterate sources in sorted order: the argmax itself is
+	// order-independent, but digest-path map loops are banned wholesale
+	// (detmap), and ascending ids make the lowest-NodeID tie-break fall
+	// out of the strict comparison.
+	srcs := make([]network.NodeID, 0, len(c.perSource))
+	for src := range c.perSource {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
 	top, topCount := network.NodeID(-1), 0
-	for src, n := range c.perSource {
-		if n > topCount || (n == topCount && n > 0 && src < top) {
+	for _, src := range srcs {
+		if n := c.perSource[src]; n > topCount {
 			top, topCount = src, n
 		}
 	}

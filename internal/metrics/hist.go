@@ -94,18 +94,22 @@ func (h *Hist) Record() *HistRecord {
 }
 
 // Quantile on the live histogram (see HistRecord.Quantile).
-func (h *Hist) Quantile(p float64) int { return h.Record().Quantile(p) }
+func (h *Hist) Quantile(p int) int { return h.Record().Quantile(p) }
 
-// Quantile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank:
-// exact for values below HistExactLimit, the bucket's lower bound for the
-// log2 tail, and 0 for an empty histogram. The rank rule matches
-// stats.Summary.Percentile, so exact-range quantiles agree with a full
-// sample.
-func (r *HistRecord) Quantile(p float64) int {
+// Quantile returns the p-th percentile (an integer percent, 0 ≤ p ≤ 100)
+// by nearest-rank: exact for values below HistExactLimit, the bucket's
+// lower bound for the log2 tail, and 0 for an empty histogram. The rank
+// rule is round-half-up of p·Count/100, computed in exact integer
+// arithmetic: quantiles feed canonical integer-only wire records, and
+// the float form of the same rounding (p/100·Count + 0.5) is not
+// bit-reproducible across architectures — Go may fuse the multiply-add
+// into an FMA. Exact-range quantiles agree with a nearest-rank pass over
+// the full sample (stats.Summary.Percentile at whole percents).
+func (r *HistRecord) Quantile(p int) int {
 	if r == nil || r.Count == 0 {
 		return 0
 	}
-	rank := int(p/100*float64(r.Count)+0.5) - 1
+	rank := (p*r.Count+50)/100 - 1
 	if rank < 0 {
 		rank = 0
 	}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"sort"
+	"testing"
+)
+
+// naiveNearestRank is the reference rule the integer Quantile must match
+// in the exact range: sort the sample, take the round-half-up nearest
+// rank of p·n/100 (clamped to [1, n]), return that order statistic.
+func naiveNearestRank(sample []int, p int) int {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := append([]int(nil), sample...)
+	sort.Ints(s)
+	rank := (p*len(s) + 50) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// TestQuantileIntegerPinned pins the integer nearest-rank quantile at the
+// boundary cases the old float formula (int(p/100·count + 0.5)) computed
+// via float64 — the regression guard for the FMA-reproducibility rewrite:
+// the values below are the exact integers every platform must produce.
+func TestQuantileIntegerPinned(t *testing.T) {
+	cases := []struct {
+		name   string
+		sample []int
+		p      int
+		want   int
+	}{
+		{"empty", nil, 50, 0},
+		{"single p0", []int{7}, 0, 7},
+		{"single p100", []int{7}, 100, 7},
+		{"median odd", []int{1, 2, 3, 4, 5}, 50, 3},
+		{"median even rounds up", []int{1, 2, 3, 4}, 50, 2},
+		{"p99 of 100", pairs(0, 50), 99, 49},
+		{"p100 of 100", pairs(0, 50), 100, 49},
+		{"p0 clamps to first", pairs(0, 50), 0, 0},
+		{"p90 of 10", seq(1, 11), 90, 9},
+		{"p50 of 2", []int{10, 20}, 50, 10},
+		{"log2 tail lower bound", []int{100}, 50, 64},
+		{"log2 second bucket", []int{70, 200}, 100, 128},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHist()
+			for _, v := range tc.sample {
+				h.Add(v)
+			}
+			if got := h.Quantile(tc.p); got != tc.want {
+				t.Errorf("Quantile(%d) over %v = %d, want %d", tc.p, tc.sample, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQuantileMatchesNearestRankExactRange sweeps every whole percent
+// over assorted exact-range samples and checks the histogram quantile
+// equals the reference nearest-rank order statistic.
+func TestQuantileMatchesNearestRankExactRange(t *testing.T) {
+	samples := [][]int{
+		seq(0, 1), seq(0, 2), seq(0, 3), seq(0, 7),
+		seq(0, 63), seq(1, 50),
+		{0, 0, 0, 1, 1, 5, 5, 5, 5, 9},
+		{63, 63, 63},
+	}
+	for _, sample := range samples {
+		h := NewHist()
+		for _, v := range sample {
+			h.Add(v)
+		}
+		for p := 0; p <= 100; p++ {
+			want := naiveNearestRank(sample, p)
+			if got := h.Quantile(p); got != want {
+				t.Fatalf("sample %v: Quantile(%d) = %d, want %d", sample, p, got, want)
+			}
+		}
+	}
+}
+
+// seq returns [lo, hi) as a slice.
+func seq(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+// pairs returns each value of [lo, hi) twice — 2·(hi−lo) samples that
+// stay inside the histogram's exact range.
+func pairs(lo, hi int) []int {
+	out := make([]int, 0, 2*(hi-lo))
+	for v := lo; v < hi; v++ {
+		out = append(out, v, v)
+	}
+	return out
+}

@@ -228,7 +228,11 @@ func Merge(a, b Summary) (Summary, error) {
 func MergeAll(runs []map[string]Summary) (map[string]Summary, error) {
 	out := make(map[string]Summary)
 	for _, m := range runs {
-		for name, s := range m {
+		// Fold names in sorted order: per-name folding is commutative
+		// across names, but the canonical iteration order keeps the fold
+		// deterministic by construction (and detmap-clean).
+		for _, name := range SortedNames(m) {
+			s := m[name]
 			prev, ok := out[name]
 			if !ok {
 				out[name] = s

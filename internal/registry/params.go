@@ -74,10 +74,19 @@ type Params map[string]any
 // parameters are errors. The result is a fully populated canonical Params.
 func (s Schema) Resolve(raw map[string]any) (Params, error) {
 	out := make(Params, len(s))
+	// Collect unknown names and report the alphabetically first:
+	// iterating the raw map directly would make the error's choice of
+	// parameter (and its did-you-mean suggestion) vary run to run.
+	var unknown []string
 	for name := range raw {
 		if s.find(name) == nil {
-			return nil, fmt.Errorf("unknown parameter %q%s (schema: %s)", name, didYouMean(name, s.names()), s.describe())
+			unknown = append(unknown, name)
 		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		name := unknown[0]
+		return nil, fmt.Errorf("unknown parameter %q%s (schema: %s)", name, didYouMean(name, s.names()), s.describe())
 	}
 	for _, p := range s {
 		v, ok := raw[p.Name]
@@ -243,9 +252,14 @@ func (p Params) JSONMap() map[string]any {
 	if len(p) == 0 {
 		return nil
 	}
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	out := make(map[string]any, len(p))
-	for k, v := range p {
-		switch x := v.(type) {
+	for _, k := range keys {
+		switch x := p[k].(type) {
 		case rat.Rat:
 			out[k] = x.String()
 		case []int:
@@ -254,7 +268,7 @@ func (p Params) JSONMap() map[string]any {
 			}
 			out[k] = x
 		default:
-			out[k] = v
+			out[k] = p[k]
 		}
 	}
 	if len(out) == 0 {

@@ -1,0 +1,25 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResolveUnknownParamDeterministic pins which unknown parameter
+// Resolve reports when several are present: always the alphabetically
+// first, regardless of map iteration order. Resolve used to range the raw
+// map directly, so the reported name (and its did-you-mean suggestion)
+// varied run to run.
+func TestResolveUnknownParamDeterministic(t *testing.T) {
+	s := Schema{{Name: "n", Kind: Int, Default: 8}}
+	raw := map[string]any{"zeta": 1.0, "alpha": 2.0, "mid": 3.0}
+	for i := 0; i < 30; i++ {
+		_, err := s.Resolve(raw)
+		if err == nil {
+			t.Fatal("want error")
+		}
+		if !strings.Contains(err.Error(), `unknown parameter "alpha"`) {
+			t.Fatalf("run %d: error %q does not name the alphabetically first unknown", i, err)
+		}
+	}
+}

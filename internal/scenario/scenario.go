@@ -449,24 +449,34 @@ func (sc *Scenario) Validate() error {
 
 	// Axis entries must be unique — on every axis: duplicate cells would
 	// silently re-run the same point and double-weight it in aggregates.
-	for axis, comps := range map[string][]Component{
-		"topology": sc.Topologies, "protocol": sc.Protocols, "adversary": sc.Adversaries,
-		"fault": sc.Faults,
+	// Axes check in a fixed order (a map literal here would pick which
+	// duplicate gets reported nondeterministically).
+	for _, axis := range []struct {
+		name  string
+		comps []Component
+	}{
+		{"topology", sc.Topologies}, {"protocol", sc.Protocols},
+		{"adversary", sc.Adversaries}, {"fault", sc.Faults},
 	} {
 		seen := map[string]bool{}
-		for _, c := range comps {
+		for _, c := range axis.comps {
 			l := c.label()
 			if seen[l] {
-				return fmt.Errorf("scenario: duplicate %s %s", axis, l)
+				return fmt.Errorf("scenario: duplicate %s %s", axis.name, l)
 			}
 			seen[l] = true
 		}
 	}
-	for axis, vals := range map[string][]int{"rounds": sc.Rounds, "bandwidths": sc.Bandwidths} {
+	for _, axis := range []struct {
+		name string
+		vals []int
+	}{
+		{"rounds", sc.Rounds}, {"bandwidths", sc.Bandwidths},
+	} {
 		seen := map[int]bool{}
-		for _, v := range vals {
+		for _, v := range axis.vals {
 			if seen[v] {
-				return fmt.Errorf("scenario: duplicate %s entry %d", axis, v)
+				return fmt.Errorf("scenario: duplicate %s entry %d", axis.name, v)
 			}
 			seen[v] = true
 		}

@@ -463,12 +463,14 @@ func (e *Engine) Result() Result {
 func (e *Engine) Run(ctx context.Context) (Result, error) {
 	var deadline time.Time
 	if e.spec.deadline > 0 {
+		//aqtlint:allow nowallclock -- WithDeadline is explicitly wall-clock cancellation; it aborts a run, never feeds a result or digest
 		deadline = time.Now().Add(e.spec.deadline)
 	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return e.Result(), err
 		}
+		//aqtlint:allow nowallclock -- deadline check mirrors the wall-clock WithDeadline option; aborting is observable only as an error
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			return e.Result(), fmt.Errorf("sim: run deadline %v exhausted at round %d: %w",
 				e.spec.deadline, e.round, context.DeadlineExceeded)
