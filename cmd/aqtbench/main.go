@@ -14,6 +14,8 @@
 //	aqtbench -scenarios e7.json -validate     # validate without running
 //	aqtbench -scenarios testdata/scenarios -server http://localhost:8080
 //	                                          # replay the corpus against aqtserve
+//	aqtbench -scenarios testdata/scenarios -fleet localhost:8080,localhost:8081
+//	                                          # replay the corpus across an aqtserve fleet
 //
 // Interrupting the process (SIGINT/SIGTERM) cancels the suite between
 // simulation rounds.
@@ -34,6 +36,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	sb "smallbuffers"
 	"smallbuffers/internal/service"
@@ -71,6 +74,7 @@ func run(ctx context.Context, args []string) error {
 	scenarios := fs.String("scenarios", "", "run scenario files instead of experiments (a .json file or a directory of them)")
 	validate := fs.Bool("validate", false, "with -scenarios: validate and round-trip the files without running them")
 	server := fs.String("server", "", "with -scenarios: POST each scenario to a running aqtserve at this base URL instead of simulating locally")
+	fleetArg := fs.String("fleet", "", "with -scenarios: shard each scenario across a fleet of aqtserve daemons (comma-separated endpoints, or @file with one per line)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,11 +97,19 @@ func run(ctx context.Context, args []string) error {
 		if *asJSON || *list || *id != "" || *bandwidths != "" {
 			return fmt.Errorf("-scenarios cannot be combined with -json, -list, -run, or -bandwidths")
 		}
-		if *server != "" {
+		if *server != "" && *fleetArg != "" {
+			return fmt.Errorf("-server and -fleet are mutually exclusive")
+		}
+		if *server != "" || *fleetArg != "" {
 			if *validate {
-				return fmt.Errorf("-validate is local-only; drop it when using -server")
+				return fmt.Errorf("-validate is local-only; drop it when using -server or -fleet")
 			}
+		}
+		if *server != "" {
 			return runScenariosRemote(ctx, w, *server, *scenarios)
+		}
+		if *fleetArg != "" {
+			return runScenariosFleet(ctx, w, *fleetArg, *scenarios)
 		}
 		return runScenarios(ctx, w, *scenarios, *validate)
 	}
@@ -106,6 +118,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *server != "" {
 		return fmt.Errorf("-server needs -scenarios")
+	}
+	if *fleetArg != "" {
+		return fmt.Errorf("-fleet needs -scenarios")
 	}
 
 	if *list {
@@ -409,6 +424,97 @@ func runScenarioRemote(ctx context.Context, w io.Writer, client *http.Client, ba
 		printMetricLines(w, "  ", ms)
 	}
 	_, err = fmt.Fprintf(w, "  ok (%d cells, results %s)\n", rep.Summary.Completed, rep.ResultsDigest)
+	return ms, err
+}
+
+// runScenariosFleet replays every scenario file across a fleet of
+// aqtserve daemons via the coordinator: each grid is sharded, dispatched
+// with retry and work stealing, and merged — and the merged results
+// digest is printed next to the fleet timing so a corpus replay doubles
+// as the distributed-vs-local reproducibility check (compare with
+// `aqtsim -scenario f -result-digest`).
+func runScenariosFleet(ctx context.Context, w io.Writer, fleetArg, path string) error {
+	endpoints, err := parseFleetArg(fleetArg)
+	if err != nil {
+		return err
+	}
+	cfg := sb.FleetConfig{Endpoints: endpoints}
+	var corpus []map[string]sb.MetricSummary
+	if err := forEachScenarioFile(ctx, w, path, "ran", fmt.Sprintf(" across %d daemons", len(endpoints)), func(f string) error {
+		m, err := runScenarioFleet(ctx, w, cfg, f)
+		if len(m) > 0 {
+			corpus = append(corpus, m)
+		}
+		return err
+	}); err != nil {
+		return err
+	}
+	return printCorpusMetrics(w, corpus)
+}
+
+// parseFleetArg expands a -fleet operand: a comma-separated endpoint
+// list, or @file with one endpoint per line (blank lines and #-comments
+// ignored).
+func parseFleetArg(arg string) ([]string, error) {
+	var raw []string
+	if strings.HasPrefix(arg, "@") {
+		data, err := os.ReadFile(strings.TrimPrefix(arg, "@"))
+		if err != nil {
+			return nil, fmt.Errorf("fleet file: %w", err)
+		}
+		raw = strings.Split(string(data), "\n")
+	} else {
+		raw = strings.Split(arg, ",")
+	}
+	var eps []string
+	for _, line := range raw {
+		if ep := strings.TrimSpace(line); ep != "" && !strings.HasPrefix(ep, "#") {
+			eps = append(eps, ep)
+		}
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("no endpoints in -fleet %q", arg)
+	}
+	return eps, nil
+}
+
+func runScenarioFleet(ctx context.Context, w io.Writer, cfg sb.FleetConfig, path string) (map[string]sb.MetricSummary, error) {
+	sc, err := sb.LoadScenarioFile(path)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sb.RunFleet(ctx, cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	sum := res.Summary
+
+	title := sc.Name
+	if title == "" {
+		title = filepath.Base(path)
+	}
+	fmt.Fprintf(w, "\n%s — %s\n\n", title, path)
+	for _, cell := range res.Records {
+		if cell.Err != "" {
+			fmt.Fprintf(w, "  %-70s error: %v\n", cell.Cell, cell.Err)
+			continue
+		}
+		fmt.Fprintf(w, "  %-70s max load %3d, delivered %6d\n", cell.Cell, cell.MaxLoad, cell.Delivered)
+	}
+	if sum.Failed > 0 {
+		return nil, fmt.Errorf("%d of %d cells failed", sum.Failed, sum.Requested)
+	}
+	var ms map[string]sb.MetricSummary
+	if len(sc.Metrics) > 0 && len(sum.Metrics) > 0 {
+		ms = make(map[string]sb.MetricSummary, len(sum.Metrics))
+		for _, s := range sum.Metrics {
+			ms[s.Name] = s
+		}
+		printMetricLines(w, "  ", ms)
+	}
+	fmt.Fprintf(w, "  fleet: %d retries, %d steals, wall %v (ideal %v)\n",
+		sum.Retries, sum.Steals, sum.Wall.Round(time.Millisecond), sum.Ideal.Round(time.Millisecond))
+	_, err = fmt.Fprintf(w, "  ok (%d cells, results %s)\n", sum.Completed, sum.ResultsDigest)
 	return ms, err
 }
 

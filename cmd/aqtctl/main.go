@@ -1,0 +1,192 @@
+// Command aqtctl coordinates a fleet of aqtserve daemons: it takes one
+// scenario file, splits its sweep grid into deterministic index-range
+// shards, dispatches them across the fleet with retry and work stealing,
+// and merges the streamed cells back into exactly the record set — and
+// results digest — of a local single-process run.
+//
+//	aqtctl -fleet localhost:8080,localhost:8081,localhost:8082 \
+//	       -scenario testdata/scenarios/e1-pts-burst.json
+//	aqtctl -fleet @fleet.txt -scenario sweep.json -verify-local
+//	aqtctl -fleet @fleet.txt -scenario sweep.json -result-digest
+//
+// A fleet file (@path) lists one endpoint per line; blank lines and
+// #-comments are ignored.
+//
+// Failure semantics: a shard whose daemon dies mid-stream is discarded
+// wholesale and re-dispatched to a healthy daemon (capped exponential
+// backoff, bounded attempts, per-daemon quarantine); an idle daemon
+// steals the largest in-flight shard by cancelling it remotely, keeping
+// the cells it already streamed and re-dispatching only the uncovered
+// remainder. Cells are merged exactly once or the run fails — there is
+// no partial success. -verify-local re-runs the scenario in-process and
+// hard-errors on any digest divergence.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	sb "smallbuffers"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "aqtctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("aqtctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fleetArg := fs.String("fleet", "", "comma-separated aqtserve endpoints (host:port,…), or @file with one per line")
+	scenarioPath := fs.String("scenario", "", "scenario file to execute across the fleet")
+	shards := fs.Int("shards", 2, "initial shards per daemon")
+	inflight := fs.Int("inflight", 2, "concurrent shard streams per daemon")
+	maxAttempts := fs.Int("max-attempts", 4, "dispatch attempts per shard before the run fails")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per consecutive failure)")
+	backoffMax := fs.Duration("backoff-max", 2*time.Second, "retry backoff cap")
+	minSteal := fs.Int("min-steal", 4, "smallest shard piece work stealing may create")
+	verifyLocal := fs.Bool("verify-local", false, "re-run the scenario in-process and fail on digest divergence")
+	digestOnly := fs.Bool("result-digest", false, "print only the merged results digest")
+	asJSON := fs.Bool("json", false, "print the fleet summary as JSON")
+	quiet := fs.Bool("q", false, "suppress progress logging")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fleetArg == "" {
+		return fmt.Errorf("-fleet is required")
+	}
+	if *scenarioPath == "" {
+		return fmt.Errorf("-scenario is required")
+	}
+
+	endpoints, err := parseFleet(*fleetArg)
+	if err != nil {
+		return err
+	}
+	sc, err := sb.LoadScenarioFile(*scenarioPath)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(stderr, "aqtctl: close:", cerr)
+			}
+		}()
+		w = f
+	}
+
+	cfg := sb.FleetConfig{
+		Endpoints:         endpoints,
+		ShardsPerDaemon:   *shards,
+		InFlightPerDaemon: *inflight,
+		MaxAttempts:       *maxAttempts,
+		BackoffBase:       *backoff,
+		BackoffMax:        *backoffMax,
+		MinStealCells:     *minSteal,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+
+	res, err := sb.RunFleet(ctx, cfg, sc)
+	if err != nil {
+		return err
+	}
+	if *verifyLocal {
+		if err := sb.VerifyFleetLocal(ctx, sc, res.Summary.ResultsDigest); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Fprintln(stderr, "fleet: local verification passed")
+		}
+	}
+
+	if *digestOnly {
+		_, err := fmt.Fprintln(w, res.Summary.ResultsDigest)
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res.Summary)
+	}
+	return printSummary(w, sc.Name, res.Summary)
+}
+
+// parseFleet expands the -fleet operand into an endpoint list.
+func parseFleet(arg string) ([]string, error) {
+	var raw []string
+	if strings.HasPrefix(arg, "@") {
+		data, err := os.ReadFile(strings.TrimPrefix(arg, "@"))
+		if err != nil {
+			return nil, fmt.Errorf("fleet file: %w", err)
+		}
+		raw = strings.Split(string(data), "\n")
+	} else {
+		raw = strings.Split(arg, ",")
+	}
+	var eps []string
+	seen := map[string]bool{}
+	for _, line := range raw {
+		ep := strings.TrimSpace(line)
+		if ep == "" || strings.HasPrefix(ep, "#") {
+			continue
+		}
+		if seen[ep] {
+			return nil, fmt.Errorf("duplicate fleet endpoint %q", ep)
+		}
+		seen[ep] = true
+		eps = append(eps, ep)
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("no endpoints in -fleet %q", arg)
+	}
+	return eps, nil
+}
+
+func printSummary(w io.Writer, name string, sum sb.FleetSummary) error {
+	if name != "" {
+		fmt.Fprintf(w, "%s\n", name)
+	}
+	fmt.Fprintf(w, "cells      %d requested, %d completed, %d failed\n", sum.Requested, sum.Completed, sum.Failed)
+	fmt.Fprintf(w, "digest     %s\n", sum.ResultsDigest)
+	fmt.Fprintf(w, "fleet      %d retries, %d steals, wall %v (ideal %v)\n",
+		sum.Retries, sum.Steals, sum.Wall.Round(time.Millisecond), sum.Ideal.Round(time.Millisecond))
+	for _, d := range sum.Daemons {
+		note := ""
+		if d.Quarantined {
+			note = "  QUARANTINED"
+		}
+		fmt.Fprintf(w, "  %-24s %4d cells in %d dispatches, %d failures, stolen from %d×, busy %v%s\n",
+			d.Endpoint, d.Cells, d.Dispatches, d.Failures, d.StolenFrom, d.Busy.Round(time.Millisecond), note)
+	}
+	for _, s := range sum.Metrics {
+		if line := s.ScalarLine(); line != "" {
+			fmt.Fprintf(w, "  metric %-18s %s\n", s.Name+":", line)
+		}
+	}
+	_, err := fmt.Fprintln(w, "ok")
+	return err
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smallbuffers/internal/scenario"
+	"smallbuffers/internal/service"
+)
+
+func startDaemons(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		svc := service.New(service.Config{Workers: 2, SweepWorkers: 2})
+		ts := httptest.NewServer(svc)
+		t.Cleanup(func() {
+			ts.Close()
+			svc.Close()
+		})
+		addrs[i] = strings.TrimPrefix(ts.URL, "http://")
+	}
+	return addrs
+}
+
+func writeScenario(t *testing.T) string {
+	t.Helper()
+	src := `{
+		"name": "aqtctl-grid",
+		"topology": {"name": "path", "params": {"n": 16}},
+		"protocol": {"name": "ppts"},
+		"adversary": {"name": "random", "params": {"d": 2}},
+		"bound": {"rho": "1/2", "sigma": 2},
+		"rounds": [30, 60],
+		"seeds": [1, 2, 3]
+	}`
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestAqtctlEndToEnd drives the CLI against an in-process 2-daemon
+// fleet: -result-digest must print exactly the local digest, and the
+// human summary must report every cell.
+func TestAqtctlEndToEnd(t *testing.T) {
+	addrs := startDaemons(t, 2)
+	scPath := writeScenario(t)
+
+	data, err := os.ReadFile(scPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg.Digest()
+
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-fleet", strings.Join(addrs, ","),
+		"-scenario", scPath,
+		"-verify-local",
+		"-result-digest",
+	}
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("aqtctl: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != want {
+		t.Fatalf("-result-digest printed %q, local digest %s", got, want)
+	}
+
+	// Human summary via a fleet file.
+	fleetFile := filepath.Join(t.TempDir(), "fleet.txt")
+	if err := os.WriteFile(fleetFile, []byte("# test fleet\n"+strings.Join(addrs, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	if err := run(context.Background(), []string{"-fleet", "@" + fleetFile, "-scenario", scPath, "-q"}, &stdout, &stderr); err != nil {
+		t.Fatalf("aqtctl summary: %v", err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "6 requested, 6 completed, 0 failed") {
+		t.Errorf("summary missing cell counts:\n%s", out)
+	}
+	if !strings.Contains(out, want) {
+		t.Errorf("summary missing digest:\n%s", out)
+	}
+}
+
+func TestParseFleet(t *testing.T) {
+	eps, err := parseFleet("a:1, b:2,,")
+	if err != nil || len(eps) != 2 || eps[0] != "a:1" || eps[1] != "b:2" {
+		t.Errorf("parseFleet list = %v, %v", eps, err)
+	}
+	if _, err := parseFleet("a:1,a:1"); err == nil {
+		t.Error("duplicate endpoints accepted")
+	}
+	if _, err := parseFleet(",,"); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := parseFleet("@/nonexistent/fleet.txt"); err == nil {
+		t.Error("missing fleet file accepted")
+	}
+}
+
+func TestAqtctlFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-scenario", "x.json"}, &out, &out); err == nil {
+		t.Error("missing -fleet accepted")
+	}
+	if err := run(context.Background(), []string{"-fleet", "a:1"}, &out, &out); err == nil {
+		t.Error("missing -scenario accepted")
+	}
+}

@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"smallbuffers/internal/harness"
+	"smallbuffers/internal/service"
+)
+
+// daemonError is a structured failure from one daemon. Retryable mirrors
+// the service's wire flag: true means back off and retry against the
+// same daemon (queue saturation, drain), false means the request itself
+// is doomed there (bad scenario, hard shutdown).
+type daemonError struct {
+	status     int
+	msg        string
+	retryable  bool
+	retryAfter time.Duration
+}
+
+func (e *daemonError) Error() string {
+	return fmt.Sprintf("daemon returned %d: %s", e.status, e.msg)
+}
+
+// decodeError turns a non-2xx response into a daemonError, honouring the
+// service's structured JSON body and Retry-After header when present.
+func decodeError(resp *http.Response) *daemonError {
+	e := &daemonError{status: resp.StatusCode}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var wire struct {
+		Error     string `json:"error"`
+		Retryable bool   `json:"retryable"`
+	}
+	if json.Unmarshal(body, &wire) == nil && wire.Error != "" {
+		e.msg, e.retryable = wire.Error, wire.Retryable
+	} else {
+		e.msg = strings.TrimSpace(string(body))
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		e.retryAfter = time.Duration(secs) * time.Second
+	}
+	return e
+}
+
+// client talks to one aqtserve daemon. It is stateless beyond the base
+// URL; the coordinator owns health and backoff.
+type client struct {
+	base string // e.g. "http://host:port"
+	http *http.Client
+}
+
+func newClient(endpoint string) *client {
+	base := endpoint
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	// No overall request timeout: run streams are long-lived by design.
+	// Cancellation flows through the request context.
+	return &client{base: base, http: &http.Client{}}
+}
+
+// submit POSTs a scenario asynchronously. A 202 returns the daemon's
+// run id to stream from; a 200 means the daemon already holds the
+// finished run (digest cache hit) and returns its complete report
+// instead — no stream needed.
+func (c *client) submit(ctx context.Context, body []byte) (string, *service.Report, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/runs?wait=0", bytes.NewReader(body))
+	if err != nil {
+		return "", nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var rep service.Report
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			return "", nil, fmt.Errorf("decoding submit response: %w", err)
+		}
+		if rep.ID == "" {
+			return "", nil, fmt.Errorf("submit response carries no run id")
+		}
+		return rep.ID, nil, nil
+	case http.StatusOK:
+		var rep service.Report
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			return "", nil, fmt.Errorf("decoding cached report: %w", err)
+		}
+		return "", &rep, nil
+	default:
+		return "", nil, decodeError(resp)
+	}
+}
+
+// stream follows a run's NDJSON stream, invoking onCell for every cell
+// record, and returns the closing summary report. An error means the
+// stream broke before the summary — the caller must treat every cell it
+// saw as suspect and discard.
+func (c *client) stream(ctx context.Context, runID string, onCell func(harness.CellRecord)) (*service.Report, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/runs/"+runID+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("malformed stream frame: %w", err)
+		}
+		switch probe.Type {
+		case "cell":
+			var rec harness.CellRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, fmt.Errorf("malformed cell frame: %w", err)
+			}
+			onCell(rec)
+		case "summary":
+			var rep service.Report
+			if err := json.Unmarshal(line, &rep); err != nil {
+				return nil, fmt.Errorf("malformed summary frame: %w", err)
+			}
+			return &rep, nil
+		default:
+			return nil, fmt.Errorf("unknown stream frame type %q", probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stream broke: %w", err)
+	}
+	return nil, fmt.Errorf("stream ended without a summary")
+}
+
+// cancel DELETEs a run; used to reclaim a shard for work stealing.
+func (c *client) cancel(ctx context.Context, runID string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/runs/"+runID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return decodeError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// ready probes /readyz. A nil error means the daemon accepts new work.
+func (c *client) ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

@@ -1,0 +1,61 @@
+// Package fleet is the distribution tier: a coordinator that splits one
+// scenario's sweep grid into deterministic index-range shards, dispatches
+// them to a fleet of aqtserve daemons, and merges the streamed per-cell
+// records back into the exact record set — and RecordsDigest — of a
+// local single-process run.
+//
+// # Correctness model
+//
+// Cell indices are a global property of the grid (see harness.Cell), so
+// shards are just index ranges and the merge is mechanical: collect every
+// cell exactly once, sort by index, digest. The coordinator enforces
+// "exactly once" structurally — a failed shard's partial records are
+// discarded wholesale before re-dispatch, and a stolen shard's already-
+// streamed records are committed while only the uncovered remainder is
+// re-enqueued — so the merged digest either equals the local digest or
+// the run errors. There is no "close enough".
+//
+// # Determinism discipline
+//
+// Simulation results never depend on the fleet: scheduling, retries,
+// steals, and daemon failures change only where cells execute. Wall-clock
+// time is confined to the injected Clock (aqtlint's nowallclock analyzer
+// covers this package), so tests drive backoff deterministically.
+package fleet
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts the coordinator's only uses of wall time: stamping the
+// fleet summary and sleeping for backoff. Injecting it keeps retry
+// schedules testable and keeps time.Now out of digest-adjacent code.
+type Clock interface {
+	// Now returns the current time. Used only for elapsed-time summary
+	// fields, never for anything that reaches simulation results.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is cancelled, returning ctx.Err()
+	// in the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// SystemClock returns the real-time Clock used outside tests.
+func SystemClock() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time {
+	return time.Now() //aqtlint:allow nowallclock -- the one sanctioned wall-clock read; everything else injects Clock
+}
+
+func (systemClock) Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

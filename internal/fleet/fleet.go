@@ -1,0 +1,661 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"smallbuffers/internal/harness"
+	"smallbuffers/internal/metrics"
+	"smallbuffers/internal/scenario"
+	"smallbuffers/internal/service"
+)
+
+// Config sizes the coordinator. Endpoints is required; every other field
+// has a production-lean default.
+type Config struct {
+	// Endpoints lists the aqtserve daemons ("host:port" or full URLs).
+	Endpoints []string
+	// ShardsPerDaemon sets the initial partition: the grid splits into
+	// len(Endpoints) × ShardsPerDaemon index-range shards (clamped to the
+	// cell count). More shards per daemon smooths skewed grids at the cost
+	// of more submissions. Default 2.
+	ShardsPerDaemon int
+	// InFlightPerDaemon caps concurrent shard streams per daemon.
+	// Default 2.
+	InFlightPerDaemon int
+	// MaxAttempts bounds how many times one shard may be dispatched after
+	// losing work (daemon died mid-stream); exceeding it fails the fleet
+	// run. Transient submit rejections (saturation, drain) do not consume
+	// attempts — no work was lost. Default 4.
+	MaxAttempts int
+	// FailureLimit quarantines a daemon after this many consecutive
+	// failures; quarantine is permanent for the run. When every daemon is
+	// quarantined the run fails. Default 3.
+	FailureLimit int
+	// BackoffBase and BackoffMax shape the capped exponential backoff a
+	// daemon serves after consecutive failures: min(BackoffMax,
+	// BackoffBase·2^(failures-1)). Defaults 100ms and 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MinStealCells is the smallest piece work stealing may create: a
+	// victim is only split while its uncovered remainder is at least
+	// twice this. Default 4.
+	MinStealCells int
+	// Clock injects time for backoff and the summary's elapsed fields.
+	// Defaults to SystemClock(). Simulation results never depend on it.
+	Clock Clock
+	// Logf, when set, receives human-oriented progress lines (dispatches,
+	// failures, steals).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShardsPerDaemon <= 0 {
+		c.ShardsPerDaemon = 2
+	}
+	if c.InFlightPerDaemon <= 0 {
+		c.InFlightPerDaemon = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.FailureLimit <= 0 {
+		c.FailureLimit = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.MinStealCells <= 0 {
+		c.MinStealCells = 4
+	}
+	if c.Clock == nil {
+		c.Clock = SystemClock()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// DaemonStats is one daemon's share of a fleet run.
+type DaemonStats struct {
+	Endpoint    string        `json:"endpoint"`
+	Dispatches  int           `json:"dispatches"`
+	Cells       int           `json:"cells"`
+	Failures    int           `json:"failures"`
+	StolenFrom  int           `json:"stolen_from"`
+	Quarantined bool          `json:"quarantined,omitempty"`
+	Busy        time.Duration `json:"busy_ns"`
+}
+
+// Summary describes how a fleet run went: the merged result counters,
+// the grid-wide metric summaries (folded in cell-index order via
+// metrics.MergeAll, exactly as a local run would), and the distribution
+// story — cells per daemon, retries, steals, and wall-clock against the
+// perfect-balance ideal.
+type Summary struct {
+	Requested     int               `json:"requested"`
+	Completed     int               `json:"completed"`
+	Failed        int               `json:"failed"`
+	ResultsDigest string            `json:"results_digest"`
+	Metrics       []metrics.Summary `json:"metrics,omitempty"`
+	Daemons       []DaemonStats     `json:"daemons"`
+	Retries       int               `json:"retries"`
+	Steals        int               `json:"steals"`
+	Wall          time.Duration     `json:"wall_ns"`
+	// Ideal is the wall-clock a perfectly balanced fleet would need:
+	// total busy time divided by daemon count. Wall/Ideal ≥ 1 measures
+	// coordination overhead plus imbalance.
+	Ideal time.Duration `json:"ideal_ns"`
+}
+
+// Result is a completed fleet run: every cell record of the grid in
+// global index order, the digest over them, and the fleet summary.
+type Result struct {
+	Records []harness.CellRecord
+	Summary Summary
+}
+
+// shardItem is one unit of pending work: an index range plus how many
+// times it has been dispatched and lost.
+type shardItem struct {
+	rng      harness.IndexRange
+	attempts int
+}
+
+// task is one in-flight dispatch of a shard on a daemon.
+type task struct {
+	item     shardItem
+	daemon   *daemonState
+	runID    string
+	stolen   bool // a thief has requested cancellation
+	received []harness.CellRecord
+}
+
+// remaining estimates the victim's uncovered cells — what a steal would
+// reclaim. Caller holds co.mu.
+func (t *task) remaining() int { return t.item.rng.Count() - len(t.received) }
+
+type daemonState struct {
+	endpoint    string
+	client      *client
+	consecFails int
+	quarantined bool
+	stats       DaemonStats
+}
+
+type coordinator struct {
+	cfg    Config
+	parent *scenario.Scenario
+	total  int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []shardItem
+	running   map[*task]struct{}
+	committed map[int]harness.CellRecord
+	healthy   int
+	fatal     error
+	done      bool
+	retries   int
+	steals    int
+}
+
+// Run executes sc's whole sweep grid across the fleet and returns the
+// merged records. The returned records are complete (every grid cell,
+// exactly once, in index order) or the error is non-nil — a fleet run
+// never returns a partial result.
+func Run(ctx context.Context, cfg Config, sc *scenario.Scenario) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Endpoints) == 0 {
+		return nil, errors.New("fleet: no endpoints")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Shard != nil {
+		return nil, errors.New("fleet: scenario is already sharded; dispatch the unsharded parent")
+	}
+	total, err := sc.GridSize()
+	if err != nil {
+		return nil, err
+	}
+
+	co := &coordinator{
+		cfg:       cfg,
+		parent:    sc,
+		total:     total,
+		running:   map[*task]struct{}{},
+		committed: make(map[int]harness.CellRecord, total),
+		healthy:   len(cfg.Endpoints),
+	}
+	co.cond = sync.NewCond(&co.mu)
+	for _, rng := range harness.PartitionCells(total, len(cfg.Endpoints)*cfg.ShardsPerDaemon) {
+		co.pending = append(co.pending, shardItem{rng: rng})
+	}
+	cfg.Logf("fleet: %d cells in %d shards across %d daemons", total, len(co.pending), len(cfg.Endpoints))
+
+	start := cfg.Clock.Now()
+
+	// Wake blocked workers if the caller's context dies.
+	stopWake := context.AfterFunc(ctx, func() { co.cond.Broadcast() })
+	defer stopWake()
+
+	var wg sync.WaitGroup
+	daemons := make([]*daemonState, len(cfg.Endpoints))
+	for i, ep := range cfg.Endpoints {
+		d := &daemonState{endpoint: ep, client: newClient(ep), stats: DaemonStats{Endpoint: ep}}
+		daemons[i] = d
+		for slot := 0; slot < cfg.InFlightPerDaemon; slot++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				co.worker(ctx, d)
+			}()
+		}
+	}
+	wg.Wait()
+
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.fatal != nil {
+		return nil, co.fatal
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(co.committed) != co.total {
+		return nil, fmt.Errorf("fleet: merged %d of %d cells", len(co.committed), co.total)
+	}
+
+	recs := make([]harness.CellRecord, 0, co.total)
+	for i := 0; i < co.total; i++ {
+		rec, ok := co.committed[i]
+		if !ok {
+			return nil, fmt.Errorf("fleet: cell %d missing from the merge", i)
+		}
+		recs = append(recs, rec)
+	}
+
+	sum := Summary{
+		Requested:     co.total,
+		ResultsDigest: harness.RecordsDigest(recs),
+		Retries:       co.retries,
+		Steals:        co.steals,
+		Wall:          cfg.Clock.Now().Sub(start),
+	}
+	var busy time.Duration
+	var perCell []map[string]metrics.Summary
+	for _, rec := range recs {
+		if rec.Err != "" {
+			sum.Failed++
+			continue
+		}
+		sum.Completed++
+		if len(rec.Metrics) > 0 {
+			m := make(map[string]metrics.Summary, len(rec.Metrics))
+			for _, s := range rec.Metrics {
+				m[s.Name] = s
+			}
+			perCell = append(perCell, m)
+		}
+	}
+	if merged, err := metrics.MergeAll(perCell); err == nil {
+		sum.Metrics = metrics.Records(merged)
+	}
+	for _, d := range daemons {
+		d.stats.Quarantined = d.quarantined
+		sum.Daemons = append(sum.Daemons, d.stats)
+		busy += d.stats.Busy
+	}
+	sum.Ideal = busy / time.Duration(len(daemons))
+	return &Result{Records: recs, Summary: sum}, nil
+}
+
+// VerifyLocal re-runs the scenario in-process and compares its records
+// digest with the fleet digest — the end-to-end reproducibility gate. A
+// mismatch is a hard error carrying both digests.
+func VerifyLocal(ctx context.Context, sc *scenario.Scenario, fleetDigest string) error {
+	agg, err := sc.Run(ctx)
+	if err != nil {
+		return fmt.Errorf("fleet: local verification run: %w", err)
+	}
+	if local := agg.Digest(); local != fleetDigest {
+		return fmt.Errorf("fleet: digest divergence: fleet %s, local %s", fleetDigest, local)
+	}
+	return nil
+}
+
+// worker pulls shards (or steals them) and runs them on d until the run
+// finishes, fails, or the daemon is quarantined.
+func (co *coordinator) worker(ctx context.Context, d *daemonState) {
+	for {
+		t := co.next(ctx, d)
+		if t == nil {
+			return
+		}
+		co.runTask(ctx, d, t)
+	}
+}
+
+// next blocks until there is a shard for d to run, stealing from the
+// largest in-flight shard when the queue is empty, and returns nil when
+// the coordinator is finished (done, fatal, cancelled) or d is
+// quarantined.
+func (co *coordinator) next(ctx context.Context, d *daemonState) *task {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for {
+		if co.done || co.fatal != nil || ctx.Err() != nil || d.quarantined {
+			return nil
+		}
+		if len(co.pending) > 0 {
+			item := co.pending[0]
+			co.pending = co.pending[1:]
+			t := &task{item: item, daemon: d}
+			co.running[t] = struct{}{}
+			return t
+		}
+		if len(co.running) == 0 {
+			// Nothing pending, nothing running, not done: cells were lost
+			// without being re-enqueued — a coordinator bug, not a daemon
+			// failure. Fail loudly rather than hang.
+			co.fail(fmt.Errorf("fleet: %d of %d cells unaccounted for", co.total-len(co.committed), co.total))
+			return nil
+		}
+		if victim := co.stealVictimLocked(); victim != nil {
+			victim.stolen = true
+			co.steals++
+			victim.daemon.stats.StolenFrom++
+			co.cfg.Logf("fleet: %s idle, stealing %s from %s (%d cells uncovered)",
+				d.endpoint, victim.item.rng, victim.daemon.endpoint, victim.remaining())
+			// Cancel outside the lock; the victim's worker observes the
+			// cancelled summary, commits what streamed, and re-enqueues the
+			// remainder — which this worker then picks up normally.
+			co.mu.Unlock()
+			if err := victim.daemon.client.cancel(ctx, victim.runID); err != nil {
+				co.cfg.Logf("fleet: cancelling %s on %s: %v (daemon failure will requeue it)",
+					victim.item.rng, victim.daemon.endpoint, err)
+			}
+			co.mu.Lock()
+			continue
+		}
+		co.cond.Wait()
+	}
+}
+
+// stealVictimLocked picks the running task with the most uncovered cells,
+// if splitting it is worthwhile. Caller holds co.mu.
+func (co *coordinator) stealVictimLocked() *task {
+	var victim *task
+	for t := range co.running {
+		if t.stolen || t.runID == "" {
+			continue
+		}
+		if t.remaining() < 2*co.cfg.MinStealCells {
+			continue
+		}
+		if victim == nil || t.remaining() > victim.remaining() ||
+			(t.remaining() == victim.remaining() && t.item.rng.Lo < victim.item.rng.Lo) {
+			victim = t
+		}
+	}
+	return victim
+}
+
+// runTask dispatches one shard to d and settles the outcome: commit,
+// commit-and-split (stolen), or discard-and-requeue (failed).
+func (co *coordinator) runTask(ctx context.Context, d *daemonState, t *task) {
+	// Serve any backoff the daemon has earned before burdening it again.
+	co.mu.Lock()
+	fails := d.consecFails
+	co.mu.Unlock()
+	if fails > 0 {
+		if err := co.cfg.Clock.Sleep(ctx, co.backoff(fails)); err != nil {
+			co.requeue(t, false, nil)
+			return
+		}
+	}
+
+	sub, err := co.parent.Slice(t.item.rng.Lo, t.item.rng.Count())
+	if err != nil {
+		co.failTask(t, err)
+		return
+	}
+	body, err := sub.Marshal()
+	if err != nil {
+		co.failTask(t, err)
+		return
+	}
+
+	start := co.cfg.Clock.Now()
+	runID, cached, err := d.client.submit(ctx, body)
+	if err != nil {
+		var de *daemonError
+		if errors.As(err, &de) && de.status >= 400 && de.status < 500 {
+			// The daemon rejected the scenario itself; every daemon would.
+			co.failTask(t, fmt.Errorf("fleet: %s rejected shard %s: %w", d.endpoint, t.item.rng, err))
+			return
+		}
+		retryAfter := time.Duration(0)
+		if errors.As(err, &de) {
+			retryAfter = de.retryAfter
+		}
+		co.cfg.Logf("fleet: submit %s to %s: %v", t.item.rng, d.endpoint, err)
+		co.daemonFailed(d)
+		if retryAfter > 0 {
+			_ = co.cfg.Clock.Sleep(ctx, retryAfter)
+		}
+		// No work lost: the shard re-enters the queue without consuming an
+		// attempt.
+		co.requeue(t, false, nil)
+		return
+	}
+
+	if cached != nil {
+		// The daemon had this shard's digest finished in cache and
+		// answered with the complete report — commit it without streaming.
+		co.mu.Lock()
+		t.received = cached.Cells
+		d.stats.Dispatches++
+		co.mu.Unlock()
+		if cached.Status != service.StatusDone {
+			co.daemonFailed(d)
+			co.requeue(t, true, nil)
+			return
+		}
+		co.commitDone(d, t, co.cfg.Clock.Now().Sub(start))
+		return
+	}
+
+	co.mu.Lock()
+	t.runID = runID
+	d.stats.Dispatches++
+	co.mu.Unlock()
+
+	rep, err := d.client.stream(ctx, runID, func(rec harness.CellRecord) {
+		co.mu.Lock()
+		t.received = append(t.received, rec)
+		co.mu.Unlock()
+	})
+	elapsed := co.cfg.Clock.Now().Sub(start)
+	if err != nil {
+		// The stream broke before its summary: the daemon (or the network
+		// to it) died mid-shard. Everything received is suspect — discard
+		// it all and redispatch the whole shard, consuming an attempt.
+		co.cfg.Logf("fleet: stream %s from %s broke: %v", t.item.rng, d.endpoint, err)
+		co.daemonFailed(d)
+		co.requeue(t, true, nil)
+		return
+	}
+
+	switch rep.Status {
+	case service.StatusDone:
+		co.commitDone(d, t, elapsed)
+	case service.StatusCancelled:
+		co.mu.Lock()
+		stolen := t.stolen
+		co.mu.Unlock()
+		if stolen {
+			co.commitStolen(d, t, elapsed)
+			return
+		}
+		// Cancelled by the daemon's own lifecycle (drain, shutdown), not
+		// by a thief: partial work we did not ask to stop. Discard it.
+		co.cfg.Logf("fleet: %s cancelled shard %s unasked", d.endpoint, t.item.rng)
+		co.daemonFailed(d)
+		co.requeue(t, true, nil)
+	default:
+		co.daemonFailed(d)
+		co.requeue(t, true, fmt.Errorf("fleet: %s finished shard %s in unexpected status %q", d.endpoint, t.item.rng, rep.Status))
+	}
+}
+
+// commitDone merges a cleanly finished shard: exactly the shard's cells,
+// each exactly once.
+func (co *coordinator) commitDone(d *daemonState, t *task, elapsed time.Duration) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if len(t.received) != t.item.rng.Count() {
+		co.failLocked(t, fmt.Errorf("fleet: %s returned %d records for %d-cell shard %s",
+			d.endpoint, len(t.received), t.item.rng.Count(), t.item.rng))
+		return
+	}
+	if !co.commitLocked(t, t.received) {
+		return
+	}
+	d.consecFails = 0
+	d.stats.Cells += len(t.received)
+	d.stats.Busy += elapsed
+	co.settleLocked(t)
+}
+
+// commitStolen merges what a cancelled victim actually executed and
+// re-enqueues the uncovered remainder. Records of cells that were
+// interrupted mid-simulation carry a context-cancellation error — those
+// are scheduling artifacts, not results, and return to the queue.
+func (co *coordinator) commitStolen(d *daemonState, t *task, elapsed time.Duration) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	clean := make([]harness.CellRecord, 0, len(t.received))
+	for _, rec := range t.received {
+		if strings.Contains(rec.Err, context.Canceled.Error()) {
+			continue
+		}
+		clean = append(clean, rec)
+	}
+	if !co.commitLocked(t, clean) {
+		return
+	}
+	d.consecFails = 0
+	d.stats.Cells += len(clean)
+	d.stats.Busy += elapsed
+
+	// Re-enqueue the uncovered sub-intervals; split a single large
+	// remainder so the thief and this daemon can share it.
+	rest := co.uncoveredLocked(t.item.rng)
+	if len(rest) == 1 && rest[0].Count() >= 2*co.cfg.MinStealCells {
+		mid := rest[0].Lo + rest[0].Count()/2
+		rest = []harness.IndexRange{{Lo: rest[0].Lo, Hi: mid}, {Lo: mid, Hi: rest[0].Hi}}
+	}
+	for _, rng := range rest {
+		co.pending = append(co.pending, shardItem{rng: rng, attempts: t.item.attempts})
+	}
+	co.cfg.Logf("fleet: shard %s stolen: %d cells kept, %d re-enqueued in %d pieces",
+		t.item.rng, len(clean), t.item.rng.Count()-len(clean), len(rest))
+	co.settleLocked(t)
+}
+
+// commitLocked merges records into the global cell map, failing the run
+// on any duplicate or out-of-shard index — the structural guarantee that
+// nothing is ever double-merged. Caller holds co.mu.
+func (co *coordinator) commitLocked(t *task, recs []harness.CellRecord) bool {
+	for _, rec := range recs {
+		if rec.Index < t.item.rng.Lo || rec.Index >= t.item.rng.Hi {
+			co.failLocked(t, fmt.Errorf("fleet: shard %s streamed out-of-range cell %d", t.item.rng, rec.Index))
+			return false
+		}
+		if _, dup := co.committed[rec.Index]; dup {
+			co.failLocked(t, fmt.Errorf("fleet: cell %d merged twice", rec.Index))
+			return false
+		}
+	}
+	for _, rec := range recs {
+		co.committed[rec.Index] = rec
+	}
+	return true
+}
+
+// uncoveredLocked lists the maximal sub-intervals of rng whose cells are
+// not yet committed. Caller holds co.mu.
+func (co *coordinator) uncoveredLocked(rng harness.IndexRange) []harness.IndexRange {
+	var out []harness.IndexRange
+	for i := rng.Lo; i < rng.Hi; i++ {
+		if _, ok := co.committed[i]; ok {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Hi == i {
+			out[n-1].Hi = i + 1
+		} else {
+			out = append(out, harness.IndexRange{Lo: i, Hi: i + 1})
+		}
+	}
+	return out
+}
+
+// settleLocked removes a finished task and flips done when the grid is
+// fully merged. Caller holds co.mu.
+func (co *coordinator) settleLocked(t *task) {
+	delete(co.running, t)
+	if len(co.committed) == co.total {
+		co.done = true
+	}
+	co.cond.Broadcast()
+}
+
+// requeue discards a task's received records and returns its whole range
+// to the queue. lostWork consumes one of the shard's attempts; exceeding
+// MaxAttempts (or a non-nil hard error) fails the run.
+func (co *coordinator) requeue(t *task, lostWork bool, hard error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if hard != nil {
+		co.failLocked(t, hard)
+		return
+	}
+	item := t.item
+	if lostWork {
+		item.attempts++
+		co.retries++
+		t.daemon.stats.Failures++
+		if item.attempts >= co.cfg.MaxAttempts {
+			co.failLocked(t, fmt.Errorf("fleet: shard %s failed %d times, giving up", item.rng, item.attempts))
+			return
+		}
+	}
+	t.received = nil
+	co.pending = append(co.pending, item)
+	delete(co.running, t)
+	co.cond.Broadcast()
+}
+
+// failTask fails the whole run on a non-recoverable task error.
+func (co *coordinator) failTask(t *task, err error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.failLocked(t, err)
+}
+
+func (co *coordinator) failLocked(t *task, err error) {
+	delete(co.running, t)
+	co.fail(err)
+}
+
+// fail records the first fatal error and wakes everyone. Caller holds
+// co.mu.
+func (co *coordinator) fail(err error) {
+	if co.fatal == nil {
+		co.fatal = err
+	}
+	co.cond.Broadcast()
+}
+
+// daemonFailed bumps a daemon's consecutive-failure count, quarantining
+// it at the limit. The last healthy daemon's quarantine fails the run.
+func (co *coordinator) daemonFailed(d *daemonState) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	d.consecFails++
+	if !d.quarantined && d.consecFails >= co.cfg.FailureLimit {
+		d.quarantined = true
+		co.healthy--
+		co.cfg.Logf("fleet: quarantining %s after %d consecutive failures", d.endpoint, d.consecFails)
+		if co.healthy == 0 && !co.done {
+			co.fail(fmt.Errorf("fleet: no healthy daemons left (all %d quarantined)", len(co.cfg.Endpoints)))
+		}
+		co.cond.Broadcast()
+	}
+}
+
+// backoff is the capped exponential schedule served after consecutive
+// failures.
+func (co *coordinator) backoff(fails int) time.Duration {
+	d := co.cfg.BackoffBase
+	for i := 1; i < fails; i++ {
+		d *= 2
+		if d >= co.cfg.BackoffMax {
+			return co.cfg.BackoffMax
+		}
+	}
+	if d > co.cfg.BackoffMax {
+		d = co.cfg.BackoffMax
+	}
+	return d
+}

@@ -102,8 +102,16 @@ func DropFault(p rat.Rat) FaultSpec {
 // Cell identifies one point of the sweep grid: the names of its coordinates
 // plus the resolved seed and horizon.
 type Cell struct {
-	// Index is the cell's position in the row-major expansion of the grid;
-	// results stream in completion order and are re-sorted by Index.
+	// Index is the cell's position in the row-major expansion of the
+	// grid — the global ordering contract the distribution tier relies
+	// on. For a fixed Sweep the expansion order is: topology (outermost),
+	// then protocol, adversary, bound, bandwidth, fault, seed, rounds
+	// (innermost) — see Cells — so Index names the same coordinates on
+	// every machine, at any worker count, and in any shard. Results
+	// stream in completion order and are re-sorted by Index; sharded
+	// executions (ShardOffset/ShardCount) keep global indices, so
+	// records from disjoint shards of the same grid reassemble by Index
+	// alone into exactly the record set of an unsharded run.
 	Index     int
 	Protocol  string
 	Topology  string
@@ -185,6 +193,17 @@ type Sweep struct {
 	// BaseSeed is folded into every cell's derived seed; vary it to re-draw
 	// the whole sweep's randomness at once.
 	BaseSeed int64
+
+	// ShardOffset and ShardCount restrict execution to the contiguous
+	// cell-index range [ShardOffset, ShardOffset+ShardCount) of the
+	// row-major expansion; ShardCount == 0 means the whole grid. Cells
+	// keep their global Index, so the records of disjoint shards of the
+	// same grid reassemble (sorted by index) into exactly the record set
+	// — and RecordsDigest — an unsharded run produces. The expansion,
+	// seed derivation, and horizon resolution are identical either way:
+	// a shard changes which cells run, never what any cell computes.
+	ShardOffset int
+	ShardCount  int
 
 	// RawSeeds passes each cell's grid seed to its adversary verbatim
 	// instead of deriving a per-cell seed from BaseSeed and the cell
@@ -268,13 +287,22 @@ func (s *Sweep) validate() error {
 		}
 		names["f:"+f.Name] = true
 	}
+	if s.ShardOffset < 0 || s.ShardCount < 0 {
+		return fmt.Errorf("harness: negative shard range [%d,+%d)", s.ShardOffset, s.ShardCount)
+	}
+	if s.ShardOffset > 0 && s.ShardCount == 0 {
+		return fmt.Errorf("harness: ShardOffset %d without a ShardCount", s.ShardOffset)
+	}
 	return nil
 }
 
-// Cells expands the grid in row-major order: topology (outermost), then
-// protocol, adversary, bound, bandwidth, fault, seed, rounds. Cells whose
-// horizon comes from RoundsFor carry Rounds == 0 until execution resolves
-// the topology.
+// Cells expands the full grid in row-major order: topology (outermost),
+// then protocol, adversary, bound, bandwidth, fault, seed, rounds. This
+// order is a contract (see Cell.Index): it is what makes cell indices
+// global, so it must never depend on workers, sharding, or scheduling.
+// Cells ignores the shard (it always returns the whole expansion; see
+// CellsToRun); cells whose horizon comes from RoundsFor carry Rounds == 0
+// until execution resolves the topology.
 func (s *Sweep) Cells() ([]Cell, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
@@ -350,18 +378,35 @@ func deriveSeed(base int64, c Cell) int64 {
 	return int64(h.Sum64() &^ (1 << 63))
 }
 
-// Stream executes the sweep on the worker pool and streams per-cell
-// results in completion order. The channel closes when every cell has been
-// executed or ctx is cancelled; after cancellation the engine stops
-// in-flight runs at the next round boundary and undispatched cells are
-// dropped. Build errors (invalid axes) surface as a single CellResult with
-// Err set.
+// CellsToRun expands the grid (see Cells) and applies the configured
+// shard: exactly the cells Stream and Run will execute, in global index
+// order.
+func (s *Sweep) CellsToRun() ([]Cell, error) {
+	cells, err := s.Cells()
+	if err != nil {
+		return nil, err
+	}
+	if s.ShardCount == 0 {
+		return cells, nil
+	}
+	if s.ShardOffset+s.ShardCount > len(cells) {
+		return nil, fmt.Errorf("harness: shard [%d,%d) exceeds the %d-cell grid", s.ShardOffset, s.ShardOffset+s.ShardCount, len(cells))
+	}
+	return cells[s.ShardOffset : s.ShardOffset+s.ShardCount], nil
+}
+
+// Stream executes the sweep (or its configured shard) on the worker pool
+// and streams per-cell results in completion order. The channel closes
+// when every cell has been executed or ctx is cancelled; after
+// cancellation the engine stops in-flight runs at the next round boundary
+// and undispatched cells are dropped. Build errors (invalid axes) surface
+// as a single CellResult with Err set.
 //
 // Callers must either drain the channel or cancel ctx: abandoning the
 // range loop with a live context leaves the workers blocked on their next
 // send.
 func (s *Sweep) Stream(ctx context.Context) <-chan CellResult {
-	cells, err := s.Cells()
+	cells, err := s.CellsToRun()
 	if err != nil {
 		out := make(chan CellResult)
 		go func() {
@@ -578,7 +623,7 @@ func (r *SweepResult) FirstErr() error {
 // error; per-cell failures do not abort the sweep (they are recorded on
 // the cells and counted in Failed).
 func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
-	cells, err := s.Cells()
+	cells, err := s.CellsToRun()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,49 @@
+package harness
+
+import "fmt"
+
+// IndexRange is a half-open range [Lo, Hi) of global cell indices — the
+// unit of work the distribution tier dispatches. Ranges partition the
+// row-major expansion of a sweep grid (see Cell.Index for the ordering
+// contract), so a range is meaningful on any machine that can expand the
+// same grid.
+type IndexRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Count returns the number of cells in the range.
+func (r IndexRange) Count() int { return r.Hi - r.Lo }
+
+// String renders the range in half-open interval notation.
+func (r IndexRange) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// PartitionCells splits the global cell-index space [0, total) into at
+// most shards contiguous, non-overlapping ranges that cover it exactly,
+// in index order, with sizes differing by at most one (the remainder
+// spreads over the leading ranges). Because cell indices are a global,
+// deterministic property of the grid — never of workers, machines, or
+// scheduling — any partition of the index space executes every cell
+// exactly once wherever the pieces run, and the per-cell records
+// reassemble by index into the record set (and RecordsDigest) of an
+// unsharded run. total ≤ 0 or shards ≤ 0 yields nil.
+func PartitionCells(total, shards int) []IndexRange {
+	if total <= 0 || shards <= 0 {
+		return nil
+	}
+	if shards > total {
+		shards = total
+	}
+	out := make([]IndexRange, 0, shards)
+	size, rem := total/shards, total%shards
+	lo := 0
+	for i := 0; i < shards; i++ {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		out = append(out, IndexRange{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}

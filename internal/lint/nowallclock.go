@@ -6,14 +6,17 @@ import (
 
 // NoWallClock forbids wall-clock reads and the global math/rand source in
 // the deterministic packages (internal/{sim,faults,harness,metrics,
-// scenario,registry,adversary,core,buffer,rat}). Wall-clock values and
-// process-global RNG state are exactly the inputs that vary across runs,
-// machines, and worker counts — nothing on a simulation, digest, or
-// wire-record path may observe them. Service and CLI layers are outside
-// the contract and free to use both.
+// scenario,registry,adversary,core,buffer,rat}) and, beyond them, in
+// internal/fleet (wallClockPackages): the coordinator's retry, backoff,
+// and steal logic must draw all time from the injected fleet.Clock so
+// failure schedules replay deterministically under test. Wall-clock
+// values and process-global RNG state are exactly the inputs that vary
+// across runs, machines, and worker counts — nothing on a simulation,
+// digest, wire-record, or scheduling-decision path may observe them.
+// Service and CLI layers are outside the contract and free to use both.
 var NoWallClock = &Analyzer{
 	Name: "nowallclock",
-	Doc:  "no time.Now/time.Since or global math/rand in deterministic packages",
+	Doc:  "no time.Now/time.Since or global math/rand in deterministic packages or internal/fleet",
 	Run:  runNoWallClock,
 }
 
@@ -26,8 +29,16 @@ var rngConstructors = map[string]bool{
 }
 
 func runNoWallClock(pass *Pass) error {
-	if !isDeterministicPkg(pass.Pkg.Path()) {
+	if !isWallClockPkg(pass.Pkg.Path()) {
 		return nil
+	}
+	// Wording tracks why the package is in scope: the deterministic
+	// packages carry the full replay contract; the wallClockPackages
+	// extension (fleet) is in scope because its scheduling must flow
+	// through an injected clock.
+	scope := "deterministic package"
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		scope = "clock-injected package"
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -43,7 +54,7 @@ func runNoWallClock(pass *Pass) error {
 			case "time":
 				switch fn.Name() {
 				case "Now", "Since", "Until":
-					pass.Reportf(call.Pos(), "time.%s in deterministic package %s; wall-clock reads break replay determinism", fn.Name(), pass.Pkg.Path())
+					pass.Reportf(call.Pos(), "time.%s in %s %s; wall-clock reads break replay determinism", fn.Name(), scope, pass.Pkg.Path())
 				}
 			case "math/rand", "math/rand/v2":
 				sig := fn.Signature()
@@ -51,7 +62,7 @@ func runNoWallClock(pass *Pass) error {
 					return true // methods on an explicitly seeded *Rand are fine
 				}
 				if !rngConstructors[fn.Name()] {
-					pass.Reportf(call.Pos(), "global rand.%s in deterministic package %s; use an explicitly seeded source derived from the cell seed", fn.Name(), pass.Pkg.Path())
+					pass.Reportf(call.Pos(), "global rand.%s in %s %s; use an explicitly seeded source derived from the cell seed", fn.Name(), scope, pass.Pkg.Path())
 				}
 			}
 			return true

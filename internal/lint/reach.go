@@ -94,12 +94,35 @@ var deterministicPackages = map[string]bool{
 // packages under the determinism contract: an "internal/" path whose
 // final element is in deterministicPackages.
 func isDeterministicPkg(path string) bool {
+	return internalPkgIn(path, deterministicPackages)
+}
+
+// wallClockPackages extends ONLY the nowallclock scope beyond the
+// deterministic set. The fleet coordinator is deliberately not a
+// deterministic package — its Summary carries wall-clock durations and
+// its digests come from the daemons, so nofloat/detmap/seedflow have
+// nothing to enforce there — but its retry, backoff, and steal decisions
+// must never read the wall clock directly: all time flows through the
+// injected fleet.Clock, so tests can drive schedules deterministically.
+var wallClockPackages = map[string]bool{
+	"fleet": true,
+}
+
+// isWallClockPkg reports whether nowallclock covers the import path: the
+// deterministic packages plus the wallClockPackages extension.
+func isWallClockPkg(path string) bool {
+	return isDeterministicPkg(path) || internalPkgIn(path, wallClockPackages)
+}
+
+// internalPkgIn reports whether path is an "internal/" import path whose
+// final element is in the given set.
+func internalPkgIn(path string, set map[string]bool) bool {
 	i := strings.LastIndex(path, "internal/")
 	if i < 0 {
 		return false
 	}
 	rest := path[i+len("internal/"):]
-	return deterministicPackages[rest]
+	return set[rest]
 }
 
 // calleeOf resolves a call expression to the invoked function or method,

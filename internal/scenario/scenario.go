@@ -62,6 +62,20 @@ type Bound struct {
 	Sigma int    `json:"sigma"`
 }
 
+// Shard restricts a scenario to the contiguous cell-index range
+// [Offset, Offset+Count) of its sweep grid's row-major expansion (the
+// global ordering contract — see harness.Cell.Index). A sharded scenario
+// is the unit the distribution tier dispatches: it is a complete,
+// self-describing scenario file (canonical marshal includes the shard,
+// so every shard of a grid has its own distinct digest and is cached
+// independently), and its cells execute with their global indices, so
+// the records of disjoint shards reassemble by index into exactly the
+// record set — and results digest — of the unsharded scenario.
+type Shard struct {
+	Offset int `json:"offset"`
+	Count  int `json:"count"`
+}
+
 // Scenario is a declarative description of a simulation workload. Every
 // axis is a list; a scenario whose axes all have one point compiles to a
 // single sim.Spec, anything larger lifts to a harness.Sweep (the cartesian
@@ -99,6 +113,10 @@ type Scenario struct {
 	// freshly built and bound to the cell's topology and seed. Empty means
 	// loss-free — byte-identical to the pre-fault behaviour.
 	Faults []Component
+	// Shard, when set, restricts execution to a contiguous cell-index
+	// range of the grid (see Shard). Nil means the whole grid; scenarios
+	// without a shard marshal byte-identically to the pre-shard schema.
+	Shard *Shard
 
 	validated bool
 }
@@ -129,6 +147,7 @@ type scenarioJSON struct {
 	Metrics     json.RawMessage `json:"metrics,omitempty"`
 	Fault       json.RawMessage `json:"fault,omitempty"`
 	Faults      json.RawMessage `json:"faults,omitempty"`
+	Shard       *Shard          `json:"shard,omitempty"`
 }
 
 // Parse decodes and validates a scenario from JSON bytes.
@@ -139,7 +158,7 @@ func Parse(data []byte) (*Scenario, error) {
 	if err := dec.Decode(&w); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	sc := &Scenario{Name: w.Name, Doc: w.Doc, Verify: w.Verify}
+	sc := &Scenario{Name: w.Name, Doc: w.Doc, Verify: w.Verify, Shard: w.Shard}
 	var err error
 	if sc.Topologies, err = axisList[Component]("topology", w.Topology, w.Topologies); err != nil {
 		return nil, err
@@ -237,7 +256,7 @@ func (sc *Scenario) Marshal() ([]byte, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	w := scenarioJSON{Name: sc.Name, Doc: sc.Doc, Verify: sc.Verify}
+	w := scenarioJSON{Name: sc.Name, Doc: sc.Doc, Verify: sc.Verify, Shard: sc.Shard}
 	var err error
 	if w.Topology, w.Topologies, err = axisJSON(sc.Topologies); err != nil {
 		return nil, err
@@ -498,8 +517,77 @@ func (sc *Scenario) Validate() error {
 		seenBounds[b] = true
 	}
 
+	// A shard must name a non-empty range inside the grid; validating it
+	// here means a sharded scenario file is rejected at load time when
+	// its range cannot exist, not when a remote daemon tries to run it.
+	if sh := sc.Shard; sh != nil {
+		if sh.Offset < 0 || sh.Count < 1 {
+			return fmt.Errorf("scenario: shard needs offset ≥ 0 and count ≥ 1, got [%d,+%d)", sh.Offset, sh.Count)
+		}
+		if total := sc.gridSize(); sh.Offset+sh.Count > total {
+			return fmt.Errorf("scenario: shard [%d,%d) exceeds the %d-cell grid", sh.Offset, sh.Offset+sh.Count, total)
+		}
+	}
+
 	sc.validated = true
 	return nil
+}
+
+// gridSize computes the row-major grid size from the axis lengths;
+// optional axes count as one point (the harness expands them the same
+// way). Callers must have materialized defaulted axes (Validate does).
+func (sc *Scenario) gridSize() int {
+	dim := func(n int) int {
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+	return dim(len(sc.Topologies)) * dim(len(sc.Protocols)) * dim(len(sc.Adversaries)) *
+		dim(len(sc.Bounds)) * dim(len(sc.Bandwidths)) * dim(len(sc.Faults)) *
+		dim(len(sc.Seeds)) * dim(len(sc.Rounds))
+}
+
+// GridSize returns the number of cells in the scenario's sweep grid —
+// the size of the row-major expansion Sweep executes. The shard does not
+// change it: a shard restricts which cells run, never the grid they are
+// indexed against.
+func (sc *Scenario) GridSize() (int, error) {
+	if err := sc.Validate(); err != nil {
+		return 0, err
+	}
+	return sc.gridSize(), nil
+}
+
+// Slice returns a copy of the scenario restricted to the cell-index
+// range [offset, offset+count) — the sub-scenario a coordinator
+// dispatches as one shard. The copy is a complete scenario: it marshals
+// canonically (so Marshal∘Load stays a fixed point and its digest is
+// distinct from the parent's and from every other shard's), and running
+// it executes exactly the named cells with their global indices.
+// Slicing an already-sharded scenario is an error: shard ranges index
+// the full grid, so nesting would silently re-base them.
+func (sc *Scenario) Slice(offset, count int) (*Scenario, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Shard != nil {
+		return nil, fmt.Errorf("scenario: %s is already sharded (%+v); slice the unsharded parent", sc.label(), *sc.Shard)
+	}
+	// The copy shares the parent's materialized axes, which the Validate
+	// above has already normalized, so only the shard range needs
+	// checking here. Skipping the full re-validation is also what makes
+	// Slice safe to call concurrently: Validate materializes defaults
+	// into the shared parameter maps.
+	if offset < 0 || count < 1 {
+		return nil, fmt.Errorf("scenario: shard needs offset ≥ 0 and count ≥ 1, got [%d,+%d)", offset, count)
+	}
+	if total := sc.gridSize(); offset+count > total {
+		return nil, fmt.Errorf("scenario: shard [%d,%d) exceeds the %d-cell grid", offset, offset+count, total)
+	}
+	out := *sc
+	out.Shard = &Shard{Offset: offset, Count: count}
+	return &out, nil
 }
 
 // normalize resolves a component's raw params against its schema and
@@ -553,9 +641,12 @@ func (sc *Scenario) selfHosting() (bool, error) {
 }
 
 // IsSingle reports whether every axis has at most one point, i.e. the
-// scenario describes one run rather than a sweep grid.
+// scenario describes one run rather than a sweep grid. A sharded
+// scenario is never single: it names part of a grid and always executes
+// through the sweep path, where cell indices stay global.
 func (sc *Scenario) IsSingle() bool {
-	return len(sc.Topologies) <= 1 && len(sc.Protocols) <= 1 && len(sc.Adversaries) <= 1 &&
+	return sc.Shard == nil &&
+		len(sc.Topologies) <= 1 && len(sc.Protocols) <= 1 && len(sc.Adversaries) <= 1 &&
 		len(sc.Bounds) <= 1 && len(sc.Rounds) <= 1 && len(sc.Bandwidths) <= 1 && len(sc.Seeds) <= 1 &&
 		len(sc.Faults) <= 1
 }
@@ -618,7 +709,7 @@ func (sc *Scenario) CompileSingle() (*Single, error) {
 		return nil, err
 	}
 	if !sc.IsSingle() {
-		return nil, fmt.Errorf("scenario: %s has list-valued axes; compile it with Sweep", sc.label())
+		return nil, fmt.Errorf("scenario: %s describes a grid (list-valued axes or a shard); compile it with Sweep", sc.label())
 	}
 
 	bound, err := sc.bound(0)
@@ -820,6 +911,10 @@ func (sc *Scenario) Sweep() (*harness.Sweep, error) {
 		Bandwidths:      sc.Bandwidths,
 		RawSeeds:        true,
 		VerifyAdversary: sc.Verify,
+	}
+	if sc.Shard != nil {
+		sw.ShardOffset = sc.Shard.Offset
+		sw.ShardCount = sc.Shard.Count
 	}
 	for i := range sc.Bounds {
 		b, err := sc.bound(i)

@@ -6,15 +6,24 @@
 //
 // # Endpoints
 //
-//	POST /v1/runs              submit a scenario (JSON body); waits and
-//	                           returns the full report, or ?wait=0 for 202
-//	GET  /v1/runs              list known runs
-//	GET  /v1/runs/{id}         report for one run (status + cells so far)
-//	GET  /v1/runs/{id}/stream  per-cell results as NDJSON (or SSE with
-//	                           Accept: text/event-stream), then a summary
-//	GET  /v1/registry          the component catalog with param schemas
-//	GET  /healthz              liveness
-//	GET  /metrics              Prometheus text exposition
+//	POST   /v1/runs              submit a scenario (JSON body); waits and
+//	                             returns the full report, or ?wait=0 for 202
+//	GET    /v1/runs              list known runs
+//	GET    /v1/runs/{id}         report for one run (status + cells so far)
+//	DELETE /v1/runs/{id}         cancel a run; streams then end with a
+//	                             "cancelled" summary (idempotent)
+//	GET    /v1/runs/{id}/stream  per-cell results as NDJSON (or SSE with
+//	                             Accept: text/event-stream), then a summary
+//	GET    /v1/registry          the component catalog with param schemas
+//	GET    /healthz              liveness
+//	GET    /readyz               readiness: 503 with retryable JSON while
+//	                             draining or the submit queue is full
+//	GET    /metrics              Prometheus text exposition
+//
+// Error responses are structured JSON ({"error": ..., "retryable":
+// true?}); transient rejections (submit-queue saturation, drain) carry
+// retryable=true and a Retry-After header so a fleet coordinator can
+// distinguish back-off from fail-over.
 //
 // # Execution model
 //
@@ -42,6 +51,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -237,6 +247,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	closed   bool
+	draining int // Drain calls in flight; > 0 refuses new submissions
 	seq      int
 	runs     map[string]*run // by id; entries live exactly as long as their cache entry
 	byDigest map[string]*run // in-flight and cleanly-finished runs, by scenario digest
@@ -269,9 +280,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -285,8 +298,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Drain waits until every accepted run has finished, or ctx expires.
 // Call it after the HTTP listener stops accepting (graceful shutdown):
-// in-flight work completes, nothing new arrives.
+// in-flight work completes, nothing new arrives. While a Drain is in
+// flight the server also refuses new submissions itself (503 with
+// retryable=true) and reports unready on /readyz, so a coordinator
+// holding an open connection backs off instead of queueing doomed work;
+// once the drain returns the gate lifts, which matters only to callers
+// using Drain as a quiesce barrier rather than for shutdown.
 func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.draining--
+		s.mu.Unlock()
+	}()
 	done := make(chan struct{})
 	go func() {
 		s.inRuns.Wait()
@@ -459,9 +485,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	// Fast path: the digest alone decides cache hits and in-flight
 	// joins — no grid expansion for repeated workloads.
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, errors.New("service shutting down"))
+	if s.rejectUnavailableLocked(w) {
 		return
 	}
 	if s.serveExistingLocked(w, req, digest, wait) {
@@ -477,16 +501,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	sw.Workers = s.cfg.SweepWorkers
-	cells, err := sw.Cells()
+	// CellsToRun honours a scenario shard: a sharded submission executes
+	// (and is billed for) exactly its index range, with global indices.
+	cells, err := sw.CellsToRun()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, errors.New("service shutting down"))
+	if s.rejectUnavailableLocked(w) {
 		return
 	}
 	// Re-check: an identical submission may have landed while the sweep
@@ -525,7 +549,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		// digest reservation, and keeps every counter monotonic.
 		r.cancel()
 		s.finish(r, fmt.Errorf("queue full (%d runs waiting): %w", s.cfg.QueueDepth, context.Canceled))
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("queue full (%d runs waiting)", s.cfg.QueueDepth))
+		writeRetryable(w, http.StatusServiceUnavailable, retryAfterSeconds,
+			fmt.Errorf("queue full (%d runs waiting)", s.cfg.QueueDepth))
 		return
 	}
 	s.respondJoined(w, req, r, wait)
@@ -608,6 +633,29 @@ func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, r.report(true))
+}
+
+// handleCancel cancels a run by id: its streams drain the cells already
+// executed and then end with a "cancelled" summary, and its digest is
+// released for clean re-submission. Idempotent — cancelling a finished
+// run reports its sealed state. This is the fleet coordinator's
+// work-stealing primitive: cancel the victim shard, keep the cells it
+// streamed, re-dispatch the uncovered remainder elsewhere.
+func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", req.PathValue("id")))
+		return
+	}
+	r.mu.Lock()
+	finished := r.finished
+	r.mu.Unlock()
+	if finished {
+		writeJSON(w, http.StatusOK, r.report(false))
+		return
+	}
+	r.cancel()
+	writeJSON(w, http.StatusAccepted, r.report(false))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -723,6 +771,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReadyz is readiness, distinct from /healthz liveness: a live
+// daemon that is draining, closed, or has a saturated submit queue
+// answers 503 with a retryable body here, telling a coordinator to back
+// off or route new shards elsewhere while the process itself stays up.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	closed, draining := s.closed, s.draining > 0
+	s.mu.Unlock()
+	switch {
+	case closed:
+		writeError(w, http.StatusServiceUnavailable, errors.New("not ready: service shutting down"))
+	case draining:
+		writeRetryable(w, http.StatusServiceUnavailable, retryAfterSeconds, errors.New("not ready: draining"))
+	case len(s.queue) >= s.cfg.QueueDepth:
+		writeRetryable(w, http.StatusServiceUnavailable, retryAfterSeconds, errors.New("not ready: submit queue full"))
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ready",
+			"queue_depth":    len(s.queue),
+			"queue_capacity": s.cfg.QueueDepth,
+		})
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	snap := snapshot{
@@ -745,6 +817,47 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// apiError is the wire form of every error response. Retryable marks
+// transient conditions — submit-queue saturation, drain — where the
+// right client move is back-off-and-retry rather than fail-over; it is
+// absent (not false) on permanent errors so their bytes are unchanged
+// from the pre-fleet schema.
+type apiError struct {
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+// retryAfterSeconds is the Retry-After hint on transient rejections:
+// long enough for a queue slot or drain step to make progress, short
+// enough that a backing-off coordinator stays responsive.
+const retryAfterSeconds = 1
+
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// writeRetryable reports a transient rejection: structured JSON with
+// retryable=true plus a Retry-After header hint in seconds.
+func writeRetryable(w http.ResponseWriter, code, retryAfter int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeJSON(w, code, apiError{Error: err.Error(), Retryable: true})
+}
+
+// rejectUnavailableLocked answers submissions the lifecycle can no
+// longer accept: a hard close is permanent, a drain is retryable. Must
+// be entered holding s.mu; returns true with s.mu released when the
+// request was rejected, false with s.mu still held.
+func (s *Server) rejectUnavailableLocked(w http.ResponseWriter) bool {
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errors.New("service shutting down"))
+		return true
+	case s.draining > 0:
+		s.mu.Unlock()
+		writeRetryable(w, http.StatusServiceUnavailable, retryAfterSeconds,
+			errors.New("service draining: not accepting new runs"))
+		return true
+	}
+	return false
 }

@@ -87,6 +87,7 @@ import (
 	"smallbuffers/internal/core"
 	"smallbuffers/internal/experiments"
 	"smallbuffers/internal/faults"
+	"smallbuffers/internal/fleet"
 	"smallbuffers/internal/harness"
 	"smallbuffers/internal/local"
 	"smallbuffers/internal/lowerbound"
@@ -766,6 +767,61 @@ func Catalog() RegistryCatalog { return registry.Catalog() }
 // index. Identical scenarios produce identical digests locally and
 // behind the service tier, at any worker count.
 func SweepResultsDigest(recs []SweepCellRecord) string { return harness.RecordsDigest(recs) }
+
+// --- Distributed sweeps (fleet coordination) ---
+//
+// The fleet tier splits one scenario's sweep grid into deterministic
+// index-range shards, dispatches them across a fleet of Servers
+// (aqtserve daemons), and merges the streamed cells back into exactly
+// the record set — and results digest — of a local run. cmd/aqtctl is
+// the ready-made CLI around it.
+
+type (
+	// FleetConfig names the daemons and shapes sharding, retry backoff,
+	// and work stealing; only Endpoints is required.
+	FleetConfig = fleet.Config
+	// FleetResult is a completed fleet run: every cell record in global
+	// index order plus the fleet summary.
+	FleetResult = fleet.Result
+	// FleetSummary reports merged counters, grid-wide metric summaries,
+	// and the distribution story (cells per daemon, retries, steals,
+	// wall-clock vs. ideal).
+	FleetSummary = fleet.Summary
+	// FleetDaemonStats is one daemon's share of a fleet run.
+	FleetDaemonStats = fleet.DaemonStats
+	// FleetClock injects time into the coordinator's backoff, keeping
+	// retry schedules testable; simulation results never depend on it.
+	FleetClock = fleet.Clock
+	// CellIndexRange is a half-open range of global sweep cell indices —
+	// the fleet's unit of work.
+	CellIndexRange = harness.IndexRange
+	// ScenarioShard restricts a scenario to an index range of its grid
+	// while keeping global cell indices (see Scenario.Slice).
+	ScenarioShard = scenario.Shard
+)
+
+// RunFleet executes sc's whole grid across the configured daemons and
+// returns the merged records: complete and exactly-once, or an error —
+// never a partial result.
+func RunFleet(ctx context.Context, cfg FleetConfig, sc *Scenario) (*FleetResult, error) {
+	return fleet.Run(ctx, cfg, sc)
+}
+
+// VerifyFleetLocal re-runs sc in-process and errors unless its records
+// digest equals fleetDigest — the end-to-end reproducibility gate.
+func VerifyFleetLocal(ctx context.Context, sc *Scenario, fleetDigest string) error {
+	return fleet.VerifyLocal(ctx, sc, fleetDigest)
+}
+
+// FleetSystemClock is the real-time FleetClock used outside tests.
+func FleetSystemClock() FleetClock { return fleet.SystemClock() }
+
+// PartitionSweepCells splits the index space [0, total) into at most
+// shards contiguous ranges covering it exactly, sizes within one of each
+// other — the fleet's initial shard plan.
+func PartitionSweepCells(total, shards int) []CellIndexRange {
+	return harness.PartitionCells(total, shards)
+}
 
 // --- Component registry (extension hooks) ---
 //
