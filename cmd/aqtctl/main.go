@@ -8,9 +8,16 @@
 //	       -scenario testdata/scenarios/e1-pts-burst.json
 //	aqtctl -fleet @fleet.txt -scenario sweep.json -verify-local
 //	aqtctl -fleet @fleet.txt -scenario sweep.json -result-digest
+//	aqtctl -fleet @fleet.txt -live -interval 2s
 //
 // A fleet file (@path) lists one endpoint per line; blank lines and
 // #-comments are ignored.
+//
+// -live turns aqtctl into a fleet monitor instead of a dispatcher: it
+// polls every daemon's /v1/runs/{id}/live views and prints one merged
+// progress/occupancy report per tick (strictly observational — watching
+// never perturbs execution or results digests). -once prints a single
+// snapshot and exits.
 //
 // Failure semantics: a shard whose daemon dies mid-stream is discarded
 // wholesale and re-dispatched to a healthy daemon (capped exponential
@@ -25,6 +32,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -57,6 +65,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	backoff := fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per consecutive failure)")
 	backoffMax := fs.Duration("backoff-max", 2*time.Second, "retry backoff cap")
 	minSteal := fs.Int("min-steal", 4, "smallest shard piece work stealing may create")
+	liveMode := fs.Bool("live", false, "monitor the fleet's in-flight runs instead of dispatching a sweep")
+	interval := fs.Duration("interval", time.Second, "poll interval for -live")
+	once := fs.Bool("once", false, "with -live, print one snapshot and exit")
 	verifyLocal := fs.Bool("verify-local", false, "re-run the scenario in-process and fail on digest divergence")
 	digestOnly := fs.Bool("result-digest", false, "print only the merged results digest")
 	asJSON := fs.Bool("json", false, "print the fleet summary as JSON")
@@ -68,13 +79,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *fleetArg == "" {
 		return fmt.Errorf("-fleet is required")
 	}
-	if *scenarioPath == "" {
+	if *liveMode {
+		if *scenarioPath != "" {
+			return fmt.Errorf("-live monitors runs already in flight; it does not take -scenario")
+		}
+	} else if *scenarioPath == "" {
 		return fmt.Errorf("-scenario is required")
 	}
 
 	endpoints, err := parseFleet(*fleetArg)
 	if err != nil {
 		return err
+	}
+	if *liveMode {
+		return runLive(ctx, sb.FleetConfig{Endpoints: endpoints}, *interval, *once, stdout)
 	}
 	sc, err := sb.LoadScenarioFile(*scenarioPath)
 	if err != nil {
@@ -133,6 +151,50 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return enc.Encode(res.Summary)
 	}
 	return printSummary(w, sc.Name, res.Summary)
+}
+
+// runLive polls the fleet's live views and prints one merged report per
+// tick until interrupted (or after a single tick with -once).
+func runLive(ctx context.Context, cfg sb.FleetConfig, interval time.Duration, once bool, w io.Writer) error {
+	err := sb.FleetLiveWatch(ctx, cfg, interval, func(snap *sb.FleetLiveView) bool {
+		printLive(w, snap)
+		return !once
+	})
+	if errors.Is(err, context.Canceled) {
+		return nil // interrupted by the user; the last snapshot already printed
+	}
+	return err
+}
+
+// printLive renders one fleet-wide live snapshot: aggregate progress,
+// then each daemon's in-flight runs, then the merged windowed metrics.
+func printLive(w io.Writer, snap *sb.FleetLiveView) {
+	fmt.Fprintf(w, "fleet      %d runs in flight, cells %d/%d (%d‰), %d executing, %d.%03d cells/s\n",
+		snap.RunsInFlight, snap.CellsDone, snap.CellsTotal, snap.Progress(),
+		snap.CellsInFlight, snap.CellsPerSecMillis/1000, snap.CellsPerSecMillis%1000)
+	for _, d := range snap.Daemons {
+		switch {
+		case d.Err != "":
+			fmt.Fprintf(w, "  %-24s UNREACHABLE: %s\n", d.Endpoint, d.Err)
+		case len(d.Runs) == 0:
+			fmt.Fprintf(w, "  %-24s idle\n", d.Endpoint)
+		default:
+			for _, r := range d.Runs {
+				eta := ""
+				if r.ETAMillis > 0 {
+					eta = fmt.Sprintf(", eta %v", (time.Duration(r.ETAMillis) * time.Millisecond).Round(time.Millisecond))
+				}
+				fmt.Fprintf(w, "  %-24s %s %s cells %d/%d (%d‰)%s\n",
+					d.Endpoint, r.ID, r.Status, r.CellsDone, r.CellsTotal, r.Progress(), eta)
+			}
+		}
+	}
+	for _, s := range snap.Metrics {
+		if line := s.ScalarLine(); line != "" {
+			fmt.Fprintf(w, "  metric %-18s %s\n", s.Name+":", line)
+		}
+	}
+	fmt.Fprintln(w, "---")
 }
 
 // parseFleet expands the -fleet operand into an endpoint list.

@@ -123,4 +123,30 @@ func TestAqtctlFlagErrors(t *testing.T) {
 	if err := run(context.Background(), []string{"-fleet", "a:1"}, &out, &out); err == nil {
 		t.Error("missing -scenario accepted")
 	}
+	if err := run(context.Background(), []string{"-fleet", "a:1", "-live", "-scenario", "x.json"}, &out, &out); err == nil {
+		t.Error("-live with -scenario accepted")
+	}
+}
+
+// TestAqtctlLiveOnce exercises the monitor mode against an idle fleet:
+// one snapshot, every daemon shown, and a clean exit.
+func TestAqtctlLiveOnce(t *testing.T) {
+	addrs := startDaemons(t, 2)
+	var stdout, stderr bytes.Buffer
+	args := []string{"-fleet", strings.Join(addrs, ","), "-live", "-once"}
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("aqtctl -live -once: %v\nstderr:\n%s", err, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "0 runs in flight") {
+		t.Errorf("missing fleet line:\n%s", out)
+	}
+	for _, a := range addrs {
+		if !strings.Contains(out, a) {
+			t.Errorf("daemon %s missing from snapshot:\n%s", a, out)
+		}
+	}
+	if !strings.Contains(out, "idle") {
+		t.Errorf("idle daemons not marked idle:\n%s", out)
+	}
 }

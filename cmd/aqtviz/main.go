@@ -9,10 +9,17 @@
 //	aqtviz -demo -n 64 -rounds 600  # heatmap of PPTS under burst traffic
 //	aqtviz -demo -scenario testdata/scenarios/e1-pts-burst.json
 //	aqtviz -demo -scenario -        # scenario from stdin
+//	aqtviz -serve :8080 -run http://localhost:9000/v1/runs/r-000001
+//	aqtviz -serve :8080 -fleet localhost:9000,localhost:9001
 //
 // With -scenario the demo drives off the same declarative specs as
 // aqtsim and aqtbench: any one-point scenario file renders as a heatmap
 // plus a max-load sparkline.
+//
+// With -serve, aqtviz becomes a web dashboard over the live observation
+// tier: it watches one run (-run, with SSE cell tailing) or a whole
+// fleet (-fleet) and renders progress bars, windowed occupancy
+// sparklines, histograms, and per-daemon status — see serve.go.
 package main
 
 import (
@@ -48,8 +55,31 @@ func run(ctx context.Context, args []string) error {
 	d := fs.Int("d", 8, "demo destination count")
 	rounds := fs.Int("rounds", 600, "demo rounds")
 	bandwidth := fs.Int("bandwidth", 1, "demo uniform link bandwidth B ≥ 1")
+	serveAddr := fs.String("serve", "", "serve the live web dashboard on this address (e.g. :8080)")
+	runURL := fs.String("run", "", "with -serve: run URL to watch (http://host:port/v1/runs/<id>)")
+	fleetArg := fs.String("fleet", "", "with -serve: comma-separated aqtserve endpoints, or @file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *serveAddr != "" {
+		// The dashboard watches remote runs; the local figure/demo knobs
+		// have no meaning there, so reject the mix.
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "serve", "run", "fleet":
+			default:
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-serve watches remote runs; drop the conflicting %s", strings.Join(conflict, ", "))
+		}
+		return runServe(ctx, *serveAddr, *runURL, *fleetArg, os.Stdout)
+	}
+	if *runURL != "" || *fleetArg != "" {
+		return fmt.Errorf("-run and -fleet only apply with -serve")
 	}
 
 	if *scenarioPath != "" {

@@ -23,39 +23,17 @@
 // covers this package), so tests drive backoff deterministically.
 package fleet
 
-import (
-	"context"
-	"time"
-)
+import "smallbuffers/internal/live"
 
 // Clock abstracts the coordinator's only uses of wall time: stamping the
 // fleet summary and sleeping for backoff. Injecting it keeps retry
 // schedules testable and keeps time.Now out of digest-adjacent code.
-type Clock interface {
-	// Now returns the current time. Used only for elapsed-time summary
-	// fields, never for anything that reaches simulation results.
-	Now() time.Time
-	// Sleep blocks for d or until ctx is cancelled, returning ctx.Err()
-	// in the latter case.
-	Sleep(ctx context.Context, d time.Duration) error
-}
+// The canonical definition lives in internal/live (the observation tier
+// shares it and sits below both fleet and service in the import graph);
+// the alias keeps every existing fleet.Clock caller source-compatible.
+type Clock = live.Clock
 
-// SystemClock returns the real-time Clock used outside tests.
-func SystemClock() Clock { return systemClock{} }
-
-type systemClock struct{}
-
-func (systemClock) Now() time.Time {
-	return time.Now() //aqtlint:allow nowallclock -- the one sanctioned wall-clock read; everything else injects Clock
-}
-
-func (systemClock) Sleep(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
+// SystemClock returns the real-time Clock used outside tests. It is
+// internal/live's system clock — the repository's one sanctioned
+// wall-clock read.
+func SystemClock() Clock { return live.SystemClock() }

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"smallbuffers/internal/service"
+)
+
+// slowWindowScenario is a sweep slow enough to observe in flight, with
+// the windowed collectors selected.
+const slowWindowScenario = `{
+	"name": "live-window",
+	"topology": {"name": "path", "params": {"n": 16}},
+	"protocol": {"name": "fleet-slow-fifo", "params": {"delay_us": 2000}},
+	"adversary": {"name": "random", "params": {"d": 2}},
+	"bound": {"rho": "1/2", "sigma": 2},
+	"rounds": 60,
+	"seeds": [1, 2, 3, 4, 5, 6],
+	"metrics": [
+		{"name": "window_load", "params": {"window": 16}},
+		{"name": "goodput_window", "params": {"window": 16}}
+	]
+}`
+
+func TestFleetLiveSnapshotMergesInFlightRuns(t *testing.T) {
+	d1 := newDaemon(t, service.Config{Workers: 1, SweepWorkers: 2})
+	d2 := newDaemon(t, service.Config{Workers: 1, SweepWorkers: 2})
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	cfg := Config{Endpoints: []string{
+		d1.addr(), d2.addr(), strings.TrimPrefix(dead.URL, "http://"),
+	}}
+
+	// Distinct scenarios so the two daemons each run their own sweep.
+	for i, d := range []*daemon{d1, d2} {
+		body := strings.Replace(slowWindowScenario, `"live-window"`, `"live-window-`+string(rune('a'+i))+`"`, 1)
+		resp, err := http.Post(d.ts.URL+"/v1/runs?wait=0", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit to daemon %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	ctx := context.Background()
+	deadline := time.Now().Add(30 * time.Second)
+	var snap *FleetLive
+	for {
+		var err error
+		snap, err = LiveSnapshot(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := mergedMetric(snap, "window_load"); ok && snap.RunsInFlight == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no merged in-flight snapshot before deadline; last %+v", snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(snap.Daemons) != 3 {
+		t.Fatalf("daemons = %d", len(snap.Daemons))
+	}
+	if snap.Daemons[2].Err == "" {
+		t.Error("dead daemon's error not recorded")
+	}
+	// 6 seeds per daemon's sweep, two daemons.
+	if snap.CellsTotal != 12 {
+		t.Errorf("cells_total = %d, want 12", snap.CellsTotal)
+	}
+	if p := snap.Progress(); p < 0 || p > 1000 {
+		t.Errorf("progress = %d", p)
+	}
+	gw, ok := mergedMetric(snap, "goodput_window")
+	if !ok || gw.Scalars["window"] != 16 {
+		t.Errorf("merged goodput_window %+v", gw)
+	}
+
+	// Once both runs finish, nothing is in flight and the aggregate is
+	// empty again.
+	waitIdle(t, cfg)
+}
+
+func mergedMetric(snap *FleetLive, name string) (s struct {
+	Scalars map[string]int
+}, ok bool) {
+	for _, m := range snap.Metrics {
+		if m.Name == name {
+			return struct{ Scalars map[string]int }{m.Scalars}, true
+		}
+	}
+	return s, false
+}
+
+func waitIdle(t *testing.T, cfg Config) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap, err := LiveSnapshot(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.RunsInFlight == 0 {
+			if len(snap.Metrics) != 0 || snap.CellsTotal != 0 {
+				t.Fatalf("idle snapshot still aggregates: %+v", snap)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("runs never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestLiveWatchPacedByClock pins that the poll loop draws its pacing
+// from the injected Clock (nowallclock's contract for this package).
+func TestLiveWatchPacedByClock(t *testing.T) {
+	d := newDaemon(t, service.Config{})
+	clk := &fakeClock{}
+	cfg := Config{Endpoints: []string{d.addr()}, Clock: clk}
+	polls := 0
+	err := LiveWatch(context.Background(), cfg, time.Second, func(*FleetLive) bool {
+		polls++
+		return polls < 3
+	})
+	if err != nil || polls != 3 {
+		t.Fatalf("polls=%d err=%v", polls, err)
+	}
+	if got := clk.Now().Sub(time.Time{}); got != 2*time.Second {
+		t.Fatalf("clock advanced %v, want 2s of injected sleeps", got)
+	}
+}

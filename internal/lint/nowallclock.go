@@ -7,16 +7,19 @@ import (
 // NoWallClock forbids wall-clock reads and the global math/rand source in
 // the deterministic packages (internal/{sim,faults,harness,metrics,
 // scenario,registry,adversary,core,buffer,rat}) and, beyond them, in
-// internal/fleet (wallClockPackages): the coordinator's retry, backoff,
-// and steal logic must draw all time from the injected fleet.Clock so
-// failure schedules replay deterministically under test. Wall-clock
+// internal/fleet and internal/live (wallClockPackages): the
+// coordinator's retry, backoff, and steal logic and the live tier's
+// snapshot timestamps and poll pacing must draw all time from the
+// injected live.Clock (fleet.Clock is its alias) so schedules replay
+// deterministically under test. The single sanctioned time.Now lives in
+// live.SystemClock behind an explicit allow directive. Wall-clock
 // values and process-global RNG state are exactly the inputs that vary
 // across runs, machines, and worker counts — nothing on a simulation,
 // digest, wire-record, or scheduling-decision path may observe them.
 // Service and CLI layers are outside the contract and free to use both.
 var NoWallClock = &Analyzer{
 	Name: "nowallclock",
-	Doc:  "no time.Now/time.Since or global math/rand in deterministic packages or internal/fleet",
+	Doc:  "no time.Now/time.Since or global math/rand in deterministic packages or internal/{fleet,live}",
 	Run:  runNoWallClock,
 }
 
@@ -34,8 +37,8 @@ func runNoWallClock(pass *Pass) error {
 	}
 	// Wording tracks why the package is in scope: the deterministic
 	// packages carry the full replay contract; the wallClockPackages
-	// extension (fleet) is in scope because its scheduling must flow
-	// through an injected clock.
+	// extension (fleet, live) is in scope because its scheduling and
+	// snapshot timestamps must flow through an injected clock.
 	scope := "deterministic package"
 	if !isDeterministicPkg(pass.Pkg.Path()) {
 		scope = "clock-injected package"

@@ -98,14 +98,18 @@ func isDeterministicPkg(path string) bool {
 }
 
 // wallClockPackages extends ONLY the nowallclock scope beyond the
-// deterministic set. The fleet coordinator is deliberately not a
-// deterministic package — its Summary carries wall-clock durations and
-// its digests come from the daemons, so nofloat/detmap/seedflow have
-// nothing to enforce there — but its retry, backoff, and steal decisions
+// deterministic set. The fleet coordinator and the live observation
+// tier are deliberately not deterministic packages — their views carry
+// wall-clock durations and their digests come from the daemons, so
+// nofloat/detmap/seedflow have nothing to enforce there — but their
+// retry, backoff, steal, snapshot-timestamp, and poll-pacing decisions
 // must never read the wall clock directly: all time flows through the
-// injected fleet.Clock, so tests can drive schedules deterministically.
+// injected live.Clock (fleet.Clock is its alias), so tests can drive
+// schedules deterministically. internal/live carries the one sanctioned
+// time.Now, behind an explicit allow directive in SystemClock.
 var wallClockPackages = map[string]bool{
 	"fleet": true,
+	"live":  true,
 }
 
 // isWallClockPkg reports whether nowallclock covers the import path: the

@@ -1,0 +1,43 @@
+// Package live sits at the second nowallclock-extension import path
+// (.../internal/live): the observation tier is NOT a deterministic
+// package (its views carry elapsed times and rates), but snapshot
+// timestamps and poll pacing must flow through the injected Clock, so
+// direct wall-clock reads and the global math/rand source are forbidden
+// all the same.
+package live
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Clock mirrors the real observation tier's injected clock.
+type Clock interface {
+	Now() time.Time
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// Stamp shows the forbidden shapes: a snapshot timestamping itself from
+// the wall clock or jittering its poll schedule off the global RNG.
+func Stamp(started time.Time) time.Duration {
+	now := time.Now()       // want "time.Now in clock-injected package"
+	_ = time.Since(started) // want "time.Since in clock-injected package"
+	jitter := rand.Intn(50) // want "global rand.Intn in clock-injected package"
+	_ = time.Until(now)     // want "time.Until in clock-injected package"
+	return time.Duration(jitter)
+}
+
+// Elapsed shows the legal shape: elapsed time computed from an injected
+// Clock's reads, and pacing through its Sleep.
+func Elapsed(ctx context.Context, c Clock, started time.Time) (time.Duration, error) {
+	d := c.Now().Sub(started)
+	return d, c.Sleep(ctx, time.Second)
+}
+
+// sanctioned mirrors live.SystemClock: the one legal wall-clock read,
+// behind a written allow directive with a reason.
+func sanctioned() time.Time {
+	//aqtlint:allow nowallclock -- fixture mirror of live.SystemClock, the one sanctioned wall-clock read
+	return time.Now()
+}

@@ -370,6 +370,22 @@ func seriesParams(p Params) (capPoints, tail int, err error) {
 	return capPoints, tail, nil
 }
 
+// windowSchema is the exact-window bound shared by the windowed
+// collectors. Like cap/tail it sizes an allocation from
+// network-supplied input, so it is capped at the same 2¹⁶ limit.
+var windowSchema = Schema{
+	{Name: "window", Kind: Int, Doc: "exact window length in rounds, 1..65536", Default: 64},
+}
+
+// windowParam validates the shared window bound.
+func windowParam(p Params) (int, error) {
+	win := p.Int("window")
+	if win < 1 || win > maxSeriesParam {
+		return 0, fmt.Errorf("window %d outside 1..%d", win, maxSeriesParam)
+	}
+	return win, nil
+}
+
 func registerMetrics() {
 	mustRegister(RegisterMetric(Metric{
 		Name: metrics.NameMaxLoad,
@@ -445,6 +461,38 @@ func registerMetrics() {
 		Doc:  "the packet ledger: delivered/dropped/in-flight counts that always sum to injected",
 		Build: func(Params) (metrics.Collector, error) {
 			return metrics.NewDelivery(), nil
+		},
+	}))
+	mustRegister(RegisterMetric(Metric{
+		Name: metrics.NameWindowLoad,
+		Doc:  "recent occupancy: exact last-N-round max/mean/p99 plus an exponentially decayed max of older rounds",
+		Params: append(append(Schema{}, windowSchema...), Param{
+			Name: "decay", Kind: Int,
+			Doc:     "per-round retention of the beyond-window decayed tail, in permille 0..1000",
+			Default: 990,
+		}),
+		Build: func(p Params) (metrics.Collector, error) {
+			win, err := windowParam(p)
+			if err != nil {
+				return nil, err
+			}
+			decay := p.Int("decay")
+			if decay < 0 || decay > 1000 {
+				return nil, fmt.Errorf("decay %d outside the permille range 0..1000", decay)
+			}
+			return metrics.NewWindowLoad(win, decay), nil
+		},
+	}))
+	mustRegister(RegisterMetric(Metric{
+		Name:   metrics.NameGoodputWindow,
+		Doc:    "recent delivered-versus-injected flow: exact last-N-round counts and windowed goodput/drop permille",
+		Params: windowSchema,
+		Build: func(p Params) (metrics.Collector, error) {
+			win, err := windowParam(p)
+			if err != nil {
+				return nil, err
+			}
+			return metrics.NewGoodputWindow(win), nil
 		},
 	}))
 	mustRegister(RegisterMetric(Metric{

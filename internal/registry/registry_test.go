@@ -32,8 +32,9 @@ func TestBuiltinCatalog(t *testing.T) {
 	if _, err := LookupInvariant("max-load"); err != nil {
 		t.Errorf("LookupInvariant(max-load): %v", err)
 	}
-	wantMetrics := []string{"delivery", "drop_rate", "goodput", "injection_concentration",
-		"latency", "link_util_series", "load_hist", "load_series", "max_load"}
+	wantMetrics := []string{"delivery", "drop_rate", "goodput", "goodput_window",
+		"injection_concentration", "latency", "link_util_series", "load_hist",
+		"load_series", "max_load", "window_load"}
 	if got := MetricNames(); strings.Join(got, ",") != strings.Join(wantMetrics, ",") {
 		t.Errorf("metrics = %v, want %v", got, wantMetrics)
 	}
@@ -221,5 +222,47 @@ func TestLowerboundPrepare(t *testing.T) {
 	}
 	if prep.Net == nil || prep.Adversary == nil || prep.Note == "" {
 		t.Error("incomplete Prepared")
+	}
+}
+
+// TestWindowParamsBounded pins that the windowed collectors' window and
+// decay params — network-supplied via aqtserve — are validated at build
+// time.
+func TestWindowParamsBounded(t *testing.T) {
+	m, err := LookupMetric("window_load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Params.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := m.Build(p); err != nil || c.Name() != "window_load" {
+		t.Fatalf("Build(window_load) = %v, %v", c, err)
+	}
+	for _, bad := range []map[string]any{
+		{"window": 1 << 30},
+		{"window": 0},
+		{"decay": 1001},
+		{"decay": -1},
+	} {
+		p, err := m.Params.Resolve(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Build(p); err == nil {
+			t.Errorf("Build accepted %v", bad)
+		}
+	}
+	gw, err := LookupMetric("goodput_window")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = gw.Params.Resolve(map[string]any{"window": 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Build(p); err == nil {
+		t.Error("goodput_window accepted a 2^20-round window")
 	}
 }

@@ -5,6 +5,9 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"smallbuffers/internal/live"
+	"smallbuffers/internal/metrics"
 )
 
 // promMetrics is the service's instrumentation: lock-free counters for
@@ -31,13 +34,14 @@ type promMetrics struct {
 }
 
 // snapshot carries the mutex-guarded gauges the server samples at scrape
-// time.
+// time, plus the live views of in-flight runs for the per-run gauges.
 type snapshot struct {
 	cacheEntries  int
 	cacheCost     int
 	cacheCapacity int
 	queueDepth    int
 	workers       int
+	live          []live.View
 }
 
 // write renders the metrics in Prometheus text exposition format.
@@ -79,4 +83,58 @@ func (m *promMetrics) write(w io.Writer, s snapshot) {
 	gauge("aqtserve_queue_depth", "Runs waiting for a worker.", float64(s.queueDepth))
 	gauge("aqtserve_workers", "Configured worker pool size.", float64(s.workers))
 	gauge("aqtserve_uptime_seconds", "Seconds since the service started.", uptime)
+	writeRunGauges(w, s.live)
+}
+
+// writeRunGauges renders the per-run gauges for in-flight runs: sweep
+// progress plus — when the run selected the windowed collectors — the
+// recent occupancy p99 and drop rate from the merge-as-you-go view.
+// Views arrive sorted by run id, so the exposition is stable scrape to
+// scrape.
+func writeRunGauges(w io.Writer, views []live.View) {
+	if len(views) == 0 {
+		return
+	}
+	header := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	perRun := func(name, help string, value func(live.View) (int, bool)) {
+		wrote := false
+		for _, v := range views {
+			val, ok := value(v)
+			if !ok {
+				continue
+			}
+			if !wrote {
+				header(name, help)
+				wrote = true
+			}
+			fmt.Fprintf(w, "%s{run=%q} %d\n", name, v.ID, val)
+		}
+	}
+	always := func(get func(live.View) int) func(live.View) (int, bool) {
+		return func(v live.View) (int, bool) { return get(v), true }
+	}
+	scalar := func(metric, key string) func(live.View) (int, bool) {
+		return func(v live.View) (int, bool) {
+			s, ok := v.MetricByName(metric)
+			if !ok {
+				return 0, false
+			}
+			val, ok := s.Scalars[key]
+			return val, ok
+		}
+	}
+	perRun("aqtserve_run_cells_in_flight", "Cells executing right now for this run.",
+		always(func(v live.View) int { return v.CellsInFlight }))
+	perRun("aqtserve_run_cells_done", "Cells completed so far for this run.",
+		always(func(v live.View) int { return v.CellsDone }))
+	perRun("aqtserve_run_cells_total", "Cells requested by this run.",
+		always(func(v live.View) int { return v.CellsTotal }))
+	perRun("aqtserve_run_window_occupancy_p99", "Recent-window occupancy p99 (window_load collector).",
+		scalar(metrics.NameWindowLoad, "window_p99"))
+	perRun("aqtserve_run_drop_rate_permille", "Packets dropped per mille of forwards so far (drop_rate collector).",
+		scalar(metrics.NameDropRate, "drop_permille"))
+	perRun("aqtserve_run_drop_window_permille", "Recent-window drop rate in per mille (goodput_window collector).",
+		scalar(metrics.NameGoodputWindow, "drop_window_permille"))
 }

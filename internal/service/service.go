@@ -14,6 +14,8 @@
 //	                             "cancelled" summary (idempotent)
 //	GET    /v1/runs/{id}/stream  per-cell results as NDJSON (or SSE with
 //	                             Accept: text/event-stream), then a summary
+//	GET    /v1/runs/{id}/live    live snapshot: cells done/total, merged
+//	                             metric summaries so far, cells/sec, ETA
 //	GET    /v1/registry          the component catalog with param schemas
 //	GET    /healthz              liveness
 //	GET    /readyz               readiness: 503 with retryable JSON while
@@ -57,6 +59,7 @@ import (
 	"time"
 
 	"smallbuffers/internal/harness"
+	"smallbuffers/internal/live"
 	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/registry"
 	"smallbuffers/internal/scenario"
@@ -79,6 +82,14 @@ type Config struct {
 	// QueueDepth bounds the submit queue; submissions beyond it are
 	// rejected with 503. Default 256.
 	QueueDepth int
+	// Clock supplies the wall time behind the live views' elapsed/rate
+	// fields (never anything digest-adjacent). Tests inject a fake;
+	// nil means live.SystemClock.
+	Clock live.Clock
+	// SSEHeartbeat is the idle interval after which an SSE stream emits
+	// a ": keepalive" comment so proxy/LB idle timeouts don't sever
+	// long-running sweeps. Default 15s; < 0 disables heartbeats.
+	SSEHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +104,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
+	}
+	if c.Clock == nil {
+		c.Clock = live.SystemClock()
+	}
+	if c.SSEHeartbeat == 0 {
+		c.SSEHeartbeat = 15 * time.Second
 	}
 	return c
 }
@@ -119,6 +136,13 @@ type Summary struct {
 	ResultsDigest string  `json:"results_digest"`
 	MaxLoadMean   float64 `json:"max_load_mean"`
 	MaxLoadMax    int     `json:"max_load_max"`
+	// DeliveredMeanMillis is the mean delivered count per clean cell in
+	// per-mille — ⌊total delivered · 1000 / completed⌋ — matching the
+	// integer wire convention the rest of the stack enforces.
+	DeliveredMeanMillis int `json:"delivered_mean_millis"`
+	// Deprecated: DeliveredMean duplicates DeliveredMeanMillis as the
+	// float the pre-live schema carried. One-release JSON alias; read
+	// delivered_mean_millis instead.
 	DeliveredMean float64 `json:"delivered_mean"`
 	// DroppedTotal counts packets lost in transit across clean cells;
 	// omitted for loss-free runs so their summary bytes are unchanged.
@@ -166,6 +190,12 @@ type run struct {
 	watchers int
 	pinned   bool // async submissions run to completion without watchers
 	done     chan struct{}
+
+	// live is the run's merge-as-you-go observation view. It is fed
+	// unconditionally from publish — the same work whether anyone is
+	// watching or not — so attaching live watchers can never perturb
+	// execution order or the records digest.
+	live *live.Accumulator
 }
 
 // attach registers an interested client; detach deregisters it. When the
@@ -194,13 +224,16 @@ func (r *run) pin() {
 	r.mu.Unlock()
 }
 
-// publish appends one cell record and wakes subscribers.
+// publish appends one cell record and wakes subscribers. The live
+// accumulator is fed outside r.mu (it has its own lock), so a snapshot
+// reader never extends the publisher's critical section.
 func (r *run) publish(rec harness.CellRecord) {
 	r.mu.Lock()
 	r.records = append(r.records, rec)
 	close(r.changed)
 	r.changed = make(chan struct{})
 	r.mu.Unlock()
+	r.live.Observe(rec)
 }
 
 // setStatus transitions the lifecycle state and wakes subscribers.
@@ -238,6 +271,7 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	metrics promMetrics
+	liveReg *live.Registry
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -262,6 +296,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		metrics:  promMetrics{start: time.Now()},
+		liveReg:  live.NewRegistry(),
 		baseCtx:  ctx,
 		stop:     cancel,
 		queue:    make(chan *run, cfg.QueueDepth),
@@ -270,11 +305,13 @@ func New(cfg Config) *Server {
 	}
 	s.cache = newLRU[*run](cfg.CacheCells, func(digest string, r *run) {
 		// Runs under s.mu (every cache mutation is). Drop the indexes so
-		// evicted ids 404 and evicted digests re-simulate.
+		// evicted ids 404 and evicted digests re-simulate; the live view
+		// goes with them.
 		delete(s.runs, r.id)
 		if s.byDigest[digest] == r {
 			delete(s.byDigest, digest)
 		}
+		s.liveReg.Remove(r.id)
 	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
@@ -282,6 +319,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/runs/{id}/live", s.handleLive)
 	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -366,6 +404,7 @@ func (s *Server) execute(r *run) {
 		return
 	}
 	r.setStatus(StatusRunning)
+	r.live.Start()
 	for cr := range r.sweep.Stream(r.ctx) {
 		r.publish(cr.Record())
 		s.metrics.cellsCompleted.Add(1)
@@ -394,7 +433,9 @@ func (s *Server) finish(r *run, ctxErr error) {
 	close(r.changed)
 	r.changed = make(chan struct{})
 	close(r.done)
+	status := r.status
 	r.mu.Unlock()
+	r.live.Finish(status)
 	// Release the run's context so completed runs don't accumulate as
 	// children of the server context (idempotent; status is already
 	// sealed from the ctxErr snapshot above).
@@ -450,6 +491,7 @@ func summarize(requested int, recs []harness.CellRecord) *Summary {
 	}
 	if sum.Completed > 0 {
 		sum.MaxLoadMean = float64(loadSum) / float64(sum.Completed)
+		sum.DeliveredMeanMillis = delivSum * 1000 / sum.Completed
 		sum.DeliveredMean = float64(delivSum) / float64(sum.Completed)
 	}
 	// One collector per name per cell, so same-name summaries merge
@@ -534,6 +576,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		done:      make(chan struct{}),
 		watchers:  1, // the submitter, detached by respondJoined
 	}
+	r.live = live.NewAccumulator(r.id, len(cells), s.cfg.SweepWorkers, s.cfg.Clock)
+	s.liveReg.Add(r.live)
 	s.runs[r.id] = r
 	s.byDigest[digest] = r
 	s.metrics.runsStarted.Add(1)
@@ -711,6 +755,16 @@ func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
 	r.attach()
 	defer r.detach()
 
+	// Idle SSE connections emit comment heartbeats so proxy/LB idle
+	// timeouts don't sever a long-running sweep's stream. A nil channel
+	// (NDJSON, or heartbeats disabled) never fires.
+	var heartbeat <-chan time.Time
+	if sse && s.cfg.SSEHeartbeat > 0 {
+		ticker := time.NewTicker(s.cfg.SSEHeartbeat)
+		defer ticker.Stop()
+		heartbeat = ticker.C
+	}
+
 	emit := func(event string, v any) bool {
 		data, err := json.Marshal(v)
 		if err != nil {
@@ -753,10 +807,32 @@ func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
 		}
 		select {
 		case <-changed:
+		case <-heartbeat:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		case <-req.Context().Done():
 			return
 		}
 	}
+}
+
+// handleLive answers with the run's live snapshot: cells done/total,
+// the merge-as-you-go metric summaries, cells/sec, and ETA. Reading it
+// never attaches a watcher and never touches the run's own lock — a
+// polling dashboard cannot keep an abandoned run alive or slow the
+// publish path.
+func (s *Server) handleLive(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", req.PathValue("id")))
+		return
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	writeJSON(w, http.StatusOK, r.live.View())
 }
 
 func (s *Server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
@@ -805,6 +881,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		workers:       s.cfg.Workers,
 	}
 	s.mu.Unlock()
+	// Per-run gauges cover in-flight runs only: finished runs linger in
+	// the cache indefinitely, and unbounded label cardinality is how a
+	// scrape endpoint dies.
+	for _, v := range s.liveReg.Views() {
+		if v.Status == StatusQueued || v.Status == StatusRunning {
+			snap.live = append(snap.live, v)
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, snap)
 }

@@ -89,6 +89,7 @@ import (
 	"smallbuffers/internal/faults"
 	"smallbuffers/internal/fleet"
 	"smallbuffers/internal/harness"
+	"smallbuffers/internal/live"
 	"smallbuffers/internal/local"
 	"smallbuffers/internal/lowerbound"
 	"smallbuffers/internal/metrics"
@@ -815,6 +816,40 @@ func VerifyFleetLocal(ctx context.Context, sc *Scenario, fleetDigest string) err
 
 // FleetSystemClock is the real-time FleetClock used outside tests.
 func FleetSystemClock() FleetClock { return fleet.SystemClock() }
+
+// --- Live observability ---
+//
+// The observation tier: merge-as-you-go views of runs still in flight.
+// Server exposes them as GET /v1/runs/{id}/live; FleetLiveSnapshot
+// merges every daemon's views into one fleet-wide progress/occupancy
+// picture; cmd/aqtctl -live and the cmd/aqtviz dashboard are the
+// ready-made CLIs around them.
+
+type (
+	// LiveView is one run's live snapshot: cells done/total, the merged
+	// metric summaries so far, cells/sec (×1000), and ETA — integers
+	// throughout, strictly observational.
+	LiveView = live.View
+	// FleetLiveView is the fleet-wide merge of every daemon's in-flight
+	// run views (cells summed, metric summaries merged).
+	FleetLiveView = fleet.FleetLive
+	// DaemonLiveView is one daemon's contribution to a FleetLiveView.
+	DaemonLiveView = fleet.DaemonLive
+)
+
+// FleetLiveSnapshot polls every configured daemon's run list and /live
+// views and merges them into one fleet-wide snapshot. Unreachable
+// daemons are recorded in the snapshot, not fatal.
+func FleetLiveSnapshot(ctx context.Context, cfg FleetConfig) (*FleetLiveView, error) {
+	return fleet.LiveSnapshot(ctx, cfg)
+}
+
+// FleetLiveWatch polls FleetLiveSnapshot every interval, invoking fn
+// with each snapshot, until fn returns false or ctx is cancelled.
+// Pacing flows through cfg.Clock.
+func FleetLiveWatch(ctx context.Context, cfg FleetConfig, interval time.Duration, fn func(*FleetLiveView) bool) error {
+	return fleet.LiveWatch(ctx, cfg, interval, fn)
+}
 
 // PartitionSweepCells splits the index space [0, total) into at most
 // shards contiguous ranges covering it exactly, sizes within one of each
