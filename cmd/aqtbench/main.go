@@ -75,6 +75,7 @@ func run(ctx context.Context, args []string) error {
 	validate := fs.Bool("validate", false, "with -scenarios: validate and round-trip the files without running them")
 	server := fs.String("server", "", "with -scenarios: POST each scenario to a running aqtserve at this base URL instead of simulating locally")
 	fleetArg := fs.String("fleet", "", "with -scenarios: shard each scenario across a fleet of aqtserve daemons (comma-separated endpoints, or @file with one per line)")
+	storeDir := fs.String("store", "", "with -scenarios (local runs): durable result store — scenarios whose stored records verify are skipped, fresh results persist")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,6 +105,12 @@ func run(ctx context.Context, args []string) error {
 			if *validate {
 				return fmt.Errorf("-validate is local-only; drop it when using -server or -fleet")
 			}
+			if *storeDir != "" {
+				return fmt.Errorf("-store is local-only; drop it when using -server or -fleet")
+			}
+		}
+		if *storeDir != "" && *validate {
+			return fmt.Errorf("-store runs scenarios; drop -validate")
 		}
 		if *server != "" {
 			return runScenariosRemote(ctx, w, *server, *scenarios)
@@ -111,7 +118,7 @@ func run(ctx context.Context, args []string) error {
 		if *fleetArg != "" {
 			return runScenariosFleet(ctx, w, *fleetArg, *scenarios)
 		}
-		return runScenarios(ctx, w, *scenarios, *validate)
+		return runScenarios(ctx, w, *scenarios, *validate, *storeDir)
 	}
 	if *validate {
 		return fmt.Errorf("-validate needs -scenarios")
@@ -121,6 +128,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *fleetArg != "" {
 		return fmt.Errorf("-fleet needs -scenarios")
+	}
+	if *storeDir != "" {
+		return fmt.Errorf("-store needs -scenarios")
 	}
 
 	if *list {
@@ -233,14 +243,14 @@ func forEachScenarioFile(ctx context.Context, w io.Writer, path, verb, suffix st
 // the same bytes. Files that select metrics contribute their aggregated
 // summaries to a corpus-wide report (percentiles re-derived from the
 // merged histograms, not averaged).
-func runScenarios(ctx context.Context, w io.Writer, path string, validateOnly bool) error {
+func runScenarios(ctx context.Context, w io.Writer, path string, validateOnly bool, storeDir string) error {
 	verb := "ran"
 	if validateOnly {
 		verb = "validated"
 	}
 	var corpus []map[string]sb.MetricSummary
 	if err := forEachScenarioFile(ctx, w, path, verb, "", func(f string) error {
-		m, err := runScenarioFile(ctx, w, f, validateOnly)
+		m, err := runScenarioFile(ctx, w, f, validateOnly, storeDir)
 		if len(m) > 0 {
 			corpus = append(corpus, m)
 		}
@@ -282,7 +292,66 @@ func printCorpusMetrics(w io.Writer, corpus []map[string]sb.MetricSummary) error
 	return nil
 }
 
-func runScenarioFile(ctx context.Context, w io.Writer, path string, validateOnly bool) (map[string]sb.MetricSummary, error) {
+// storedDigest reports the verified results digest the store already
+// holds for sc, or "" when the scenario still needs to run. Entries that
+// fail verification (or predate the current span/format) are evicted so
+// the run recomputes them.
+func storedDigest(root string, sc *sb.Scenario) (string, error) {
+	dig, err := sc.Digest()
+	if err != nil {
+		return "", err
+	}
+	total, err := sc.GridSize()
+	if err != nil {
+		return "", err
+	}
+	st, err := sb.OpenResultStore(root, dig, sb.CellIndexRange{Lo: 0, Hi: total}, sb.ResultStoreOptions{})
+	if err != nil {
+		return "", sb.RemoveResultStoreEntry(root, dig)
+	}
+	defer st.Close()
+	if !st.Complete() || st.RecordsDigest() == "" {
+		return "", nil
+	}
+	rederived, err := st.Digest()
+	if err != nil || rederived != st.RecordsDigest() {
+		st.Close()
+		return "", sb.RemoveResultStoreEntry(root, dig)
+	}
+	return rederived, nil
+}
+
+// persistRun appends a completed sweep's records to the store entry and
+// seals it with the results digest.
+func persistRun(root string, sc *sb.Scenario, agg *sb.SweepResult) error {
+	dig, err := sc.Digest()
+	if err != nil {
+		return err
+	}
+	total, err := sc.GridSize()
+	if err != nil {
+		return err
+	}
+	st, err := sb.OpenResultStore(root, dig, sb.CellIndexRange{Lo: 0, Hi: total}, sb.ResultStoreOptions{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	for _, rec := range agg.Records() {
+		if st.Has(rec.Index) {
+			continue
+		}
+		if err := st.Append(rec); err != nil {
+			return err
+		}
+	}
+	if st.Complete() {
+		return st.SetRecordsDigest(agg.Digest())
+	}
+	return nil
+}
+
+func runScenarioFile(ctx context.Context, w io.Writer, path string, validateOnly bool, storeDir string) (map[string]sb.MetricSummary, error) {
 	sc, err := sb.LoadScenarioFile(path)
 	if err != nil {
 		return nil, err
@@ -312,6 +381,16 @@ func runScenarioFile(ctx context.Context, w io.Writer, path string, validateOnly
 		_, err := fmt.Fprintf(w, "%-28s valid\n", title)
 		return nil, err
 	}
+	if storeDir != "" {
+		stored, err := storedDigest(storeDir, sc)
+		if err != nil {
+			return nil, err
+		}
+		if stored != "" {
+			_, err := fmt.Fprintf(w, "%-28s stored (results %s)\n", title, stored)
+			return nil, err
+		}
+	}
 
 	agg, err := sc.Run(ctx)
 	if err != nil {
@@ -336,6 +415,11 @@ func runScenarioFile(ctx context.Context, w io.Writer, path string, validateOnly
 	if len(sc.Metrics) > 0 {
 		ms = agg.Metrics
 		printMetricLines(w, "  ", ms)
+	}
+	if storeDir != "" {
+		if err := persistRun(storeDir, sc, agg); err != nil {
+			return ms, fmt.Errorf("persisting results: %w", err)
+		}
 	}
 	_, err = fmt.Fprintf(w, "  ok (%d cells)\n", agg.Completed)
 	return ms, err

@@ -65,6 +65,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	backoff := fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per consecutive failure)")
 	backoffMax := fs.Duration("backoff-max", 2*time.Second, "retry backoff cap")
 	minSteal := fs.Int("min-steal", 4, "smallest shard piece work stealing may create")
+	storeDir := fs.String("store", "", "durable result-store directory: merged cells stream to disk (O(1) coordinator memory) and survive a killed run")
+	resume := fs.Bool("resume", false, "with -store, resume a partial entry: dispatch only the cells not yet on disk")
 	liveMode := fs.Bool("live", false, "monitor the fleet's in-flight runs instead of dispatching a sweep")
 	interval := fs.Duration("interval", time.Second, "poll interval for -live")
 	once := fs.Bool("once", false, "with -live, print one snapshot and exit")
@@ -93,6 +95,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *liveMode {
 		return runLive(ctx, sb.FleetConfig{Endpoints: endpoints}, *interval, *once, stdout)
+	}
+	if *resume && *storeDir == "" {
+		return fmt.Errorf("-resume requires -store")
 	}
 	sc, err := sb.LoadScenarioFile(*scenarioPath)
 	if err != nil {
@@ -126,6 +131,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
+	}
+	if *storeDir != "" {
+		dig, err := sc.Digest()
+		if err != nil {
+			return err
+		}
+		total, err := sc.GridSize()
+		if err != nil {
+			return err
+		}
+		st, err := sb.OpenResultStore(*storeDir, dig, sb.CellIndexRange{Lo: 0, Hi: total}, sb.ResultStoreOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := st.Close(); cerr != nil {
+				fmt.Fprintln(stderr, "aqtctl: store close:", cerr)
+			}
+		}()
+		if n := st.Count(); n > 0 && !*resume {
+			return fmt.Errorf("store already holds %d of %d cells for this scenario; pass -resume to continue it (or delete %s)",
+				n, total, sb.StoreEntryDir(*storeDir, dig))
+		} else if n > 0 && !*quiet {
+			fmt.Fprintf(stderr, "fleet: resuming %d of %d cells from %s\n", n, total, *storeDir)
+		}
+		cfg.Store = st
 	}
 
 	res, err := sb.RunFleet(ctx, cfg, sc)
@@ -233,6 +264,9 @@ func printSummary(w io.Writer, name string, sum sb.FleetSummary) error {
 		fmt.Fprintf(w, "%s\n", name)
 	}
 	fmt.Fprintf(w, "cells      %d requested, %d completed, %d failed\n", sum.Requested, sum.Completed, sum.Failed)
+	if sum.Resumed > 0 {
+		fmt.Fprintf(w, "resumed    %d cells already on disk; only the remainder was dispatched\n", sum.Resumed)
+	}
 	fmt.Fprintf(w, "digest     %s\n", sum.ResultsDigest)
 	fmt.Fprintf(w, "fleet      %d retries, %d steals, wall %v (ideal %v)\n",
 		sum.Retries, sum.Steals, sum.Wall.Round(time.Millisecond), sum.Ideal.Round(time.Millisecond))

@@ -6,6 +6,7 @@
 //
 //	aqtserve                       # listen on :8080 with 4 workers
 //	aqtserve -addr :9000 -workers 8 -sweep-workers 2 -cache-cells 16384
+//	aqtserve -cache-dir /var/cache/aqt   # completed runs survive restarts
 //
 //	curl -XPOST --data-binary @testdata/scenarios/e1-pts-burst.json \
 //	    http://localhost:8080/v1/runs
@@ -50,6 +51,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	workers := fs.Int("workers", 4, "concurrent runs executed (the run worker pool)")
 	sweepWorkers := fs.Int("sweep-workers", 1, "cell workers per run (total concurrent cells ≤ workers × sweep-workers)")
 	cacheCells := fs.Int("cache-cells", 4096, "result cache capacity in sweep cells (-1 disables caching)")
+	cacheDir := fs.String("cache-dir", "", "durable result cache directory: completed runs persist and survive a daemon restart")
 	queueDepth := fs.Int("queue-depth", 256, "submissions accepted beyond the worker pool before 503")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight runs")
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +62,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		Workers:      *workers,
 		SweepWorkers: *sweepWorkers,
 		CacheCells:   *cacheCells,
+		CacheDir:     *cacheDir,
 		QueueDepth:   *queueDepth,
 	})
 	httpSrv := &http.Server{Handler: svc}

@@ -12,6 +12,7 @@ import (
 	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/scenario"
 	"smallbuffers/internal/service"
+	"smallbuffers/internal/store"
 )
 
 // Config sizes the coordinator. Endpoints is required; every other field
@@ -45,6 +46,18 @@ type Config struct {
 	// victim is only split while its uncovered remainder is at least
 	// twice this. Default 4.
 	MinStealCells int
+	// Store, when set, is the durable merge sink: every received record
+	// streams to disk as it arrives instead of accumulating in
+	// coordinator memory (the merge holds O(1) cells at any grid size —
+	// see Summary.MaxBufferedCells), cells the store already covers are
+	// not dispatched at all (checkpoint/resume — a killed run picks up
+	// where its store left off), and the final digest is re-derived by
+	// streaming the records back off disk in index order. The entry must
+	// be keyed by this scenario's digest and span its whole grid; the
+	// caller opens and closes it. Result.Records is nil in store mode.
+	// The merged digest is byte-identical with and without a store —
+	// persistence changes where records live, never what they contain.
+	Store *store.Store
 	// Clock injects time for backoff and the summary's elapsed fields.
 	// Defaults to SystemClock(). Simulation results never depend on it.
 	Clock Clock
@@ -109,7 +122,15 @@ type Summary struct {
 	Daemons       []DaemonStats     `json:"daemons"`
 	Retries       int               `json:"retries"`
 	Steals        int               `json:"steals"`
-	Wall          time.Duration     `json:"wall_ns"`
+	// Resumed counts cells that were already durable in the store when
+	// the run started; they were served from disk, never dispatched.
+	Resumed int `json:"resumed,omitempty"`
+	// MaxBufferedCells is the high-water mark of merged cell records
+	// held in coordinator memory: the grid size without a store (every
+	// record is buffered until the run completes), 0 with one (records
+	// go to disk as they arrive).
+	MaxBufferedCells int           `json:"max_buffered_cells"`
+	Wall             time.Duration `json:"wall_ns"`
 	// Ideal is the wall-clock a perfectly balanced fleet would need:
 	// total busy time divided by daemon count. Wall/Ideal ≥ 1 measures
 	// coordination overhead plus imbalance.
@@ -118,6 +139,9 @@ type Summary struct {
 
 // Result is a completed fleet run: every cell record of the grid in
 // global index order, the digest over them, and the fleet summary.
+// Records is nil when the run merged into a store (Config.Store) — the
+// records are on disk, streamable via Store.Scan, and deliberately not
+// loaded back: bounded coordinator memory is the point of store mode.
 type Result struct {
 	Records []harness.CellRecord
 	Summary Summary
@@ -130,18 +154,31 @@ type shardItem struct {
 	attempts int
 }
 
-// task is one in-flight dispatch of a shard on a daemon.
+// task is one in-flight dispatch of a shard on a daemon. Without a
+// store, received buffers the streamed records until the task settles;
+// with one, records go straight to disk and only the appended count is
+// kept.
 type task struct {
 	item     shardItem
 	daemon   *daemonState
 	runID    string
 	stolen   bool // a thief has requested cancellation
 	received []harness.CellRecord
+	appended int // records persisted to the store by this task
+}
+
+// got counts the records this task has delivered so far. Caller holds
+// co.mu.
+func (t *task) got() int {
+	if t.received != nil {
+		return len(t.received)
+	}
+	return t.appended
 }
 
 // remaining estimates the victim's uncovered cells — what a steal would
 // reclaim. Caller holds co.mu.
-func (t *task) remaining() int { return t.item.rng.Count() - len(t.received) }
+func (t *task) remaining() int { return t.item.rng.Count() - t.got() }
 
 type daemonState struct {
 	endpoint    string
@@ -155,17 +192,28 @@ type coordinator struct {
 	cfg    Config
 	parent *scenario.Scenario
 	total  int
+	st     *store.Store // nil without a store; records then buffer in committed
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	pending   []shardItem
-	running   map[*task]struct{}
-	committed map[int]harness.CellRecord
-	healthy   int
-	fatal     error
-	done      bool
-	retries   int
-	steals    int
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []shardItem
+	running     map[*task]struct{}
+	committed   map[int]harness.CellRecord
+	healthy     int
+	fatal       error
+	done        bool
+	retries     int
+	steals      int
+	maxBuffered int
+}
+
+// mergedLocked counts the cells merged so far — the committed map
+// without a store, the store's coverage with one. Caller holds co.mu.
+func (co *coordinator) mergedLocked() int {
+	if co.st != nil {
+		return co.st.Count()
+	}
+	return len(co.committed)
 }
 
 // Run executes sc's whole sweep grid across the fleet and returns the
@@ -189,18 +237,53 @@ func Run(ctx context.Context, cfg Config, sc *scenario.Scenario) (*Result, error
 	}
 
 	co := &coordinator{
-		cfg:       cfg,
-		parent:    sc,
-		total:     total,
-		running:   map[*task]struct{}{},
-		committed: make(map[int]harness.CellRecord, total),
-		healthy:   len(cfg.Endpoints),
+		cfg:     cfg,
+		parent:  sc,
+		total:   total,
+		st:      cfg.Store,
+		running: map[*task]struct{}{},
+		healthy: len(cfg.Endpoints),
+	}
+	resumed := 0
+	if co.st != nil {
+		dig, err := sc.Digest()
+		if err != nil {
+			return nil, err
+		}
+		if got := co.st.Scenario(); got != dig {
+			return nil, fmt.Errorf("fleet: store entry holds scenario %s, not %s", got, dig)
+		}
+		if sp := co.st.Span(); sp.Lo != 0 || sp.Hi != total {
+			return nil, fmt.Errorf("fleet: store entry spans %v, scenario grid is [0,%d)", sp, total)
+		}
+		resumed = co.st.Count()
+	} else {
+		co.committed = make(map[int]harness.CellRecord, total)
 	}
 	co.cond = sync.NewCond(&co.mu)
-	for _, rng := range harness.PartitionCells(total, len(cfg.Endpoints)*cfg.ShardsPerDaemon) {
+
+	// Size-aware partitioning: shards balance total topology node count,
+	// not cell count, so a few big-topology cells weigh as much as many
+	// small ones. With a store, only the uncovered remainder is
+	// partitioned at all — covered cells are already durable.
+	weights, err := sc.CellWeights()
+	if err != nil {
+		return nil, err
+	}
+	owed := []harness.IndexRange{{Lo: 0, Hi: total}}
+	if co.st != nil {
+		owed = co.st.Uncovered()
+	}
+	for _, rng := range harness.PartitionRangesWeighted(owed, weights, len(cfg.Endpoints)*cfg.ShardsPerDaemon) {
 		co.pending = append(co.pending, shardItem{rng: rng})
 	}
-	cfg.Logf("fleet: %d cells in %d shards across %d daemons", total, len(co.pending), len(cfg.Endpoints))
+	co.done = len(co.pending) == 0 && resumed == total
+	if resumed > 0 {
+		cfg.Logf("fleet: resuming: %d of %d cells already durable, %d to run in %d shards across %d daemons",
+			resumed, total, total-resumed, len(co.pending), len(cfg.Endpoints))
+	} else {
+		cfg.Logf("fleet: %d cells in %d shards across %d daemons", total, len(co.pending), len(cfg.Endpoints))
+	}
 
 	start := cfg.Clock.Now()
 
@@ -225,51 +308,113 @@ func Run(ctx context.Context, cfg Config, sc *scenario.Scenario) (*Result, error
 
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	if co.st != nil {
+		// Whatever happened, commit the store's view of the merge so a
+		// failed or cancelled run resumes from everything that arrived.
+		if serr := co.st.Sync(); serr == nil && co.fatal == nil && ctx.Err() == nil {
+			// synced cleanly; fall through to the outcome checks
+		} else if serr != nil && co.fatal == nil && ctx.Err() == nil {
+			return nil, fmt.Errorf("fleet: store sync: %w", serr)
+		}
+	}
 	if co.fatal != nil {
 		return nil, co.fatal
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if len(co.committed) != co.total {
-		return nil, fmt.Errorf("fleet: merged %d of %d cells", len(co.committed), co.total)
-	}
-
-	recs := make([]harness.CellRecord, 0, co.total)
-	for i := 0; i < co.total; i++ {
-		rec, ok := co.committed[i]
-		if !ok {
-			return nil, fmt.Errorf("fleet: cell %d missing from the merge", i)
-		}
-		recs = append(recs, rec)
+	if merged := co.mergedLocked(); merged != co.total {
+		return nil, fmt.Errorf("fleet: merged %d of %d cells", merged, co.total)
 	}
 
 	sum := Summary{
-		Requested:     co.total,
-		ResultsDigest: harness.RecordsDigest(recs),
-		Retries:       co.retries,
-		Steals:        co.steals,
-		Wall:          cfg.Clock.Now().Sub(start),
+		Requested:        co.total,
+		Retries:          co.retries,
+		Steals:           co.steals,
+		Resumed:          resumed,
+		MaxBufferedCells: co.maxBuffered,
+		Wall:             cfg.Clock.Now().Sub(start),
 	}
-	var busy time.Duration
-	var perCell []map[string]metrics.Summary
-	for _, rec := range recs {
-		if rec.Err != "" {
-			sum.Failed++
-			continue
+
+	var recs []harness.CellRecord
+	if co.st != nil {
+		// Stream the merged records back off disk in index order: the
+		// digest comes from a RecordsDigester over the stored bytes and
+		// the metric fold happens record by record — O(1) cells in
+		// memory, exactly like the append path.
+		digest, err := co.st.Digest()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: store digest: %w", err)
 		}
-		sum.Completed++
-		if len(rec.Metrics) > 0 {
-			m := make(map[string]metrics.Summary, len(rec.Metrics))
-			for _, s := range rec.Metrics {
-				m[s.Name] = s
+		sum.ResultsDigest = digest
+		agg := make(map[string]metrics.Summary)
+		mergeable := true
+		err = co.st.Scan(func(rec harness.CellRecord) error {
+			if rec.Err != "" {
+				sum.Failed++
+				return nil
 			}
-			perCell = append(perCell, m)
+			sum.Completed++
+			if !mergeable {
+				return nil
+			}
+			for _, ms := range rec.Metrics {
+				prev, ok := agg[ms.Name]
+				if !ok {
+					agg[ms.Name] = ms
+					continue
+				}
+				m, err := metrics.Merge(prev, ms)
+				if err != nil {
+					// Same policy as MergeAll failing below: drop the
+					// aggregate, keep the run.
+					mergeable = false
+					return nil
+				}
+				agg[ms.Name] = m
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: store scan: %w", err)
+		}
+		if mergeable && len(agg) > 0 {
+			sum.Metrics = metrics.Records(agg)
+		}
+		if err := co.st.SetRecordsDigest(digest); err != nil {
+			return nil, fmt.Errorf("fleet: store digest commit: %w", err)
+		}
+	} else {
+		recs = make([]harness.CellRecord, 0, co.total)
+		for i := 0; i < co.total; i++ {
+			rec, ok := co.committed[i]
+			if !ok {
+				return nil, fmt.Errorf("fleet: cell %d missing from the merge", i)
+			}
+			recs = append(recs, rec)
+		}
+		sum.ResultsDigest = harness.RecordsDigest(recs)
+		var perCell []map[string]metrics.Summary
+		for _, rec := range recs {
+			if rec.Err != "" {
+				sum.Failed++
+				continue
+			}
+			sum.Completed++
+			if len(rec.Metrics) > 0 {
+				m := make(map[string]metrics.Summary, len(rec.Metrics))
+				for _, s := range rec.Metrics {
+					m[s.Name] = s
+				}
+				perCell = append(perCell, m)
+			}
+		}
+		if merged, err := metrics.MergeAll(perCell); err == nil {
+			sum.Metrics = metrics.Records(merged)
 		}
 	}
-	if merged, err := metrics.MergeAll(perCell); err == nil {
-		sum.Metrics = metrics.Records(merged)
-	}
+
+	var busy time.Duration
 	for _, d := range daemons {
 		d.stats.Quarantined = d.quarantined
 		sum.Daemons = append(sum.Daemons, d.stats)
@@ -327,7 +472,7 @@ func (co *coordinator) next(ctx context.Context, d *daemonState) *task {
 			// Nothing pending, nothing running, not done: cells were lost
 			// without being re-enqueued — a coordinator bug, not a daemon
 			// failure. Fail loudly rather than hang.
-			co.fail(fmt.Errorf("fleet: %d of %d cells unaccounted for", co.total-len(co.committed), co.total))
+			co.fail(fmt.Errorf("fleet: %d of %d cells unaccounted for", co.total-co.mergedLocked(), co.total))
 			return nil
 		}
 		if victim := co.stealVictimLocked(); victim != nil {
@@ -423,13 +568,21 @@ func (co *coordinator) runTask(ctx context.Context, d *daemonState, t *task) {
 		// The daemon had this shard's digest finished in cache and
 		// answered with the complete report — commit it without streaming.
 		co.mu.Lock()
-		t.received = cached.Cells
 		d.stats.Dispatches++
 		co.mu.Unlock()
 		if cached.Status != service.StatusDone {
 			co.daemonFailed(d)
 			co.requeue(t, true, nil)
 			return
+		}
+		if co.st != nil {
+			for _, rec := range cached.Cells {
+				co.appendCell(t, rec)
+			}
+		} else {
+			co.mu.Lock()
+			t.received = cached.Cells
+			co.mu.Unlock()
 		}
 		co.commitDone(d, t, co.cfg.Clock.Now().Sub(start))
 		return
@@ -441,6 +594,10 @@ func (co *coordinator) runTask(ctx context.Context, d *daemonState, t *task) {
 	co.mu.Unlock()
 
 	rep, err := d.client.stream(ctx, runID, func(rec harness.CellRecord) {
+		if co.st != nil {
+			co.appendCell(t, rec)
+			return
+		}
 		co.mu.Lock()
 		t.received = append(t.received, rec)
 		co.mu.Unlock()
@@ -448,11 +605,18 @@ func (co *coordinator) runTask(ctx context.Context, d *daemonState, t *task) {
 	elapsed := co.cfg.Clock.Now().Sub(start)
 	if err != nil {
 		// The stream broke before its summary: the daemon (or the network
-		// to it) died mid-shard. Everything received is suspect — discard
-		// it all and redispatch the whole shard, consuming an attempt.
+		// to it) died mid-shard. Without a store everything received is
+		// suspect — discard it all and redispatch the whole shard. With
+		// one, each record was checksummed and validated on its way to
+		// disk; the durable prefix stays and only the uncovered remainder
+		// redispatches. Either way the loss consumes an attempt.
 		co.cfg.Logf("fleet: stream %s from %s broke: %v", t.item.rng, d.endpoint, err)
 		co.daemonFailed(d)
-		co.requeue(t, true, nil)
+		if co.st != nil {
+			co.requeueRemainder(t, true)
+		} else {
+			co.requeue(t, true, nil)
+		}
 		return
 	}
 
@@ -468,14 +632,65 @@ func (co *coordinator) runTask(ctx context.Context, d *daemonState, t *task) {
 			return
 		}
 		// Cancelled by the daemon's own lifecycle (drain, shutdown), not
-		// by a thief: partial work we did not ask to stop. Discard it.
+		// by a thief: partial work we did not ask to stop. Discard (or,
+		// with a store, keep what landed and redispatch the rest).
 		co.cfg.Logf("fleet: %s cancelled shard %s unasked", d.endpoint, t.item.rng)
 		co.daemonFailed(d)
-		co.requeue(t, true, nil)
+		if co.st != nil {
+			co.requeueRemainder(t, true)
+		} else {
+			co.requeue(t, true, nil)
+		}
 	default:
 		co.daemonFailed(d)
 		co.requeue(t, true, fmt.Errorf("fleet: %s finished shard %s in unexpected status %q", d.endpoint, t.item.rng, rep.Status))
 	}
+}
+
+// appendCell streams one received record into the store (store mode
+// only). Records carrying a context-cancellation error are scheduling
+// artifacts — a cell interrupted mid-simulation, not a result — and are
+// dropped so their indices stay uncovered and re-run. An append failure
+// is fatal: the disk under the merge is gone or lying.
+func (co *coordinator) appendCell(t *task, rec harness.CellRecord) {
+	if strings.Contains(rec.Err, context.Canceled.Error()) {
+		return
+	}
+	if err := co.st.Append(rec); err != nil {
+		co.mu.Lock()
+		co.fail(fmt.Errorf("fleet: store append cell %d of shard %s: %w", rec.Index, t.item.rng, err))
+		co.mu.Unlock()
+		return
+	}
+	co.mu.Lock()
+	t.appended++
+	co.mu.Unlock()
+}
+
+// requeueRemainder settles a partially delivered store-mode task:
+// records that reached the store stay durable — the merge is append-only
+// — and only the uncovered remainder returns to the queue. lostWork
+// consumes one of the shard's attempts, exactly as requeue does; a fully
+// delivered shard (the failure hit after its last record) settles
+// without consuming one.
+func (co *coordinator) requeueRemainder(t *task, lostWork bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	item := t.item
+	rest := co.st.UncoveredIn(item.rng)
+	if lostWork && len(rest) > 0 {
+		item.attempts++
+		co.retries++
+		t.daemon.stats.Failures++
+		if item.attempts >= co.cfg.MaxAttempts {
+			co.failLocked(t, fmt.Errorf("fleet: shard %s failed %d times, giving up", item.rng, item.attempts))
+			return
+		}
+	}
+	for _, rng := range rest {
+		co.pending = append(co.pending, shardItem{rng: rng, attempts: item.attempts})
+	}
+	co.settleLocked(t)
 }
 
 // commitDone merges a cleanly finished shard: exactly the shard's cells,
@@ -483,6 +698,24 @@ func (co *coordinator) runTask(ctx context.Context, d *daemonState, t *task) {
 func (co *coordinator) commitDone(d *daemonState, t *task, elapsed time.Duration) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	if co.st != nil {
+		// The records are already durable; done just means the daemon
+		// claims the shard is whole — hold it to that.
+		if rest := co.st.UncoveredIn(t.item.rng); len(rest) > 0 {
+			missing := 0
+			for _, r := range rest {
+				missing += r.Count()
+			}
+			co.failLocked(t, fmt.Errorf("fleet: %s finished shard %s but %d of its cells never arrived",
+				d.endpoint, t.item.rng, missing))
+			return
+		}
+		d.consecFails = 0
+		d.stats.Cells += t.appended
+		d.stats.Busy += elapsed
+		co.settleLocked(t)
+		return
+	}
 	if len(t.received) != t.item.rng.Count() {
 		co.failLocked(t, fmt.Errorf("fleet: %s returned %d records for %d-cell shard %s",
 			d.endpoint, len(t.received), t.item.rng.Count(), t.item.rng))
@@ -504,6 +737,26 @@ func (co *coordinator) commitDone(d *daemonState, t *task, elapsed time.Duration
 func (co *coordinator) commitStolen(d *daemonState, t *task, elapsed time.Duration) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	if co.st != nil {
+		// Clean records already streamed to disk (appendCell filters the
+		// cancellation artifacts); re-enqueue the uncovered remainder,
+		// splitting a single large one so thief and victim share it.
+		d.consecFails = 0
+		d.stats.Cells += t.appended
+		d.stats.Busy += elapsed
+		rest := co.st.UncoveredIn(t.item.rng)
+		if len(rest) == 1 && rest[0].Count() >= 2*co.cfg.MinStealCells {
+			mid := rest[0].Lo + rest[0].Count()/2
+			rest = []harness.IndexRange{{Lo: rest[0].Lo, Hi: mid}, {Lo: mid, Hi: rest[0].Hi}}
+		}
+		for _, rng := range rest {
+			co.pending = append(co.pending, shardItem{rng: rng, attempts: t.item.attempts})
+		}
+		co.cfg.Logf("fleet: shard %s stolen: %d cells kept, %d re-enqueued in %d pieces",
+			t.item.rng, t.appended, t.item.rng.Count()-t.appended, len(rest))
+		co.settleLocked(t)
+		return
+	}
 	clean := make([]harness.CellRecord, 0, len(t.received))
 	for _, rec := range t.received {
 		if strings.Contains(rec.Err, context.Canceled.Error()) {
@@ -550,6 +803,9 @@ func (co *coordinator) commitLocked(t *task, recs []harness.CellRecord) bool {
 	for _, rec := range recs {
 		co.committed[rec.Index] = rec
 	}
+	if len(co.committed) > co.maxBuffered {
+		co.maxBuffered = len(co.committed)
+	}
 	return true
 }
 
@@ -574,7 +830,7 @@ func (co *coordinator) uncoveredLocked(rng harness.IndexRange) []harness.IndexRa
 // fully merged. Caller holds co.mu.
 func (co *coordinator) settleLocked(t *task) {
 	delete(co.running, t)
-	if len(co.committed) == co.total {
+	if co.mergedLocked() == co.total {
 		co.done = true
 	}
 	co.cond.Broadcast()

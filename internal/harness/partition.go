@@ -47,3 +47,79 @@ func PartitionCells(total, shards int) []IndexRange {
 	}
 	return out
 }
+
+// PartitionCellsWeighted is the size-aware PartitionCells: it splits the
+// index space [0, len(weights)) into at most shards contiguous ranges of
+// near-equal total *weight* rather than near-equal cell count, so a
+// shard of few big-topology cells balances against a shard of many small
+// ones instead of straggling. weights[i] is the cost of cell i (the
+// distribution tier uses topology node count); non-positive weights
+// count as 1. Like PartitionCells the result is a deterministic function
+// of its arguments, covers the index space exactly, and preserves global
+// indices — weighting redistributes work, it never changes what any cell
+// computes, so result digests are unaffected.
+func PartitionCellsWeighted(weights []int, shards int) []IndexRange {
+	if len(weights) == 0 || shards <= 0 {
+		return nil
+	}
+	return PartitionRangesWeighted([]IndexRange{{Lo: 0, Hi: len(weights)}}, weights, shards)
+}
+
+// PartitionRangesWeighted subdivides the given ranges — disjoint,
+// ascending, as Covered/Uncovered report them — into about shards
+// contiguous pieces of near-equal total weight. It is the resume-path
+// generalization of PartitionCellsWeighted: the cells still owed may be
+// an arbitrary union of ranges (whatever a prior interrupted run left
+// uncovered), and pieces never span a gap between input ranges. weights
+// is indexed by *global* cell index and must extend past the highest
+// range bound; non-positive weights count as 1. Deterministic in its
+// arguments.
+func PartitionRangesWeighted(ranges []IndexRange, weights []int, shards int) []IndexRange {
+	if shards <= 0 {
+		return nil
+	}
+	w := func(i int) int {
+		v := weights[i]
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	total := 0
+	for _, r := range ranges {
+		for i := r.Lo; i < r.Hi; i++ {
+			total += w(i)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]IndexRange, 0, shards+len(ranges))
+	acc := 0 // cumulative weight over all cells walked so far
+	cut := 1 // index of the next proportional boundary, at cut·total/shards
+	for _, r := range ranges {
+		if r.Count() <= 0 {
+			continue
+		}
+		lo := r.Lo
+		for i := r.Lo; i < r.Hi; i++ {
+			acc += w(i)
+			// Close the piece once the cumulative weight reaches the next
+			// proportional boundary; the range end closes it regardless
+			// (pieces never span gaps). Skipping boundaries the current
+			// cell overshot keeps every emitted piece non-empty.
+			if acc*shards >= cut*total && i+1 < r.Hi {
+				out = append(out, IndexRange{Lo: lo, Hi: i + 1})
+				lo = i + 1
+				for acc*shards >= cut*total {
+					cut++
+				}
+			}
+		}
+		out = append(out, IndexRange{Lo: lo, Hi: r.Hi})
+		for acc*shards >= cut*total {
+			cut++
+		}
+	}
+	return out
+}

@@ -1,9 +1,6 @@
 package harness
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -41,6 +38,18 @@ type CellRecord struct {
 	Dropped int               `json:"dropped,omitempty"`
 	Metrics []metrics.Summary `json:"metrics,omitempty"`
 	Err     string            `json:"error,omitempty"`
+}
+
+// RecordSink receives executed cell records as they complete. It is the
+// harness's hook into the persistence tier (implemented by the on-disk
+// result store) without the harness depending on it: a sweep configured
+// with a sink streams every record out as soon as its cell finishes, in
+// completion order — sinks that need index order (digests do) re-sort or
+// re-merge on their side. Sinks must be safe for use from the single
+// aggregation goroutine that calls them; an append error aborts the
+// sweep.
+type RecordSink interface {
+	Append(CellRecord) error
 }
 
 // MetricByName returns the record's summary for the named collector.
@@ -116,40 +125,24 @@ func RecordsSorted(recs []CellRecord) []CellRecord {
 // version-gated like v3).
 const RecordsVersion = 3
 
-// recordsVersionFor picks the digest header version for a record set:
-// the pre-fault v2 for loss-free record sets, RecordsVersion as soon as
-// any record carries a fault entry.
-func recordsVersionFor(recs []CellRecord) int {
-	for _, rec := range recs {
-		if rec.Faults != "" {
-			return RecordsVersion
-		}
-	}
-	return 2
-}
-
 // RecordsDigest is the canonical content address of a set of cell
 // records: "sha256:<hex>" over a version header ("v<RecordsVersion>",
-// version-gated — see recordsVersionFor) followed by their JSON
+// version-gated — see RecordsDigester) followed by their JSON
 // encodings, one per line, sorted by cell index. Two executions of the
 // same scenario — local or behind the service tier, at any worker count —
 // produce the same digest, which is what the CI corpus gate and the
 // remote-vs-local comparisons key on.
 func RecordsDigest(recs []CellRecord) string {
 	sorted := RecordsSorted(recs)
-	h := sha256.New()
-	hashWrite(h, fmt.Appendf(nil, "v%d\n", recordsVersionFor(sorted)))
+	d := NewRecordsDigester()
 	for _, rec := range sorted {
-		line, err := json.Marshal(rec)
-		if err != nil {
-			// CellRecord is a flat struct of ints and strings; Marshal
-			// cannot fail on it.
+		if err := d.Add(rec); err != nil {
+			// Grid indices are unique by construction; a duplicate here is
+			// caller corruption, not a recoverable condition.
 			panic(err)
 		}
-		hashWrite(h, line)
-		hashWrite(h, []byte{'\n'})
 	}
-	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+	return d.Sum()
 }
 
 // hashWrite feeds b to the hash and checks the error. hash.Hash

@@ -64,14 +64,25 @@ func TestRecordsDigestVersionGate(t *testing.T) {
 	}
 	lossFree := []CellRecord{{Index: 0, Cell: "a", MaxLoad: 3}}
 	faulted := []CellRecord{{Index: 0, Cell: "a", MaxLoad: 3, Faults: "drop(1/20)", Dropped: 2}}
-	if v := recordsVersionFor(lossFree); v != 2 {
-		t.Errorf("loss-free records digest under v%d, want v2", v)
-	}
-	if v := recordsVersionFor(faulted); v != RecordsVersion {
-		t.Errorf("faulted records digest under v%d, want v%d", v, RecordsVersion)
-	}
 	if RecordsDigest(lossFree) == RecordsDigest(faulted) {
 		t.Error("digest blind to fault fields")
+	}
+	// The version gate is observable through the header: a single
+	// loss-free record digests under v2 (prefix hash of "v2\n"), a
+	// faulted one under v3.
+	v2Only := NewRecordsDigester()
+	if err := v2Only.Add(lossFree[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := v2Only.Sum(); got != RecordsDigest(lossFree) {
+		t.Errorf("digester digest %s != RecordsDigest %s over loss-free records", got, RecordsDigest(lossFree))
+	}
+	v3Only := NewRecordsDigester()
+	if err := v3Only.Add(faulted[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := v3Only.Sum(); got != RecordsDigest(faulted) {
+		t.Errorf("digester digest %s != RecordsDigest %s over faulted records", got, RecordsDigest(faulted))
 	}
 }
 

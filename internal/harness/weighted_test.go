@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// checkCoverage asserts that got splits want exactly: contiguous,
+// non-overlapping pieces, in order, never spanning a gap between input
+// ranges.
+func checkCoverage(t *testing.T, want, got []IndexRange) {
+	t.Helper()
+	wi := 0
+	at := -1
+	for _, g := range got {
+		if g.Count() <= 0 {
+			t.Fatalf("empty piece %v in %v", g, got)
+		}
+		if at < 0 {
+			if wi >= len(want) || g.Lo != want[wi].Lo {
+				t.Fatalf("piece %v does not start range %d of %v", g, wi, want)
+			}
+			at = g.Lo
+		}
+		if g.Lo != at {
+			t.Fatalf("piece %v not contiguous at %d (pieces %v)", g, at, got)
+		}
+		at = g.Hi
+		if at > want[wi].Hi {
+			t.Fatalf("piece %v overruns range %v", g, want[wi])
+		}
+		if at == want[wi].Hi {
+			wi++
+			at = -1
+		}
+	}
+	if wi != len(want) || at != -1 {
+		t.Fatalf("pieces %v do not cover %v", got, want)
+	}
+}
+
+func TestPartitionCellsWeighted(t *testing.T) {
+	// Uniform weights behave like the unweighted partitioner: cover
+	// exactly, near-equal cell counts.
+	uniform := make([]int, 100)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	got := PartitionCellsWeighted(uniform, 8)
+	checkCoverage(t, []IndexRange{{Lo: 0, Hi: 100}}, got)
+	for _, g := range got {
+		if g.Count() < 100/8 || g.Count() > 100/8+1 {
+			t.Fatalf("uniform weights produced unbalanced piece %v in %v", g, got)
+		}
+	}
+
+	// One cell carrying half the total weight gets a shard (nearly) to
+	// itself while the rest share the light cells.
+	skewed := make([]int, 64)
+	for i := range skewed {
+		skewed[i] = 1
+	}
+	skewed[0] = 63
+	got = PartitionCellsWeighted(skewed, 4)
+	checkCoverage(t, []IndexRange{{Lo: 0, Hi: 64}}, got)
+	if got[0].Count() > 2 {
+		t.Fatalf("heavy cell not isolated: first piece %v of %v", got[0], got)
+	}
+
+	// Deterministic: same inputs, same pieces.
+	again := PartitionCellsWeighted(skewed, 4)
+	if fmt.Sprint(got) != fmt.Sprint(again) {
+		t.Fatalf("partition not deterministic: %v vs %v", got, again)
+	}
+
+	// Degenerate inputs.
+	if PartitionCellsWeighted(nil, 4) != nil {
+		t.Fatal("empty weights produced pieces")
+	}
+	if PartitionCellsWeighted(uniform, 0) != nil {
+		t.Fatal("zero shards produced pieces")
+	}
+	// Non-positive weights are clamped to 1, never dropped.
+	checkCoverage(t, []IndexRange{{Lo: 0, Hi: 3}}, PartitionCellsWeighted([]int{0, -5, 2}, 2))
+}
+
+func TestPartitionRangesWeighted(t *testing.T) {
+	weights := make([]int, 40)
+	for i := range weights {
+		weights[i] = 1 + i%3
+	}
+	owed := []IndexRange{{Lo: 3, Hi: 10}, {Lo: 14, Hi: 15}, {Lo: 20, Hi: 38}}
+	got := PartitionRangesWeighted(owed, weights, 5)
+	checkCoverage(t, owed, got)
+
+	// Pieces never span the gaps between input ranges.
+	for _, g := range got {
+		inside := false
+		for _, o := range owed {
+			if g.Lo >= o.Lo && g.Hi <= o.Hi {
+				inside = true
+			}
+		}
+		if !inside {
+			t.Fatalf("piece %v spans a gap (owed %v)", g, owed)
+		}
+	}
+
+	// More shards than cells: every cell its own piece at most.
+	got = PartitionRangesWeighted([]IndexRange{{Lo: 0, Hi: 3}}, weights, 10)
+	checkCoverage(t, []IndexRange{{Lo: 0, Hi: 3}}, got)
+	if len(got) > 3 {
+		t.Fatalf("%d pieces for 3 cells", len(got))
+	}
+
+	if PartitionRangesWeighted(nil, weights, 4) != nil {
+		t.Fatal("no ranges produced pieces")
+	}
+}
+
+// sinkRecorder collects appended records and can fail on demand.
+type sinkRecorder struct {
+	recs    []CellRecord
+	failAt  int // fail when len(recs) reaches failAt (0 = never)
+	sinkErr error
+}
+
+func (k *sinkRecorder) Append(r CellRecord) error {
+	if k.failAt > 0 && len(k.recs)+1 >= k.failAt {
+		return k.sinkErr
+	}
+	k.recs = append(k.recs, r)
+	return nil
+}
+
+func TestSweepSkipAndSink(t *testing.T) {
+	// Full run: the reference digest, with a sink attached — the sink
+	// must see exactly the executed records.
+	full := acceptanceSweep(4)
+	sink := &sinkRecorder{}
+	full.Sink = sink
+	ref, err := full.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.recs) != 32 {
+		t.Fatalf("sink saw %d records, want 32", len(sink.recs))
+	}
+	refDigest := ref.Digest()
+
+	// Skip two ranges; the executed cells are exactly the complement, and
+	// stitching the skipped cells back in reproduces the digest.
+	skip := []IndexRange{{Lo: 4, Hi: 9}, {Lo: 20, Hi: 32}}
+	part := acceptanceSweep(4)
+	part.Skip = skip
+	partRes, err := part.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := func(i int) bool {
+		for _, r := range skip {
+			if i >= r.Lo && i < r.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	want := 0
+	for i := 0; i < 32; i++ {
+		if !skipped(i) {
+			want++
+		}
+	}
+	if len(partRes.Cells) != want {
+		t.Fatalf("skip run executed %d cells, want %d", len(partRes.Cells), want)
+	}
+	stitched := partRes.Records()
+	for _, rec := range ref.Records() {
+		if skipped(rec.Index) {
+			stitched = append(stitched, rec)
+		}
+	}
+	if got := RecordsDigest(stitched); got != refDigest {
+		t.Fatalf("stitched digest %s, full %s", got, refDigest)
+	}
+
+	// Malformed skip ranges are rejected up front.
+	for _, bad := range [][]IndexRange{
+		{{Lo: 5, Hi: 5}},                  // empty
+		{{Lo: -1, Hi: 2}},                 // negative
+		{{Lo: 8, Hi: 10}, {Lo: 2, Hi: 4}}, // descending
+		{{Lo: 2, Hi: 6}, {Lo: 5, Hi: 9}},  // overlapping
+	} {
+		s := acceptanceSweep(1)
+		s.Skip = bad
+		if _, err := s.Run(context.Background()); err == nil {
+			t.Fatalf("skip %v accepted", bad)
+		}
+	}
+}
+
+func TestSweepSinkErrorAbortsRun(t *testing.T) {
+	s := acceptanceSweep(4)
+	boom := errors.New("disk gone")
+	s.Sink = &sinkRecorder{failAt: 5, sinkErr: boom}
+	res, err := s.Run(context.Background())
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("sink failure not surfaced: %v", err)
+	}
+	if res == nil || !res.Interrupted {
+		t.Fatalf("sink failure did not interrupt the sweep: %+v", res)
+	}
+}

@@ -184,13 +184,55 @@ func (c *LoadHistCollector) Summarize() Summary {
 // count/sum/max and histogram-derived percentiles. It is the source of
 // Result.MaxLatency and Result.TotalLatency — always on, whether
 // selected or not.
+//
+// An optional exact window (NewLatencyWindowed) additionally tracks the
+// last N rounds of deliveries — recent count/sum/max and the windowed
+// mean in per-mille — plus an exponentially decayed maximum of rounds
+// that have aged out, the same recent-history lens window_load applies
+// to occupancy. With the window off the collector is byte-identical to
+// its unwindowed form.
 type LatencyCollector struct {
 	NopCollector
 	hist *Hist
+
+	// Window state, all nil/zero when the window is disabled. The three
+	// rings hold per-round delivery count, latency sum, and latency max.
+	cntWin        *window
+	sumWin        *window
+	maxWin        *window
+	decayPermille int
+	roundCount    int
+	roundSum      int
+	roundMax      int
+	decayedMillis int // fixed-point (×1000) decayed max of evicted rounds
 }
 
 // NewLatency returns an empty latency collector.
 func NewLatency() *LatencyCollector { return &LatencyCollector{hist: NewHist()} }
+
+// NewLatencyWindowed returns a latency collector that also keeps an
+// exact window over the last windowRounds rounds, with the beyond-window
+// decayed maximum retaining decayPermille/1000 per subsequent round.
+// windowRounds < 1 disables the window entirely (identical to
+// NewLatency). The window scalars are per-run views: cross-cell merges
+// re-derive hist summaries from the merged buckets and drop them.
+func NewLatencyWindowed(windowRounds, decayPermille int) *LatencyCollector {
+	c := NewLatency()
+	if windowRounds < 1 {
+		return c
+	}
+	if decayPermille < 0 {
+		decayPermille = 0
+	}
+	if decayPermille > 1000 {
+		decayPermille = 1000
+	}
+	c.cntWin = newWindow(windowRounds)
+	c.sumWin = newWindow(windowRounds)
+	c.maxWin = newWindow(windowRounds)
+	c.decayPermille = decayPermille
+	return c
+}
 
 // Name implements Collector.
 func (c *LatencyCollector) Name() string { return NameLatency }
@@ -199,9 +241,32 @@ func (c *LatencyCollector) Name() string { return NameLatency }
 func (c *LatencyCollector) OnForward(round int, moves []Move) {
 	for _, m := range moves {
 		if m.Delivered {
-			c.hist.Add(round - m.Inject)
+			lat := round - m.Inject
+			c.hist.Add(lat)
+			if c.cntWin != nil {
+				c.roundCount++
+				c.roundSum += lat
+				if lat > c.roundMax {
+					c.roundMax = lat
+				}
+			}
 		}
 	}
+}
+
+// OnRoundEnd implements Collector: with the window on, the round's
+// delivery stats enter the rings and whatever the max ring evicts decays
+// into the tail (same fixed-point rule as window_load).
+func (c *LatencyCollector) OnRoundEnd(int, View) {
+	if c.cntWin == nil {
+		return
+	}
+	c.cntWin.push(c.roundCount)
+	c.sumWin.push(c.roundSum)
+	if old, evicted := c.maxWin.push(c.roundMax); evicted {
+		c.decayedMillis = max(c.decayedMillis*c.decayPermille/1000, old*1000)
+	}
+	c.roundCount, c.roundSum, c.roundMax = 0, 0, 0
 }
 
 // Count returns the number of recorded deliveries.
@@ -217,17 +282,30 @@ func (c *LatencyCollector) TotalLatency() int { return c.hist.Sum() }
 // (see HistRecord.Quantile).
 func (c *LatencyCollector) Quantile(p int) int { return c.hist.Quantile(p) }
 
-// Summarize implements Collector.
+// Summarize implements Collector. With the window on, the window_*
+// scalars cover deliveries in the last window_rounds rounds exactly
+// (window_mean_millis is the windowed mean latency ×1000) and
+// decayed_max_millis is the ×1000 decayed maximum of everything older.
 func (c *LatencyCollector) Summarize() Summary {
 	rec := c.hist.Record()
-	return Summary{Name: NameLatency, Kind: KindHist, Hist: rec, Scalars: map[string]int{
+	scalars := map[string]int{
 		"count": rec.Count,
 		"sum":   rec.Sum,
 		"max":   rec.Max,
 		"p50":   rec.Quantile(50),
 		"p90":   rec.Quantile(90),
 		"p99":   rec.Quantile(99),
-	}}
+	}
+	if c.cntWin != nil {
+		scalars["window"] = len(c.cntWin.buf)
+		scalars["window_rounds"] = c.cntWin.n
+		scalars["window_count"] = c.cntWin.sum
+		scalars["window_sum"] = c.sumWin.sum
+		scalars["window_max"] = c.maxWin.max()
+		scalars["window_mean_millis"] = permille(c.sumWin.sum, c.cntWin.sum)
+		scalars["decayed_max_millis"] = c.decayedMillis
+	}
+	return Summary{Name: NameLatency, Kind: KindHist, Hist: rec, Scalars: scalars}
 }
 
 // LinkUtilCollector records link activity over time: a bounded "forwards"
@@ -235,6 +313,11 @@ func (c *LatencyCollector) Summarize() Summary {
 // point is an exact interval total) plus the busiest link by utilization
 // (total forwards relative to the link's rounds × bandwidth budget; ties
 // break to the lowest NodeID, matching Result.MaxLinkUtilization).
+//
+// An optional exact window (NewLinkUtilSeriesWindowed) additionally
+// tracks forwards over the last N rounds plus a decayed maximum of
+// older rounds. With the window off the collector is byte-identical to
+// its unwindowed form.
 type LinkUtilCollector struct {
 	NopCollector
 	series        *BoundedSeries
@@ -242,12 +325,38 @@ type LinkUtilCollector struct {
 	perLink       []int
 	bandwidths    []int
 	hasLink       []bool
+
+	// Window state, nil/zero when the window is disabled.
+	fwdWin        *window
+	decayPermille int
+	decayedMillis int // fixed-point (×1000) decayed max of evicted rounds
 }
 
 // NewLinkUtilSeries returns a link_util_series collector bounded to
 // capPoints downsampled points and a tailCap-round exact tail.
 func NewLinkUtilSeries(capPoints, tailCap int) *LinkUtilCollector {
 	return &LinkUtilCollector{series: NewBoundedSeries("forwards", AggSum, capPoints, tailCap)}
+}
+
+// NewLinkUtilSeriesWindowed returns a link_util_series collector that
+// also keeps an exact per-round forwards window over the last
+// windowRounds rounds, with the beyond-window decayed maximum retaining
+// decayPermille/1000 per subsequent round. windowRounds < 1 disables
+// the window entirely (identical to NewLinkUtilSeries).
+func NewLinkUtilSeriesWindowed(capPoints, tailCap, windowRounds, decayPermille int) *LinkUtilCollector {
+	c := NewLinkUtilSeries(capPoints, tailCap)
+	if windowRounds < 1 {
+		return c
+	}
+	if decayPermille < 0 {
+		decayPermille = 0
+	}
+	if decayPermille > 1000 {
+		decayPermille = 1000
+	}
+	c.fwdWin = newWindow(windowRounds)
+	c.decayPermille = decayPermille
+	return c
 }
 
 // Name implements Collector.
@@ -283,6 +392,11 @@ func (c *LinkUtilCollector) OnForward(_ int, moves []Move) {
 // OnRoundEnd implements Collector.
 func (c *LinkUtilCollector) OnRoundEnd(int, View) {
 	c.series.Append(c.roundForwards)
+	if c.fwdWin != nil {
+		if old, evicted := c.fwdWin.push(c.roundForwards); evicted {
+			c.decayedMillis = max(c.decayedMillis*c.decayPermille/1000, old*1000)
+		}
+	}
 	c.roundForwards = 0
 }
 
@@ -312,6 +426,17 @@ func (c *LinkUtilCollector) Summarize() Summary {
 	if busiest >= 0 {
 		scalars["busiest_forwards"] = c.perLink[busiest]
 		scalars["busiest_bandwidth"] = c.bandwidths[busiest]
+	}
+	if c.fwdWin != nil {
+		// Windowed forwards: exact over the last window_rounds rounds,
+		// mean ×1000, and the decayed maximum of older rounds. These
+		// merge element-wise by maximum like every unanchored scalar.
+		scalars["window"] = len(c.fwdWin.buf)
+		scalars["window_rounds"] = c.fwdWin.n
+		scalars["window_forwards"] = c.fwdWin.sum
+		scalars["window_max"] = c.fwdWin.max()
+		scalars["window_mean_millis"] = c.fwdWin.meanMillis()
+		scalars["decayed_max_millis"] = c.decayedMillis
 	}
 	return Summary{Name: NameLinkUtilSeries, Kind: KindSeries,
 		Anchor: "busiest_forwards", Anchored: []string{"busiest_link", "busiest_bandwidth"},

@@ -386,6 +386,29 @@ func windowParam(p Params) (int, error) {
 	return win, nil
 }
 
+// optionalWindowSchema is the opt-in variant for collectors whose
+// primary payload predates the windowed family: window defaults to 0
+// (off), keeping the unwindowed summary — and every pinned corpus
+// digest that selects these collectors — byte-identical.
+var optionalWindowSchema = Schema{
+	{Name: "window", Kind: Int, Doc: "exact recent-history window in rounds, 0..65536 (0 disables the window scalars)", Default: 0},
+	{Name: "decay", Kind: Int, Doc: "per-round retention of the beyond-window decayed max, in permille 0..1000", Default: 990},
+}
+
+// optionalWindowParams validates the opt-in window bounds (window may
+// be 0 = off, unlike windowParam).
+func optionalWindowParams(p Params) (win, decay int, err error) {
+	win = p.Int("window")
+	if win < 0 || win > maxSeriesParam {
+		return 0, 0, fmt.Errorf("window %d outside 0..%d", win, maxSeriesParam)
+	}
+	decay = p.Int("decay")
+	if decay < 0 || decay > 1000 {
+		return 0, 0, fmt.Errorf("decay %d outside the permille range 0..1000", decay)
+	}
+	return win, decay, nil
+}
+
 func registerMetrics() {
 	mustRegister(RegisterMetric(Metric{
 		Name: metrics.NameMaxLoad,
@@ -414,22 +437,31 @@ func registerMetrics() {
 		},
 	}))
 	mustRegister(RegisterMetric(Metric{
-		Name: metrics.NameLatency,
-		Doc:  "delivery-latency distribution with p50/p90/p99/max",
-		Build: func(Params) (metrics.Collector, error) {
-			return metrics.NewLatency(), nil
+		Name:   metrics.NameLatency,
+		Doc:    "delivery-latency distribution with p50/p90/p99/max; optional exact recent-latency window",
+		Params: optionalWindowSchema,
+		Build: func(p Params) (metrics.Collector, error) {
+			win, decay, err := optionalWindowParams(p)
+			if err != nil {
+				return nil, err
+			}
+			return metrics.NewLatencyWindowed(win, decay), nil
 		},
 	}))
 	mustRegister(RegisterMetric(Metric{
 		Name:   metrics.NameLinkUtilSeries,
-		Doc:    "packets forwarded per round as a bounded series, plus the busiest link by utilization",
-		Params: seriesSchema,
+		Doc:    "packets forwarded per round as a bounded series, plus the busiest link by utilization; optional exact recent-forwards window",
+		Params: append(append(Schema{}, seriesSchema...), optionalWindowSchema...),
 		Build: func(p Params) (metrics.Collector, error) {
 			capPoints, tail, err := seriesParams(p)
 			if err != nil {
 				return nil, err
 			}
-			return metrics.NewLinkUtilSeries(capPoints, tail), nil
+			win, decay, err := optionalWindowParams(p)
+			if err != nil {
+				return nil, err
+			}
+			return metrics.NewLinkUtilSeriesWindowed(capPoints, tail, win, decay), nil
 		},
 	}))
 	mustRegister(RegisterMetric(Metric{

@@ -266,3 +266,44 @@ func TestWindowParamsBounded(t *testing.T) {
 		t.Error("goodput_window accepted a 2^20-round window")
 	}
 }
+
+// TestOptionalWindowParamsBounded covers the opt-in windows on latency
+// and link_util_series: window 0 (the default) is off and legal, the
+// same 2^16 / permille ceilings apply, and the unwindowed defaults
+// still build.
+func TestOptionalWindowParamsBounded(t *testing.T) {
+	for _, name := range []string{"latency", "link_util_series"} {
+		m, err := LookupMetric(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.Params.Resolve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c, err := m.Build(p); err != nil || c.Name() != name {
+			t.Fatalf("Build(%s) with defaults = %v, %v", name, c, err)
+		}
+		p, err = m.Params.Resolve(map[string]any{"window": 64, "decay": 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c, err := m.Build(p); err != nil || c.Name() != name {
+			t.Fatalf("Build(%s) windowed = %v, %v", name, c, err)
+		}
+		for _, bad := range []map[string]any{
+			{"window": 1 << 30},
+			{"window": -1},
+			{"decay": 1001},
+			{"decay": -1},
+		} {
+			p, err := m.Params.Resolve(bad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Build(p); err == nil {
+				t.Errorf("%s accepted %v", name, bad)
+			}
+		}
+	}
+}

@@ -559,6 +559,59 @@ func (sc *Scenario) GridSize() (int, error) {
 	return sc.gridSize(), nil
 }
 
+// CellWeights returns per-cell cost weights for the scenario's grid —
+// one entry per cell of the row-major expansion, the cell's topology
+// node count — the input to size-aware partitioning
+// (harness.PartitionCellsWeighted): a 4096-node cell costs what it
+// costs wherever it lands, so shards should balance total node count,
+// not cell count. Topology is the grid's outermost axis, so each
+// topology's weight fills a contiguous block of gridSize/len(topologies)
+// cells; each topology is built once here. Self-hosting scenarios carry
+// a single construction-dictated topology, so their weights are uniform
+// (weight 1 — a weighted partition of uniform weights is the plain
+// one). Weights feed work distribution only; they never change what any
+// cell computes, so result digests are independent of them.
+func (sc *Scenario) CellWeights() ([]int, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	total := sc.gridSize()
+	selfHosting, err := sc.selfHosting()
+	if err != nil {
+		return nil, err
+	}
+	weights := make([]int, total)
+	if selfHosting || len(sc.Topologies) == 0 {
+		for i := range weights {
+			weights[i] = 1
+		}
+		return weights, nil
+	}
+	block := total / len(sc.Topologies)
+	for t, c := range sc.Topologies {
+		e, err := registry.LookupTopology(c.Name)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		p, err := resolved(c, e.Params)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		nw, err := e.Build(p)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: topology %s: %w", c.label(), err)
+		}
+		w := nw.Len()
+		if w < 1 {
+			w = 1
+		}
+		for i := t * block; i < (t+1)*block; i++ {
+			weights[i] = w
+		}
+	}
+	return weights, nil
+}
+
 // Slice returns a copy of the scenario restricted to the cell-index
 // range [offset, offset+count) — the sub-scenario a coordinator
 // dispatches as one shard. The copy is a complete scenario: it marshals

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"net/http"
 	"runtime"
@@ -330,29 +329,30 @@ func TestSSEHeartbeat(t *testing.T) {
 }
 
 // TestDeliveredMeanMillis pins the integer per-mille summary field and
-// its one-release float alias.
+// the absence of its retired float alias.
 func TestDeliveredMeanMillis(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2})
 	_, rep := post(t, ts.URL, scenarioBody("delivered-millis", 3, 200, 0))
 	if rep.Summary == nil {
 		t.Fatalf("no summary: %+v", rep)
 	}
-	sum := rep.Summary
-	if sum.DeliveredMeanMillis <= 0 {
-		t.Fatalf("delivered_mean_millis = %d", sum.DeliveredMeanMillis)
-	}
-	if diff := math.Abs(sum.DeliveredMean - float64(sum.DeliveredMeanMillis)/1000); diff > 0.001 {
-		t.Errorf("float alias %v diverges from millis %d", sum.DeliveredMean, sum.DeliveredMeanMillis)
+	if rep.Summary.DeliveredMeanMillis <= 0 {
+		t.Fatalf("delivered_mean_millis = %d", rep.Summary.DeliveredMeanMillis)
 	}
 
-	// Both spellings are on the wire for one release.
+	// Exactly one spelling on the wire: delivered_mean's one-release
+	// deprecation window is over. The exact-key check matters —
+	// "delivered_mean_millis" contains the old name as a substring.
 	resp, err := http.Get(ts.URL + "/v1/runs/" + rep.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	raw, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(string(raw), `"delivered_mean_millis"`) || !strings.Contains(string(raw), `"delivered_mean"`) {
-		t.Errorf("wire summary missing a delivered_mean spelling:\n%s", raw)
+	if !strings.Contains(string(raw), `"delivered_mean_millis"`) {
+		t.Errorf("wire summary missing delivered_mean_millis:\n%s", raw)
+	}
+	if strings.Contains(string(raw), `"delivered_mean":`) {
+		t.Errorf("retired delivered_mean still on the wire:\n%s", raw)
 	}
 }

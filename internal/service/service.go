@@ -52,6 +52,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -63,6 +64,7 @@ import (
 	"smallbuffers/internal/metrics"
 	"smallbuffers/internal/registry"
 	"smallbuffers/internal/scenario"
+	"smallbuffers/internal/store"
 )
 
 // Config sizes the service. The zero value is usable: every field has a
@@ -90,6 +92,14 @@ type Config struct {
 	// a ": keepalive" comment so proxy/LB idle timeouts don't sever
 	// long-running sweeps. Default 15s; < 0 disables heartbeats.
 	SSEHeartbeat time.Duration
+	// CacheDir, when set, makes the result cache durable: completed runs
+	// persist to an internal/store entry under this directory, and a
+	// restarted daemon serves a previously finished digest from disk —
+	// digest-verified on load, corrupt entries evicted rather than served
+	// — as a warm cache hit. The in-memory LRU's cost bound still governs
+	// what stays resident; disk holds everything persisted. Empty
+	// disables persistence (the pre-restart behavior, byte-identical).
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -138,12 +148,10 @@ type Summary struct {
 	MaxLoadMax    int     `json:"max_load_max"`
 	// DeliveredMeanMillis is the mean delivered count per clean cell in
 	// per-mille — ⌊total delivered · 1000 / completed⌋ — matching the
-	// integer wire convention the rest of the stack enforces.
+	// integer wire convention the rest of the stack enforces. (Its float
+	// predecessor, delivered_mean, served its one-release deprecation
+	// window and is gone.)
 	DeliveredMeanMillis int `json:"delivered_mean_millis"`
-	// Deprecated: DeliveredMean duplicates DeliveredMeanMillis as the
-	// float the pre-live schema carried. One-release JSON alias; read
-	// delivered_mean_millis instead.
-	DeliveredMean float64 `json:"delivered_mean"`
 	// DroppedTotal counts packets lost in transit across clean cells;
 	// omitted for loss-free runs so their summary bytes are unchanged.
 	DroppedTotal int               `json:"dropped_total,omitempty"`
@@ -176,6 +184,7 @@ type run struct {
 	name      string
 	sweep     *harness.Sweep
 	requested int
+	span      harness.IndexRange // global index range of the run's cells
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -460,8 +469,75 @@ func (s *Server) finish(r *run, ctxErr error) {
 	s.cache.add(r.digest, r, len(recs))
 	s.mu.Unlock()
 
+	if ctxErr == nil && s.cfg.CacheDir != "" && len(recs) > 0 {
+		s.persist(r, recs, sum)
+	}
+
 	s.metrics.runsInFlight.Add(-1)
 	s.inRuns.Done()
+}
+
+// persist writes a completed run's records to the durable cache, best
+// effort: the run has already been served and cached in memory, so a
+// persistence failure costs warmth after a restart, never correctness.
+// Records the entry already covers (an earlier partial persist) are
+// skipped; the digest is recorded once the span is whole.
+func (s *Server) persist(r *run, recs []harness.CellRecord, sum *Summary) {
+	st, err := store.Open(s.cfg.CacheDir, r.digest, r.span, store.Options{})
+	if err != nil {
+		// A format bump or span clash: the entry is stale by contract —
+		// wipe it and recompute from this run's records.
+		_ = store.Remove(s.cfg.CacheDir, r.digest)
+		if st, err = store.Open(s.cfg.CacheDir, r.digest, r.span, store.Options{}); err != nil {
+			return
+		}
+	}
+	defer st.Close()
+	for _, rec := range recs {
+		if st.Has(rec.Index) {
+			continue
+		}
+		if st.Append(rec) != nil {
+			return
+		}
+	}
+	if st.Complete() {
+		_ = st.SetRecordsDigest(sum.ResultsDigest)
+	}
+}
+
+// loadFromDisk probes the durable cache for a finished entry of the
+// given digest. It returns the records only when the entry is complete
+// and its stored bytes re-derive the recorded digest; anything less —
+// partial, torn, bit-flipped, digest mismatch — is evicted or ignored,
+// never served.
+func (s *Server) loadFromDisk(digest string, span harness.IndexRange) []harness.CellRecord {
+	if _, err := os.Stat(store.EntryDir(s.cfg.CacheDir, digest)); err != nil {
+		return nil
+	}
+	st, err := store.Open(s.cfg.CacheDir, digest, span, store.Options{})
+	if err != nil {
+		_ = store.Remove(s.cfg.CacheDir, digest)
+		return nil
+	}
+	defer st.Close()
+	if !st.Complete() || st.RecordsDigest() == "" {
+		return nil // a partial persist: not servable, but future runs may finish it
+	}
+	rederived, err := st.Digest()
+	if err != nil || rederived != st.RecordsDigest() {
+		st.Close()
+		_ = store.Remove(s.cfg.CacheDir, digest)
+		return nil
+	}
+	recs := make([]harness.CellRecord, 0, span.Count())
+	if st.Scan(func(rec harness.CellRecord) error {
+		recs = append(recs, rec)
+		return nil
+	}) != nil {
+		return nil
+	}
+	return recs
 }
 
 // summarize folds sorted records into a Summary.
@@ -492,7 +568,6 @@ func summarize(requested int, recs []harness.CellRecord) *Summary {
 	if sum.Completed > 0 {
 		sum.MaxLoadMean = float64(loadSum) / float64(sum.Completed)
 		sum.DeliveredMeanMillis = delivSum * 1000 / sum.Completed
-		sum.DeliveredMean = float64(delivSum) / float64(sum.Completed)
 	}
 	// One collector per name per cell, so same-name summaries merge
 	// cleanly; on the impossible mixed-kind error the aggregate is
@@ -550,6 +625,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	span := harness.IndexRange{}
+	if len(cells) > 0 {
+		span = harness.IndexRange{Lo: cells[0].Index, Hi: cells[len(cells)-1].Index + 1}
+	}
+
+	// Probe the durable cache outside the lock (it reads and verifies the
+	// whole entry); the re-check below keeps single-flight intact.
+	var warmed []harness.CellRecord
+	if s.cfg.CacheDir != "" && len(cells) > 0 {
+		warmed = s.loadFromDisk(digest, span)
+	}
 
 	s.mu.Lock()
 	if s.rejectUnavailableLocked(w) {
@@ -558,6 +644,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	// Re-check: an identical submission may have landed while the sweep
 	// was being built; joining it preserves single-flight.
 	if s.serveExistingLocked(w, req, digest, wait) {
+		return
+	}
+	if warmed != nil {
+		s.serveWarmedLocked(w, sc.Name, digest, span, warmed)
 		return
 	}
 	s.metrics.cacheMisses.Add(1)
@@ -569,6 +659,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		name:      sc.Name,
 		sweep:     sw,
 		requested: len(cells),
+		span:      span,
 		ctx:       runCtx,
 		cancel:    cancel,
 		status:    StatusQueued,
@@ -598,6 +689,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s.respondJoined(w, req, r, wait)
+}
+
+// serveWarmedLocked installs a digest-verified disk entry as a finished
+// cached run — indexed, LRU-governed, and streamable exactly like a run
+// this process executed — and serves it as a cache hit. Must be entered
+// holding s.mu; always releases it.
+func (s *Server) serveWarmedLocked(w http.ResponseWriter, name, digest string, span harness.IndexRange, recs []harness.CellRecord) {
+	s.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // sealed from birth: nothing to abandon
+	r := &run{
+		id:        fmt.Sprintf("r%d-%s", s.seq, strings.TrimPrefix(digest, scenario.DigestPrefix)[:12]),
+		digest:    digest,
+		name:      name,
+		requested: len(recs),
+		span:      span,
+		ctx:       ctx,
+		cancel:    cancel,
+		status:    StatusDone,
+		finished:  true,
+		records:   recs,
+		summary:   summarize(len(recs), recs),
+		changed:   make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	close(r.done)
+	r.live = live.NewAccumulator(r.id, len(recs), s.cfg.SweepWorkers, s.cfg.Clock)
+	r.live.Finish(StatusDone)
+	s.liveReg.Add(r.live)
+	s.runs[r.id] = r
+	s.byDigest[digest] = r
+	s.cache.add(digest, r, len(recs))
+	s.metrics.cacheHits.Add(1)
+	s.metrics.runsCached.Add(1)
+	s.mu.Unlock()
+	rep := r.report(true)
+	rep.Cached = true
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // serveExistingLocked serves the submission from an already-known digest

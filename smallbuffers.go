@@ -102,6 +102,7 @@ import (
 	"smallbuffers/internal/service"
 	"smallbuffers/internal/sim"
 	"smallbuffers/internal/stats"
+	"smallbuffers/internal/store"
 	"smallbuffers/internal/trace"
 )
 
@@ -857,6 +858,64 @@ func FleetLiveWatch(ctx context.Context, cfg FleetConfig, interval time.Duration
 func PartitionSweepCells(total, shards int) []CellIndexRange {
 	return harness.PartitionCells(total, shards)
 }
+
+// PartitionSweepCellsWeighted splits the index space [0, len(weights))
+// into at most shards contiguous ranges balanced by total weight rather
+// than cell count (weights are clamped to ≥ 1). The fleet uses it with
+// Scenario.CellWeights so a shard of large-topology cells does not
+// become the whole run's critical path.
+func PartitionSweepCellsWeighted(weights []int, shards int) []CellIndexRange {
+	return harness.PartitionCellsWeighted(weights, shards)
+}
+
+// --- Persistent results (the on-disk store) ---
+//
+// A ResultStore is a content-addressed, append-only on-disk set of sweep
+// cell records keyed by scenario digest: each record is written exactly
+// once as a checksummed NDJSON line, a manifest tracks the covered index
+// ranges, and torn or bit-flipped tails are detected and truncated on
+// open. It is the durability layer behind fleet checkpoint/resume
+// (FleetConfig.Store, aqtctl -store/-resume), Sweep.Sink streaming, and
+// the daemon's restart-surviving cache (ServerConfig.CacheDir,
+// aqtserve -cache-dir).
+
+type (
+	// ResultStore is one scenario's durable record set; open it with
+	// OpenResultStore and Close it when done.
+	ResultStore = store.Store
+	// ResultStoreOptions tunes an open store (sync cadence).
+	ResultStoreOptions = store.Options
+	// SweepRecordSink receives each completed cell record in completion
+	// order (Sweep.Sink); returning an error aborts the sweep.
+	SweepRecordSink = harness.RecordSink
+	// SweepRecordsDigester computes SweepResultsDigest incrementally
+	// from encoded records fed in ascending index order — O(1) memory
+	// however large the grid.
+	SweepRecordsDigester = harness.RecordsDigester
+)
+
+// OpenResultStore opens (creating or recovering) the record store for
+// one scenario digest under root. span must be the scenario's full cell
+// index range; reopening an entry with a different digest or span is an
+// error, and any torn tail from a crashed writer is truncated away.
+func OpenResultStore(root, scenarioDigest string, span CellIndexRange, opts ResultStoreOptions) (*ResultStore, error) {
+	return store.Open(root, scenarioDigest, span, opts)
+}
+
+// RemoveResultStoreEntry deletes one scenario's store entry (no error if
+// absent) — the recovery path for corrupt or stale entries.
+func RemoveResultStoreEntry(root, scenarioDigest string) error {
+	return store.Remove(root, scenarioDigest)
+}
+
+// StoreEntryDir returns the directory a scenario's store entry lives in
+// under root (whether or not it exists yet).
+func StoreEntryDir(root, scenarioDigest string) string {
+	return store.EntryDir(root, scenarioDigest)
+}
+
+// NewSweepRecordsDigester returns an empty incremental digester.
+func NewSweepRecordsDigester() *SweepRecordsDigester { return harness.NewRecordsDigester() }
 
 // --- Component registry (extension hooks) ---
 //
